@@ -1,0 +1,118 @@
+// E8 — ChirpChat (Twitter-clone) application workload.
+//
+// Zipf-popular users concentrate both posts and timeline reads on a few hot
+// wall keys. Compares static partitioning against the load-aware policies
+// (key-count repartitioning + median-key splits), reporting throughput,
+// post / timeline latency, availability, and the per-group load imbalance.
+//
+// Paper shape: with load-aware policies on, hot ranges shed keys/traffic to
+// neighbors, the imbalance factor drops substantially, and tail latency for
+// timeline reads improves.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/workload/chirpchat.h"
+
+namespace scatter {
+namespace {
+
+constexpr TimeMicros kWarmup = Seconds(3);
+constexpr TimeMicros kMeasure = Seconds(120);
+
+struct Result {
+  workload::ChirpChatStats stats;
+  double ops_per_s = 0;
+  double imbalance = 0;  // max group load / mean group load (by key count)
+  size_t groups = 0;
+};
+
+Result RunOne(bool load_aware, uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = 30;
+  cfg.initial_groups = 6;
+  cfg.scatter.policy.enable_repartition = load_aware;
+  cfg.scatter.policy.load_aware_split = load_aware;
+  cfg.scatter.policy.repartition_imbalance = 2.0;
+  cfg.scatter.policy.repartition_min_keys = 32;
+  cfg.scatter.policy.repartition_min_rate = 100.0;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(kWarmup);
+
+  workload::ChirpChatConfig ccfg;
+  ccfg.num_users = 2000;
+  ccfg.num_clients = 8;
+  ccfg.post_fraction = 0.2;
+  ccfg.timeline_fanin = 8;
+  ccfg.popularity_s = 1.0;
+  ccfg.think_time = Millis(2);
+  workload::ChirpChatDriver driver(&cluster, ccfg);
+  driver.Start();
+  cluster.RunFor(kMeasure);
+  driver.Stop();
+  cluster.RunFor(Seconds(2));
+
+  Result out;
+  out.stats = driver.stats();
+  const uint64_t ops = out.stats.posts_ok + out.stats.timelines_ok;
+  out.ops_per_s = static_cast<double>(ops) /
+                  (static_cast<double>(kMeasure) /
+                   static_cast<double>(Seconds(1)));
+  // Load imbalance over groups, by stored key count.
+  std::vector<uint64_t> loads;
+  for (const ring::GroupInfo& info : cluster.AuthoritativeRing()) {
+    loads.push_back(info.key_count);
+  }
+  out.groups = loads.size();
+  if (!loads.empty()) {
+    uint64_t total = 0;
+    uint64_t max_load = 0;
+    for (uint64_t l : loads) {
+      total += l;
+      max_load = std::max(max_load, l);
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(loads.size());
+    out.imbalance = mean > 0 ? static_cast<double>(max_load) / mean : 0;
+  }
+  return out;
+}
+
+void AddRow(bench::Table& table, const char* policy, const Result& r) {
+  table.AddRow({
+      policy,
+      bench::FmtInt(r.groups),
+      bench::Fmt(r.ops_per_s, 0),
+      bench::FmtPct(r.stats.availability()),
+      bench::FmtMs(static_cast<TimeMicros>(r.stats.post_latency.mean())),
+      bench::FmtMs(r.stats.post_latency.Percentile(99)),
+      bench::FmtMs(static_cast<TimeMicros>(r.stats.timeline_latency.mean())),
+      bench::FmtMs(r.stats.timeline_latency.Percentile(99)),
+      bench::Fmt(r.imbalance, 2),
+  });
+}
+
+}  // namespace
+}  // namespace scatter
+
+int main() {
+  using namespace scatter;
+  bench::Banner("E8", "ChirpChat application workload (Zipf user popularity)");
+
+  bench::Table table("ChirpChat: static vs load-aware partitioning",
+                     {"policy", "groups", "ops_per_s", "avail", "post_ms",
+                      "post_p99", "timeline_ms", "timeline_p99",
+                      "imbalance"});
+  AddRow(table, "static", RunOne(/*load_aware=*/false, 2024));
+  AddRow(table, "load-aware", RunOne(/*load_aware=*/true, 2024));
+  table.Print();
+  std::printf(
+      "\nExpected shape: the load-aware policy spreads hot wall keys over\n"
+      "groups (lower imbalance) at similar or better latency; both\n"
+      "configurations stay highly available.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// E1 / E2 / E3 — the headline churn comparison.
+//
+// Sweeps median node session lifetime and runs the identical workload
+// against Scatter and against the Chord-like baseline, reporting per point:
+//   consistency : fraction of definitely-stale reads (E1) and the exact
+//                 linearizability verdict for Scatter,
+//   availability: fraction of operations completing within the client
+//                 deadline (E2),
+//   latency     : client-observed read/write latency (E3).
+//
+// Paper shape to reproduce: Scatter sustains ZERO inconsistency at every
+// lifetime with modest availability cost at extreme churn, while the
+// baseline's inconsistency rate grows steeply as lifetimes shrink.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/chord_cluster.h"
+#include "src/churn/churn.h"
+#include "src/core/cluster.h"
+#include "src/verify/linearizability.h"
+#include "src/verify/staleness.h"
+#include "src/workload/workload.h"
+
+namespace scatter {
+namespace {
+
+constexpr size_t kNodes = 48;
+constexpr size_t kClients = 8;
+constexpr TimeMicros kWarmup = Seconds(3);
+constexpr TimeMicros kMeasure = Seconds(180);
+constexpr TimeMicros kDrain = Seconds(5);
+
+struct PointResult {
+  workload::WorkloadStats stats;
+  verify::StalenessReport staleness;
+  std::string lin_verdict;
+  uint64_t deaths = 0;
+};
+
+workload::WorkloadConfig WorkloadFor() {
+  workload::WorkloadConfig w;
+  w.num_clients = kClients;
+  w.write_fraction = 0.5;
+  w.key_space = 500;
+  w.think_time = Millis(5);
+  return w;
+}
+
+PointResult RunScatter(TimeMicros median_lifetime, uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = kNodes;
+  cfg.initial_groups = kNodes / 6;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(kWarmup);
+
+  const workload::WorkloadConfig wcfg = WorkloadFor();
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(cluster.AddClient());
+  }
+  workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
+  driver.Start();
+
+  churn::ChurnConfig ccfg;
+  ccfg.median_lifetime = median_lifetime;
+  churn::ChurnDriver churner(&cluster.sim(), cluster.ChurnHooksFor(), ccfg);
+  churner.Start();
+
+  cluster.RunFor(kMeasure);
+  churner.Stop();
+  driver.Stop();
+  cluster.RunFor(kDrain);
+  driver.history().Close(cluster.sim().now());
+
+  PointResult out;
+  out.stats = driver.stats();
+  out.staleness = verify::AuditStaleness(driver.history());
+  verify::LinearizabilityChecker checker;
+  auto lin = checker.CheckAll(driver.history().PerKeyHistories());
+  out.lin_verdict = lin.linearizable
+                        ? (lin.inconclusive.empty() ? "PASS" : "PASS*")
+                        : "FAIL(" + std::to_string(lin.violations.size()) + ")";
+  out.deaths = churner.stats().deaths;
+  return out;
+}
+
+PointResult RunBaseline(TimeMicros median_lifetime, uint64_t seed) {
+  baseline::ChordClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = kNodes;
+  baseline::ChordCluster cluster(cfg);
+  cluster.RunFor(kWarmup);
+
+  const workload::WorkloadConfig wcfg = WorkloadFor();
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(cluster.AddClient());
+  }
+  workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
+  driver.Start();
+
+  churn::ChurnConfig ccfg;
+  ccfg.median_lifetime = median_lifetime;
+  churn::ChurnDriver churner(&cluster.sim(), cluster.ChurnHooksFor(), ccfg);
+  churner.Start();
+
+  cluster.RunFor(kMeasure);
+  churner.Stop();
+  driver.Stop();
+  cluster.RunFor(kDrain);
+  driver.history().Close(cluster.sim().now());
+
+  PointResult out;
+  out.stats = driver.stats();
+  out.staleness = verify::AuditStaleness(driver.history());
+  out.lin_verdict = "-";
+  out.deaths = churner.stats().deaths;
+  return out;
+}
+
+void AddRows(bench::Table& table, const char* system, TimeMicros lifetime,
+             const PointResult& r) {
+  table.AddRow({
+      system,
+      std::to_string(lifetime / Seconds(1)) + "s",
+      bench::FmtInt(r.deaths),
+      bench::FmtInt(r.stats.ops_ok()),
+      bench::FmtPct(r.stats.availability()),
+      bench::FmtPct(r.staleness.stale_fraction(), 3),
+      r.lin_verdict,
+      bench::FmtMs(static_cast<TimeMicros>(r.stats.read_latency.mean())),
+      bench::FmtMs(r.stats.read_latency.Percentile(99)),
+      bench::FmtMs(static_cast<TimeMicros>(r.stats.write_latency.mean())),
+      bench::FmtMs(r.stats.write_latency.Percentile(99)),
+  });
+}
+
+}  // namespace
+}  // namespace scatter
+
+int main() {
+  using namespace scatter;
+  bench::Banner("E1/E2/E3",
+                "consistency, availability and latency vs churn "
+                "(Scatter vs Chord-like baseline)");
+  std::printf("nodes=%zu clients=%zu measure=%llds workload=50%% writes\n",
+              kNodes, kClients,
+              static_cast<long long>(kMeasure / Seconds(1)));
+
+  bench::Table table(
+      "churn sweep (median session lifetime)",
+      {"system", "lifetime", "deaths", "ops_ok", "avail", "stale_reads",
+       "linearizable", "rd_ms", "rd_p99", "wr_ms", "wr_p99"});
+
+  const TimeMicros lifetimes[] = {Seconds(60), Seconds(120), Seconds(240),
+                                  Seconds(480), Seconds(960)};
+  uint64_t seed = 42;
+  for (TimeMicros lifetime : lifetimes) {
+    AddRows(table, "scatter", lifetime, RunScatter(lifetime, seed));
+    AddRows(table, "baseline", lifetime, RunBaseline(lifetime, seed));
+    seed += 7;
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: baseline stale_reads rise steeply as lifetimes\n"
+      "shrink while Scatter stays at 0.000%% with PASS linearizability;\n"
+      "Scatter trades a little availability/latency for that guarantee.\n");
+  return 0;
+}

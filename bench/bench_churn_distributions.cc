@@ -1,0 +1,117 @@
+// E2b — sensitivity of the churn results to the session-lifetime
+// distribution.
+//
+// Real P2P measurements (Gnutella, BitTorrent, PlanetLab) show heavy-tailed
+// session lengths, not memoryless ones. At a FIXED median lifetime, heavier
+// tails mean many more very short sessions (plus a few very long ones), so
+// the repair machinery faces burstier damage. Scatter must stay consistent
+// under all of them; availability is allowed to move.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/churn/churn.h"
+#include "src/core/cluster.h"
+#include "src/verify/linearizability.h"
+#include "src/verify/staleness.h"
+#include "src/workload/workload.h"
+
+namespace scatter {
+namespace {
+
+constexpr size_t kNodes = 48;
+constexpr TimeMicros kMeasure = Seconds(150);
+constexpr TimeMicros kLifetime = Seconds(120);
+
+struct Result {
+  workload::WorkloadStats stats;
+  verify::StalenessReport staleness;
+  std::string lin;
+  uint64_t deaths = 0;
+};
+
+Result RunOne(churn::ChurnConfig::Lifetime distribution, double shape,
+              uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = kNodes;
+  cfg.initial_groups = kNodes / 6;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(Seconds(3));
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 8;
+  wcfg.write_fraction = 0.5;
+  wcfg.key_space = 500;
+  wcfg.think_time = Millis(5);
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(cluster.AddClient());
+  }
+  workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
+  driver.Start();
+
+  churn::ChurnConfig ccfg;
+  ccfg.median_lifetime = kLifetime;
+  ccfg.distribution = distribution;
+  ccfg.shape = shape;
+  churn::ChurnDriver churner(&cluster.sim(), cluster.ChurnHooksFor(), ccfg);
+  churner.Start();
+
+  cluster.RunFor(kMeasure);
+  churner.Stop();
+  driver.Stop();
+  cluster.RunFor(Seconds(5));
+  driver.history().Close(cluster.sim().now());
+
+  Result out;
+  out.stats = driver.stats();
+  out.staleness = verify::AuditStaleness(driver.history());
+  verify::LinearizabilityChecker checker;
+  auto lin = checker.CheckAll(driver.history().PerKeyHistories());
+  out.lin = lin.linearizable && lin.inconclusive.empty() ? "PASS" : "FAIL";
+  out.deaths = churner.stats().deaths;
+  return out;
+}
+
+}  // namespace
+}  // namespace scatter
+
+int main() {
+  using namespace scatter;
+  bench::Banner("E2b", "lifetime-distribution sensitivity (fixed 120s median)");
+
+  bench::Table table("Scatter under different session-length distributions",
+                     {"distribution", "deaths", "ops_ok", "avail",
+                      "stale_reads", "linearizable", "rd_p99_ms"});
+  struct Row {
+    const char* name;
+    churn::ChurnConfig::Lifetime dist;
+    double shape;
+  };
+  const Row rows[] = {
+      {"exponential", churn::ChurnConfig::Lifetime::kExponential, 0},
+      {"pareto(1.5)", churn::ChurnConfig::Lifetime::kPareto, 1.5},
+      {"pareto(1.1)", churn::ChurnConfig::Lifetime::kPareto, 1.1},
+      {"weibull(0.6)", churn::ChurnConfig::Lifetime::kWeibull, 0.6},
+  };
+  for (const Row& row : rows) {
+    const Result r = RunOne(row.dist, row.shape, 777);
+    table.AddRow({
+        row.name,
+        bench::FmtInt(r.deaths),
+        bench::FmtInt(r.stats.ops_ok()),
+        bench::FmtPct(r.stats.availability()),
+        bench::FmtPct(r.staleness.stale_fraction(), 3),
+        r.lin,
+        bench::FmtMs(r.stats.read_latency.Percentile(99)),
+    });
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: consistency holds (0 stale, PASS) under every\n"
+      "distribution; heavier tails (many short sessions at equal median)\n"
+      "cost some availability/latency, which is the paper's resilience\n"
+      "story under realistic churn.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E5 — resilience vs replication group size.
+//
+// Under a fixed, aggressive churn rate, sweeps the target group size and
+// reports how often coverage is lost. A group dies when a majority of its
+// members depart within a failure-detection/repair window; the probability
+// falls steeply with group size — the paper's justification for groups of
+// ~4+ nodes under PlanetLab-grade churn.
+//
+// Reported per size: operation availability, number of coverage gaps
+// observed (ring samples missing an owner), and consistency.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/churn/churn.h"
+#include "src/core/cluster.h"
+#include "src/ring/ring_map.h"
+#include "src/verify/staleness.h"
+#include "src/workload/workload.h"
+
+namespace scatter {
+namespace {
+
+constexpr size_t kGroups = 8;
+constexpr TimeMicros kMeasure = Seconds(180);
+constexpr TimeMicros kLifetime = Seconds(90);  // fixed, harsh churn
+
+struct Result {
+  workload::WorkloadStats stats;
+  verify::StalenessReport staleness;
+  uint64_t cover_samples = 0;
+  uint64_t cover_gaps = 0;
+  uint64_t deaths = 0;
+};
+
+Result RunOne(size_t group_size, uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_groups = kGroups;
+  cfg.initial_nodes = kGroups * group_size;
+  cfg.scatter.policy.target_group_size = group_size;
+  cfg.scatter.policy.max_group_size = group_size * 2;
+  cfg.scatter.policy.min_group_size =
+      group_size > 2 ? group_size - 1 : group_size;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(Seconds(3));
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 6;
+  wcfg.write_fraction = 0.5;
+  wcfg.key_space = 400;
+  wcfg.think_time = Millis(10);
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(cluster.AddClient());
+  }
+  workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
+  driver.Start();
+
+  churn::ChurnConfig ccfg;
+  ccfg.median_lifetime = kLifetime;
+  churn::ChurnDriver churner(&cluster.sim(), cluster.ChurnHooksFor(), ccfg);
+  churner.Start();
+
+  // Sample ring coverage once per simulated second.
+  Result out;
+  const TimeMicros end = cluster.sim().now() + kMeasure;
+  while (cluster.sim().now() < end) {
+    cluster.RunFor(Seconds(1));
+    ring::RingMap map;
+    for (const ring::GroupInfo& info : cluster.AuthoritativeRing()) {
+      map.Upsert(info);
+    }
+    out.cover_samples++;
+    if (!map.IsCompleteCover()) {
+      out.cover_gaps++;
+    }
+  }
+  churner.Stop();
+  driver.Stop();
+  cluster.RunFor(Seconds(5));
+  driver.history().Close(cluster.sim().now());
+  out.stats = driver.stats();
+  out.staleness = verify::AuditStaleness(driver.history());
+  out.deaths = churner.stats().deaths;
+  return out;
+}
+
+}  // namespace
+}  // namespace scatter
+
+int main() {
+  using namespace scatter;
+  bench::Banner("E5", "resilience vs group size under fixed churn");
+  std::printf("groups=%zu lifetime=%llds measure=%llds\n", kGroups,
+              static_cast<long long>(kLifetime / Seconds(1)),
+              static_cast<long long>(kMeasure / Seconds(1)));
+
+  bench::Table table("resilience vs target group size",
+                     {"group_size", "nodes", "deaths", "avail",
+                      "cover_gap_time", "stale_reads", "rd_p99_ms"});
+  for (size_t size : {2, 3, 5, 7, 9}) {
+    const Result r = RunOne(size, 7000 + size);
+    table.AddRow({
+        bench::FmtInt(size),
+        bench::FmtInt(kGroups * size),
+        bench::FmtInt(r.deaths),
+        bench::FmtPct(r.stats.availability()),
+        bench::FmtPct(static_cast<double>(r.cover_gaps) /
+                      static_cast<double>(r.cover_samples)),
+        bench::FmtPct(r.staleness.stale_fraction(), 3),
+        bench::FmtMs(r.stats.read_latency.Percentile(99)),
+    });
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: tiny groups (2) lose quorum and coverage under\n"
+      "churn; availability and coverage rise steeply with group size and\n"
+      "saturate near 100%% around 5+; consistency stays 0 at all sizes.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E4 — operation latency vs replication group size, plus the leader-lease
+// read ablation (part of E10).
+//
+// A static cluster (policies frozen via generous thresholds) is configured
+// with groups of 1..11 members on a WAN-like latency distribution, so the
+// quorum round cost dominates. Reported per size: read and write latency
+// with lease reads enabled (reads served locally at the leader) and with
+// them disabled (reads commit a no-op barrier through the log).
+//
+// Paper shape: write latency grows with group size (bigger quorums, slower
+// stragglers); lease reads stay flat and cheap at every size, while
+// barrier reads track write cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/workload/workload.h"
+
+namespace scatter {
+namespace {
+
+constexpr TimeMicros kWarmup = Seconds(3);
+constexpr TimeMicros kMeasure = Seconds(40);
+
+struct SizeResult {
+  workload::WorkloadStats stats;
+};
+
+SizeResult RunOne(size_t group_size, bool lease_reads, uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_groups = 3;
+  cfg.initial_nodes = 3 * group_size;
+  cfg.network.latency = sim::LatencyModel::Wan();
+  cfg.network.heterogeneity_sigma = 0.7;  // PlanetLab-style slow nodes
+  cfg.scatter.paxos.enable_lease_reads = lease_reads;
+  // Freeze the layout: no splits/merges/migration during measurement.
+  cfg.scatter.policy.enable_split = false;
+  cfg.scatter.policy.enable_merge = false;
+  cfg.scatter.policy.enable_migration = false;
+  cfg.scatter.policy.min_group_size = 1;
+  cfg.scatter.policy.max_group_size = 64;
+
+  core::Cluster cluster(cfg);
+  cluster.RunFor(kWarmup);
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 6;
+  wcfg.write_fraction = 0.5;
+  wcfg.key_space = 300;
+  wcfg.record_history = false;
+  wcfg.think_time = Millis(10);
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(cluster.AddClient());
+  }
+  workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
+  driver.Start();
+  cluster.RunFor(kMeasure);
+  driver.Stop();
+  cluster.RunFor(Seconds(2));
+  return SizeResult{driver.stats()};
+}
+
+}  // namespace
+}  // namespace scatter
+
+int main() {
+  using namespace scatter;
+  bench::Banner("E4 (+E10 lease ablation)",
+                "operation latency vs replication group size (WAN latencies)");
+
+  bench::Table table("latency vs group size",
+                     {"group_size", "reads", "lease_rd_ms", "lease_rd_p99",
+                      "barrier_rd_ms", "barrier_rd_p99", "wr_ms", "wr_p50",
+                      "wr_p99"});
+
+  for (size_t size : {1, 3, 5, 7, 9, 11}) {
+    // Average several seeds so leader placement and client draw do not
+    // dominate the curve.
+    SizeResult with_lease;
+    SizeResult no_lease;
+    for (uint64_t seed : {100, 300, 500}) {
+      const auto a = RunOne(size, /*lease_reads=*/true, seed + size);
+      const auto b = RunOne(size, /*lease_reads=*/false, seed + size);
+      with_lease.stats.reads_ok += a.stats.reads_ok;
+      with_lease.stats.read_latency.Merge(a.stats.read_latency);
+      with_lease.stats.write_latency.Merge(a.stats.write_latency);
+      no_lease.stats.read_latency.Merge(b.stats.read_latency);
+      no_lease.stats.write_latency.Merge(b.stats.write_latency);
+    }
+    table.AddRow({
+        bench::FmtInt(size),
+        bench::FmtInt(with_lease.stats.reads_ok),
+        bench::FmtMs(
+            static_cast<TimeMicros>(with_lease.stats.read_latency.mean())),
+        bench::FmtMs(with_lease.stats.read_latency.Percentile(99)),
+        bench::FmtMs(
+            static_cast<TimeMicros>(no_lease.stats.read_latency.mean())),
+        bench::FmtMs(no_lease.stats.read_latency.Percentile(99)),
+        bench::FmtMs(
+            static_cast<TimeMicros>(with_lease.stats.write_latency.mean())),
+        bench::FmtMs(with_lease.stats.write_latency.Percentile(50)),
+        bench::FmtMs(with_lease.stats.write_latency.Percentile(99)),
+    });
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: writes (quorum commit) slow down as groups grow;\n"
+      "lease reads stay flat (local at leader) while barrier reads track\n"
+      "write latency.\n");
+  return 0;
+}

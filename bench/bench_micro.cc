@@ -1,0 +1,202 @@
+// E10 — microbenchmarks (wall-clock, via google-benchmark).
+//
+// Measures the building blocks whose cost bounds simulation scale and, for
+// the consensus path, the message/commit machinery itself:
+//   - simulator event throughput,
+//   - KV store operations and range extraction,
+//   - routing cache lookups,
+//   - Zipf sampling and histogram recording,
+//   - a full Paxos commit (propose -> quorum -> apply) on a simulated LAN,
+//   - lease reads vs barrier reads on the same group,
+//   - the linearizability checker on sequential histories.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/core/cluster.h"
+#include "src/membership/commands.h"
+#include "src/ring/ring_map.h"
+#include "src/sim/simulator.h"
+#include "src/store/kv_store.h"
+#include "src/verify/linearizability.h"
+
+namespace scatter {
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  sim::Simulator sim(1);
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    sim.Schedule(1, [&fired]() { fired++; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_KvStorePut(benchmark::State& state) {
+  store::KvStore store;
+  Rng rng(7);
+  for (auto _ : state) {
+    store.Put(rng.Next(), "value");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvStorePut);
+
+void BM_KvStoreGet(benchmark::State& state) {
+  store::KvStore store;
+  Rng rng(7);
+  std::vector<Key> keys;
+  for (int i = 0; i < 100000; ++i) {
+    keys.push_back(rng.Next());
+    store.Put(keys.back(), "value");
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KvStoreGet);
+
+void BM_KvStoreExtractRange(benchmark::State& state) {
+  store::KvStore store;
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    store.Put(rng.Next(), "value");
+  }
+  const ring::KeyRange half{0, uint64_t{1} << 63};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.ExtractRange(half));
+  }
+}
+BENCHMARK(BM_KvStoreExtractRange);
+
+void BM_RingMapLookup(benchmark::State& state) {
+  ring::RingMap map;
+  const size_t groups = static_cast<size_t>(state.range(0));
+  const uint64_t arc = (~uint64_t{0} / groups) + 1;
+  for (size_t i = 0; i < groups; ++i) {
+    ring::GroupInfo info;
+    info.id = i + 1;
+    info.epoch = 1;
+    info.range = ring::KeyRange{static_cast<Key>(arc * i),
+                                i + 1 == groups
+                                    ? Key{0}
+                                    : static_cast<Key>(arc * (i + 1))};
+    info.members = {1, 2, 3};
+    map.Upsert(info);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Lookup(rng.Next()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingMapLookup)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(5);
+  ZipfSampler zipf(1000000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(5);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.Below(1000000)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+// One full replicated commit: client-visible put against a 5-replica group
+// on a simulated LAN (measures the whole stack: rpc, paxos, state machine).
+void BM_PaxosCommit(benchmark::State& state) {
+  core::ClusterConfig cfg;
+  cfg.seed = 77;
+  cfg.initial_nodes = 5;
+  cfg.initial_groups = 1;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(Seconds(2));
+  core::Client* client = cluster.AddClient();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    bool done = false;
+    client->Put(i++, "v", [&done](Status) { done = true; });
+    while (!done) {
+      cluster.sim().Step();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PaxosCommit);
+
+void BM_LeaseRead(benchmark::State& state) {
+  const bool lease = state.range(0) != 0;
+  core::ClusterConfig cfg;
+  cfg.seed = 78;
+  cfg.initial_nodes = 5;
+  cfg.initial_groups = 1;
+  cfg.scatter.paxos.enable_lease_reads = lease;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(Seconds(2));
+  core::Client* client = cluster.AddClient();
+  bool seeded = false;
+  client->Put(1, "v", [&seeded](Status) { seeded = true; });
+  while (!seeded) {
+    cluster.sim().Step();
+  }
+  for (auto _ : state) {
+    bool done = false;
+    client->Get(1, [&done](StatusOr<Value>) { done = true; });
+    while (!done) {
+      cluster.sim().Step();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LeaseRead)->Arg(1)->Arg(0);
+
+void BM_LinearizabilityCheckSequential(benchmark::State& state) {
+  std::vector<verify::Operation> history;
+  TimeMicros t = 0;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(state.range(0)); ++i) {
+    verify::Operation w;
+    w.op_id = 2 * i + 1;
+    w.type = verify::OpType::kWrite;
+    w.key = 1;
+    w.value = "v" + std::to_string(i);
+    w.invoked_at = t;
+    w.completed_at = t + 5;
+    w.outcome = verify::Outcome::kOk;
+    history.push_back(w);
+    verify::Operation r = w;
+    r.op_id = 2 * i + 2;
+    r.type = verify::OpType::kRead;
+    r.invoked_at = t + 10;
+    r.completed_at = t + 15;
+    history.push_back(r);
+    t += 20;
+  }
+  verify::LinearizabilityChecker checker;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.CheckKey(history));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * state.range(0) * 2);
+}
+BENCHMARK(BM_LinearizabilityCheckSequential)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace scatter
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E6 — throughput scale-out.
+//
+// Sweeps cluster size at a fixed per-node client load (closed loop, think
+// time) and reports aggregate throughput, per-node throughput, and latency.
+//
+// Paper shape: aggregate throughput grows near-linearly with node count
+// (groups shard the key space independently); per-node throughput and
+// latency stay roughly flat.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/cluster.h"
+#include "src/workload/workload.h"
+
+namespace scatter {
+namespace {
+
+constexpr TimeMicros kWarmup = Seconds(3);
+constexpr TimeMicros kMeasure = Seconds(30);
+
+struct Result {
+  uint64_t ops = 0;
+  double throughput = 0;  // ops per simulated second
+  workload::WorkloadStats stats;
+};
+
+Result RunOne(size_t nodes, uint64_t seed) {
+  core::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = nodes;
+  cfg.initial_groups = nodes / 6;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(kWarmup);
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = nodes / 2;  // load scales with the system
+  wcfg.write_fraction = 0.5;
+  wcfg.key_space = 50 * nodes;
+  wcfg.record_history = false;
+  wcfg.think_time = Millis(2);
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(cluster.AddClient());
+  }
+  workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
+  driver.Start();
+  cluster.RunFor(kMeasure);
+  driver.Stop();
+  cluster.RunFor(Seconds(2));
+
+  Result out;
+  out.stats = driver.stats();
+  out.ops = out.stats.ops_ok();
+  out.throughput =
+      static_cast<double>(out.ops) /
+      (static_cast<double>(kMeasure) / static_cast<double>(Seconds(1)));
+  return out;
+}
+
+}  // namespace
+}  // namespace scatter
+
+int main() {
+  using namespace scatter;
+  bench::Banner("E6", "throughput scale-out with cluster size");
+
+  bench::Table table("scale-out (fixed per-node offered load)",
+                     {"nodes", "groups", "clients", "ops_ok", "ops_per_s",
+                      "ops_per_node_s", "avail", "rd_ms", "wr_ms"});
+  double base_per_node = 0;
+  for (size_t nodes : {12, 24, 48, 96, 192, 384}) {
+    const Result r = RunOne(nodes, 9000 + nodes);
+    const double per_node = r.throughput / static_cast<double>(nodes);
+    if (base_per_node == 0) {
+      base_per_node = per_node;
+    }
+    table.AddRow({
+        bench::FmtInt(nodes),
+        bench::FmtInt(nodes / 6),
+        bench::FmtInt(nodes / 2),
+        bench::FmtInt(r.ops),
+        bench::Fmt(r.throughput, 0),
+        bench::Fmt(per_node, 1),
+        bench::FmtPct(r.stats.availability()),
+        bench::FmtMs(static_cast<TimeMicros>(r.stats.read_latency.mean())),
+        bench::FmtMs(static_cast<TimeMicros>(r.stats.write_latency.mean())),
+    });
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: ops_per_s grows ~linearly with nodes;\n"
+      "ops_per_node_s and latency stay roughly flat (independent groups).\n");
+  return 0;
+}

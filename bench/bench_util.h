@@ -1,0 +1,85 @@
+// Shared utilities for the experiment harnesses: aligned table printing and
+// common workload-measurement plumbing. Every bench binary regenerates one
+// experiment from DESIGN.md's index and prints the corresponding rows.
+
+#ifndef SCATTER_BENCH_BENCH_UTIL_H_
+#define SCATTER_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace scatter::bench {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      widths[i] = columns_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::printf("%-*s  ", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::vector<std::string> rule;
+    for (size_t w : widths) {
+      rule.push_back(std::string(w, '-'));
+    }
+    print_row(rule);
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+inline std::string FmtPct(double fraction, int precision = 2) {
+  return Fmt(fraction * 100.0, precision) + "%";
+}
+
+inline std::string FmtMs(TimeMicros us, int precision = 2) {
+  return Fmt(static_cast<double>(us) / 1000.0, precision);
+}
+
+inline void Banner(const char* id, const char* what) {
+  std::printf("\n##############################################################\n");
+  std::printf("## %s — %s\n", id, what);
+  std::printf("##############################################################\n");
+  std::fflush(stdout);
+}
+
+}  // namespace scatter::bench
+
+#endif  // SCATTER_BENCH_BENCH_UTIL_H_

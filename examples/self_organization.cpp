@@ -1,0 +1,90 @@
+// Self-organization: watch groups split as the cluster grows and merge as
+// it shrinks, with the ring invariant holding throughout.
+//
+// Starts with one full-ring group of 6 nodes, grows the cluster to 30
+// (joins -> oversize groups -> splits), then shrinks it back (departures ->
+// undersize groups -> migrations and merges).
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/verify/ring_checker.h"
+
+using namespace scatter;
+
+namespace {
+
+void PrintRing(core::Cluster& cluster, const char* label) {
+  std::printf("%s (t=%.0fs):\n", label,
+              static_cast<double>(cluster.sim().now()) / 1e6);
+  for (const ring::GroupInfo& info : cluster.AuthoritativeRing()) {
+    std::printf("  %s\n", info.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;
+  config.seed = 5;
+  config.initial_nodes = 6;
+  config.initial_groups = 1;  // One group owning the whole ring.
+  core::Cluster cluster(config);
+  cluster.RunFor(Seconds(2));
+  PrintRing(cluster, "bootstrap: one group owns the full ring");
+
+  // Grow: 24 newcomers join through the seeds. As groups exceed the size
+  // threshold (9), they split.
+  std::printf("\ngrowing to 30 nodes...\n");
+  std::vector<NodeId> newcomers;
+  for (int i = 0; i < 24; ++i) {
+    newcomers.push_back(cluster.SpawnNode());
+    cluster.RunFor(Seconds(2));
+  }
+  cluster.RunFor(Seconds(30));
+  PrintRing(cluster, "after growth (joins triggered splits)");
+  auto cover = verify::CheckQuiescentCover(cluster);
+  std::printf("ring invariant: %s\n\n",
+              cover.ok ? "disjoint cover holds" : cover.problems[0].c_str());
+
+  // Shrink: 18 nodes depart for good. Undersize groups pull members from
+  // larger neighbors or merge away.
+  std::printf("shrinking back to 12 nodes...\n");
+  size_t removed = 0;
+  for (NodeId id : cluster.live_node_ids()) {
+    if (removed >= 18) {
+      break;
+    }
+    cluster.CrashNode(id);
+    removed++;
+    cluster.RunFor(Seconds(4));
+  }
+  cluster.RefreshSeeds();
+  cluster.RunFor(Seconds(90));
+  PrintRing(cluster, "after shrink (merges and migrations)");
+  cover = verify::CheckQuiescentCover(cluster);
+  std::printf("ring invariant: %s\n",
+              cover.ok ? "disjoint cover holds" : cover.problems[0].c_str());
+
+  // Structural operation counts across the fleet.
+  uint64_t splits = 0;
+  uint64_t merges = 0;
+  uint64_t migrations = 0;
+  uint64_t removals = 0;
+  for (NodeId id : cluster.live_node_ids()) {
+    const auto& s = cluster.node(id)->stats();
+    splits += s.splits_initiated;
+    merges += s.merges_initiated;
+    migrations += s.migrations_directed;
+    removals += s.members_removed;
+  }
+  std::printf(
+      "\nstructural activity: %llu splits, %llu merges, %llu migrations "
+      "directed, %llu dead members removed\n",
+      static_cast<unsigned long long>(splits),
+      static_cast<unsigned long long>(merges),
+      static_cast<unsigned long long>(migrations),
+      static_cast<unsigned long long>(removals));
+  return cover.ok ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// WAN deployment tuning: shows how the configuration surface maps to a
+// wide-area, heterogeneous deployment (PlanetLab-style), and what the
+// latency-aware leader placement and lease tuning buy there.
+//
+// Runs the same workload twice — default placement vs latency-aware — and
+// prints the side-by-side latency profile.
+
+#include <cstdio>
+
+#include "src/core/cluster.h"
+#include "src/workload/workload.h"
+
+using namespace scatter;
+
+namespace {
+
+struct RunResult {
+  workload::WorkloadStats stats;
+  uint64_t transfers = 0;
+};
+
+RunResult Run(bool latency_aware) {
+  core::ClusterConfig config;
+  config.seed = 2026;
+  config.initial_nodes = 20;
+  config.initial_groups = 4;
+
+  // Wide-area network: log-normal latencies around tens of ms, some nodes
+  // 2-4x slower than others (heterogeneity), 100 Mbit-ish links so bulk
+  // state transfers are not free.
+  config.network.latency = sim::LatencyModel::Wan();
+  config.network.heterogeneity_sigma = 0.7;
+  config.network.bandwidth_bytes_per_sec = 12ull * 1000 * 1000;
+
+  // WAN-appropriate consensus timing: longer heartbeats and election
+  // timeouts (leases must stay under the election floor).
+  config.scatter.paxos.heartbeat_interval = Millis(150);
+  config.scatter.paxos.election_timeout_min = Millis(800);
+  config.scatter.paxos.election_timeout_max = Millis(1600);
+  config.scatter.paxos.lease_duration = Millis(750);
+
+  config.scatter.policy.latency_aware_leader = latency_aware;
+  config.scatter.policy.leader_transfer_cooldown = Seconds(15);
+
+  core::Cluster cluster(config);
+  cluster.RunFor(Seconds(45));  // Elections, RTT probing, transfers.
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 6;
+  wcfg.write_fraction = 0.5;
+  wcfg.key_space = 400;
+  wcfg.record_history = false;
+  wcfg.think_time = Millis(20);
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(cluster.AddClient());
+  }
+  workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
+  driver.Start();
+  cluster.RunFor(Seconds(60));
+  driver.Stop();
+  cluster.RunFor(Seconds(2));
+
+  RunResult out;
+  out.stats = driver.stats();
+  for (NodeId id : cluster.live_node_ids()) {
+    const core::ScatterNode* node = cluster.node(id);
+    for (const auto* sm : node->ServingGroups()) {
+      out.transfers +=
+          node->GroupReplica(sm->id())->stats().transfers_initiated;
+    }
+  }
+  return out;
+}
+
+void Print(const char* label, const RunResult& r) {
+  std::printf("%-14s transfers=%llu  reads: %.1f/%.1f/%.1f ms  "
+              "writes: %.1f/%.1f/%.1f ms (mean/p50/p99)\n",
+              label, static_cast<unsigned long long>(r.transfers),
+              r.stats.read_latency.mean() / 1000.0,
+              static_cast<double>(r.stats.read_latency.Percentile(50)) / 1e3,
+              static_cast<double>(r.stats.read_latency.Percentile(99)) / 1e3,
+              r.stats.write_latency.mean() / 1000.0,
+              static_cast<double>(r.stats.write_latency.Percentile(50)) / 1e3,
+              static_cast<double>(r.stats.write_latency.Percentile(99)) / 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("WAN deployment: 20 nodes, 4 groups, log-normal latencies,\n"
+              "heterogeneous node speeds, 12 MB/s links.\n\n");
+  const RunResult plain = Run(/*latency_aware=*/false);
+  Print("random-leader", plain);
+  const RunResult tuned = Run(/*latency_aware=*/true);
+  Print("latency-aware", tuned);
+  std::printf(
+      "\nLeases keep reads near one client->leader round trip in both\n"
+      "configurations; latency-aware placement additionally moves leaders\n"
+      "off slow nodes, cutting quorum (write) latency.\n");
+  return 0;
+}

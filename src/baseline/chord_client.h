@@ -1,0 +1,90 @@
+// Client for the Chord baseline: overlay lookup to find the owner, then a
+// direct store/fetch. No quorums, no leases — an acknowledged write means
+// "one node stored it", which is the consistency gap the experiments
+// measure.
+
+#ifndef SCATTER_SRC_BASELINE_CHORD_CLIENT_H_
+#define SCATTER_SRC_BASELINE_CHORD_CLIENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/baseline/chord_messages.h"
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/rpc/rpc_node.h"
+#include "src/workload/kv_client.h"
+
+namespace scatter::baseline {
+
+struct ChordClientConfig {
+  TimeMicros op_deadline = Seconds(8);
+  TimeMicros rpc_timeout = Millis(500);
+  TimeMicros backoff_min = Millis(20);
+  TimeMicros backoff_max = Millis(200);
+  size_t max_attempts = 16;
+  size_t max_lookup_hops = 32;
+};
+
+class ChordClient : public rpc::RpcNode, public workload::KvClient {
+ public:
+  ChordClient(NodeId id, sim::Network* network, std::vector<NodeId> seeds,
+              const ChordClientConfig& config);
+
+  using GetCallback = std::function<void(StatusOr<Value>)>;
+  using PutCallback = std::function<void(Status)>;
+  void Get(Key key, GetCallback callback);
+  void Put(Key key, Value value, PutCallback callback);
+
+  // workload::KvClient:
+  void KvGet(Key key, workload::KvClient::GetCallback callback) override {
+    Get(key, std::move(callback));
+  }
+  void KvPut(Key key, Value value,
+             workload::KvClient::PutCallback callback) override {
+    Put(key, std::move(value), std::move(callback));
+  }
+  uint64_t KvClientId() const override { return id(); }
+
+  void SetSeeds(std::vector<NodeId> seeds) { seeds_ = std::move(seeds); }
+
+  struct Stats {
+    uint64_t ops_ok = 0;
+    uint64_t ops_failed = 0;
+    uint64_t lookups = 0;
+    uint64_t lookup_failures = 0;
+    // Overlay hops per successful lookup (gateway query counts as hop 1).
+    Histogram lookup_hops;
+  };
+  const Stats& stats() const { return stats_; }
+
+ protected:
+  void OnRequest(const sim::MessagePtr& message) override;
+
+ private:
+  struct Op {
+    bool is_write;
+    Key key;
+    Value value;
+    TimeMicros deadline;
+    size_t attempts = 0;
+    GetCallback get_cb;
+    PutCallback put_cb;
+  };
+
+  void Attempt(std::shared_ptr<Op> op);
+  void AttemptLater(std::shared_ptr<Op> op);
+  void LookupOwner(Key key, size_t hops, NodeRef at,
+                   std::function<void(StatusOr<NodeRef>)> callback);
+  void FinishGet(const std::shared_ptr<Op>& op, StatusOr<Value> result);
+  void FinishPut(const std::shared_ptr<Op>& op, Status status);
+
+  ChordClientConfig cfg_;
+  std::vector<NodeId> seeds_;
+  Stats stats_;
+};
+
+}  // namespace scatter::baseline
+
+#endif  // SCATTER_SRC_BASELINE_CHORD_CLIENT_H_

@@ -1,0 +1,46 @@
+// Hashing helpers: string keys are mapped onto the circular key space with a
+// stable 64-bit hash (FNV-1a with an avalanche finalizer). Stability across
+// platforms matters because test expectations and benchmark workloads bake in
+// key placements.
+
+#ifndef SCATTER_SRC_COMMON_HASH_H_
+#define SCATTER_SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/types.h"
+
+namespace scatter {
+
+// 64-bit FNV-1a over bytes, plus a SplitMix64-style finalizer so that short
+// or similar strings still spread uniformly over the ring.
+constexpr uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+// Maps a user-visible string key onto the ring.
+constexpr Key KeyFromString(std::string_view name) { return HashBytes(name); }
+
+// Mixes two 64-bit values (used to derive deterministic per-entity seeds).
+constexpr uint64_t MixHash(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace scatter
+
+#endif  // SCATTER_SRC_COMMON_HASH_H_

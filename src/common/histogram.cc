@@ -1,0 +1,116 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace scatter {
+namespace {
+
+// Sub-bucket resolution: each power of two is divided into 16 linear
+// sub-buckets, giving <= 1/16 (~6%) relative bucket width.
+constexpr int kSubBucketBits = 4;
+constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(64 * kSubBuckets, 0) {}
+
+size_t Histogram::BucketFor(int64_t sample) {
+  if (sample < 0) {
+    sample = 0;
+  }
+  if (sample < kSubBuckets) {
+    return static_cast<size_t>(sample);
+  }
+  const int log2 = 63 - __builtin_clzll(static_cast<uint64_t>(sample));
+  const int shift = log2 - kSubBucketBits;
+  const size_t sub = static_cast<size_t>((sample >> shift) & (kSubBuckets - 1));
+  const size_t index =
+      static_cast<size_t>(log2 - kSubBucketBits + 1) * kSubBuckets + sub;
+  return std::min(index, static_cast<size_t>(64 * kSubBuckets - 1));
+}
+
+int64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<int64_t>(bucket);
+  }
+  const size_t tier = bucket / kSubBuckets;  // >= 1
+  const size_t sub = bucket % kSubBuckets;
+  const int shift = static_cast<int>(tier) - 1;
+  const int64_t base = static_cast<int64_t>(kSubBuckets + sub) << shift;
+  const int64_t width = static_cast<int64_t>(1) << shift;
+  return base + width - 1;
+}
+
+void Histogram::Record(int64_t sample) {
+  if (sample < 0) {
+    sample = 0;
+  }
+  buckets_[BucketFor(sample)]++;
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  count_++;
+  sum_ += sample;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%lld p90=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<long long>(Percentile(50)),
+                static_cast<long long>(Percentile(90)),
+                static_cast<long long>(Percentile(99)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+}  // namespace scatter

@@ -1,0 +1,55 @@
+// Statistics collection: counters and latency histograms with percentiles.
+
+#ifndef SCATTER_SRC_COMMON_HISTOGRAM_H_
+#define SCATTER_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scatter {
+
+// A log-bucketed histogram of non-negative integer samples (typically
+// latencies in microseconds). Buckets grow geometrically (~4% per bucket),
+// bounding percentile error to a few percent while keeping memory constant.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t sample);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Approximate percentile (p in [0, 100]). Returns 0 when empty.
+  int64_t Percentile(double p) const;
+
+  // "count=... mean=... p50=... p99=... max=..." summary line.
+  std::string Summary() const;
+
+ private:
+  static size_t BucketFor(int64_t sample);
+  static int64_t BucketUpperBound(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// A monotonically increasing named counter.
+struct Counter {
+  uint64_t value = 0;
+  void Add(uint64_t n = 1) { value += n; }
+};
+
+}  // namespace scatter
+
+#endif  // SCATTER_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,72 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scatter {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+ClockFn g_clock_fn = nullptr;
+void* g_clock_arg = nullptr;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogClock(ClockFn fn, void* arg) {
+  g_clock_fn = fn;
+  g_clock_arg = arg;
+}
+
+namespace internal {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  const int64_t now = g_clock_fn != nullptr ? g_clock_fn(g_clock_arg) : -1;
+  if (now >= 0) {
+    std::fprintf(stderr, "%s %9.3fs %s:%d] %s\n", LevelTag(level),
+                 static_cast<double>(now) / 1e6, Basename(file), line,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "%s %s:%d] %s\n", LevelTag(level), Basename(file),
+                 line, msg.c_str());
+  }
+}
+
+void CheckFailure(const char* file, int line, const char* cond) {
+  Emit(LogLevel::kError, file, line,
+       std::string("CHECK failed: ") + cond);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace scatter

@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every source of randomness in a simulation must flow through one Rng so
+// that a run is fully reproducible from its seed. The generator is
+// xoshiro256** seeded via SplitMix64 — fast, high quality, and trivially
+// portable (no <random> engine, whose streams differ across standard library
+// implementations).
+
+#ifndef SCATTER_SRC_COMMON_RANDOM_H_
+#define SCATTER_SRC_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace scatter {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  // Re-seeds the generator. Two Rngs seeded identically produce identical
+  // streams.
+  void Seed(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  // sampling so the distribution is exactly uniform.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Pareto with shape alpha (> 0) and scale x_min (> 0): heavy-tailed session
+  // lifetimes, the distribution measured for P2P node uptimes.
+  double Pareto(double alpha, double x_min);
+
+  // Weibull with shape k and scale lambda.
+  double Weibull(double k, double lambda);
+
+  // Log-normal where the underlying normal has parameters mu, sigma.
+  double LogNormal(double mu, double sigma);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  // Picks a uniformly random element index from a non-empty container size.
+  size_t Index(size_t size) {
+    assert(size > 0);
+    return static_cast<size_t>(Below(size));
+  }
+
+  // Derives an independent child generator; useful for giving each node its
+  // own stream while remaining reproducible.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// Samples ranks from a Zipf(s) distribution over {0, ..., n-1}: rank r has
+// probability proportional to 1 / (r+1)^s. Uses an O(1)-per-sample
+// approximation (rejection-inversion, Hormann & Derflinger) that is exact in
+// distribution.
+class ZipfSampler {
+ public:
+  // n must be >= 1; s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace scatter
+
+#endif  // SCATTER_SRC_COMMON_RANDOM_H_

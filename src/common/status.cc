@@ -1,0 +1,43 @@
+#include "src/common/status.h"
+
+namespace scatter {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kNotLeader:
+      return "NOT_LEADER";
+    case StatusCode::kWrongGroup:
+      return "WRONG_GROUP";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace scatter

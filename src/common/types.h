@@ -1,0 +1,64 @@
+// Core identifier and time types shared by every Scatter module.
+//
+// All identifiers are 64-bit integral handles. Zero is reserved as the
+// "invalid" value for every id type so that default-constructed ids are
+// always distinguishable from live ones.
+
+#ifndef SCATTER_SRC_COMMON_TYPES_H_
+#define SCATTER_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace scatter {
+
+// Identifies a physical node (a simulated process). Assigned once at node
+// creation and never reused, even if the node restarts.
+using NodeId = uint64_t;
+
+// Identifies a replication group. Group ids are allocated by the group that
+// creates them (splits derive fresh ids deterministically) and never reused.
+using GroupId = uint64_t;
+
+// A point on the circular key space. The key space is the full range of
+// uint64 and wraps around; see ring/key_range.h for interval arithmetic.
+using Key = uint64_t;
+
+// Stored values are opaque bytes. Simulation workloads use short strings
+// that encode (client, sequence) so the linearizability checker can treat
+// every written value as unique.
+using Value = std::string;
+
+// Simulated time in microseconds since simulation start. Signed so that
+// durations (differences) are well-behaved.
+using TimeMicros = int64_t;
+
+inline constexpr NodeId kInvalidNode = 0;
+inline constexpr GroupId kInvalidGroup = 0;
+inline constexpr TimeMicros kNoDeadline = -1;
+
+// Convenience duration constructors, all returning microseconds.
+constexpr TimeMicros Micros(int64_t n) { return n; }
+constexpr TimeMicros Millis(int64_t n) { return n * 1000; }
+constexpr TimeMicros Seconds(int64_t n) { return n * 1000 * 1000; }
+
+// A Paxos ballot number. Totally ordered, unique per (round, node) pair;
+// comparison is lexicographic so two candidates can never tie.
+struct Ballot {
+  uint64_t round = 0;
+  NodeId node = kInvalidNode;
+
+  friend bool operator==(const Ballot& a, const Ballot& b) = default;
+  friend auto operator<=>(const Ballot& a, const Ballot& b) = default;
+
+  bool valid() const { return round != 0; }
+  std::string ToString() const {
+    return std::to_string(round) + "." + std::to_string(node);
+  }
+};
+
+inline constexpr Ballot kInvalidBallot{};
+
+}  // namespace scatter
+
+#endif  // SCATTER_SRC_COMMON_TYPES_H_

@@ -1,0 +1,140 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace scatter::core {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : cfg_(config), sim_(config.seed), net_(&sim_, config.network) {
+  SCATTER_CHECK(cfg_.initial_nodes >= cfg_.initial_groups);
+  SCATTER_CHECK(cfg_.initial_groups >= 1);
+
+  // Allocate node ids and choose the bootstrap seeds (the first few nodes;
+  // RefreshSeeds repoints everything later under churn).
+  std::vector<NodeId> ids;
+  for (size_t i = 0; i < cfg_.initial_nodes; ++i) {
+    ids.push_back(next_node_id_++);
+  }
+  std::vector<NodeId> seeds(ids.begin(),
+                            ids.begin() + std::min<size_t>(ids.size(), 5));
+
+  for (NodeId id : ids) {
+    nodes_[id] = std::make_unique<ScatterNode>(id, &net_, cfg_.scatter, seeds);
+  }
+
+  // Tile the ring with initial_groups equal arcs; members round-robin.
+  const size_t g = cfg_.initial_groups;
+  std::vector<membership::FoundingGroup> groups(g);
+  const uint64_t arc = g == 1 ? 0 : (~uint64_t{0} / g) + 1;
+  for (size_t i = 0; i < g; ++i) {
+    groups[i].info.id = 1000 + i;
+    groups[i].info.epoch = 1;
+    // The last arc ends exactly at 0 (the first arc's begin) so the tiling
+    // is gapless and overlap-free despite integer division slack.
+    const Key begin = static_cast<Key>(arc * i);
+    const Key end = i + 1 == g ? 0 : static_cast<Key>(arc * (i + 1));
+    groups[i].info.range =
+        g == 1 ? ring::KeyRange::Full() : ring::KeyRange{begin, end};
+  }
+  for (size_t j = 0; j < ids.size(); ++j) {
+    groups[j % g].info.members.push_back(ids[j]);
+  }
+  for (size_t i = 0; i < g; ++i) {
+    groups[i].pred = groups[(i + g - 1) % g].info;
+    groups[i].succ = groups[(i + 1) % g].info;
+  }
+  for (size_t i = 0; i < g; ++i) {
+    for (NodeId member : groups[i].info.members) {
+      nodes_[member]->HostFoundingGroup(groups[i]);
+    }
+  }
+}
+
+NodeId Cluster::SpawnNode() {
+  const NodeId id = next_node_id_++;
+  nodes_[id] =
+      std::make_unique<ScatterNode>(id, &net_, cfg_.scatter, SampleSeeds(5));
+  nodes_[id]->StartJoin();
+  return id;
+}
+
+void Cluster::CrashNode(NodeId id) { nodes_.erase(id); }
+
+ScatterNode* Cluster::node(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> Cluster::live_node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Cluster::SampleSeeds(size_t count) const {
+  // Prefer nodes that actually host a group — a fresh orphan knows nothing
+  // and makes a useless seed.
+  std::vector<NodeId> all;
+  for (const auto& [id, node] : nodes_) {
+    if (node->HostsAnyGroup()) {
+      all.push_back(id);
+    }
+  }
+  if (all.empty()) {
+    all = live_node_ids();
+  }
+  if (all.size() <= count) {
+    return all;
+  }
+  // Deterministic sample: evenly spaced over the (sorted) live set.
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(all[i * all.size() / count]);
+  }
+  return out;
+}
+
+Client* Cluster::AddClient() {
+  auto client = std::make_unique<Client>(next_client_id_++, &net_,
+                                         SampleSeeds(5), cfg_.client);
+  client->SeedRing(AuthoritativeRing());
+  clients_.push_back(std::move(client));
+  return clients_.back().get();
+}
+
+void Cluster::RefreshSeeds() {
+  std::vector<NodeId> seeds = SampleSeeds(5);
+  for (auto& client : clients_) {
+    client->SetSeeds(seeds);
+  }
+}
+
+std::vector<ring::GroupInfo> Cluster::AuthoritativeRing() const {
+  // Prefer the leader's view of each group; otherwise any member's.
+  std::map<GroupId, ring::GroupInfo> best;
+  std::map<GroupId, bool> from_leader;
+  for (const auto& [id, node] : nodes_) {
+    for (const ring::GroupInfo& info : node->ServingInfos()) {
+      const bool is_leader = info.leader == id;
+      auto it = best.find(info.id);
+      if (it == best.end() || (is_leader && !from_leader[info.id]) ||
+          (is_leader == from_leader[info.id] && info.epoch > it->second.epoch)) {
+        best[info.id] = info;
+        from_leader[info.id] = is_leader;
+      }
+    }
+  }
+  std::vector<ring::GroupInfo> out;
+  out.reserve(best.size());
+  for (auto& [gid, info] : best) {
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace scatter::core

@@ -1,0 +1,91 @@
+// Cluster: owns a simulator, network, nodes and clients, and bootstraps an
+// initial ring of groups. This is the entry point tests, benchmarks and
+// examples use; the churn driver manipulates node lifetimes through it.
+
+#ifndef SCATTER_SRC_CORE_CLUSTER_H_
+#define SCATTER_SRC_CORE_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/client.h"
+#include "src/core/config.h"
+#include "src/core/scatter_node.h"
+#include "src/ring/group_info.h"
+#include "src/churn/churn.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace scatter::core {
+
+struct ClusterConfig {
+  uint64_t seed = 1;
+  // Bootstrap layout: initial_nodes spread round-robin over initial_groups
+  // whose ranges evenly tile the ring.
+  size_t initial_nodes = 20;
+  size_t initial_groups = 4;
+  ScatterConfig scatter;
+  sim::NetworkConfig network{.latency = sim::LatencyModel::Lan()};
+  ClientConfig client;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  // --- Node lifecycle ------------------------------------------------------
+  // Starts a fresh node that joins through live seeds. Returns its id.
+  NodeId SpawnNode();
+  // Fail-stop: the node vanishes (state lost, id never reused).
+  void CrashNode(NodeId id);
+
+  ScatterNode* node(NodeId id);
+  std::vector<NodeId> live_node_ids() const;
+  size_t live_node_count() const { return nodes_.size(); }
+
+  // --- Clients --------------------------------------------------------------
+  Client* AddClient();
+  const std::vector<std::unique_ptr<Client>>& clients() const {
+    return clients_;
+  }
+  // Re-points all clients (and future spawns) at currently-live seed nodes.
+  void RefreshSeeds();
+
+  // --- God's-eye helpers (verification / bootstrap only) --------------------
+  // Authoritative ring layout: every serving group as advertised by its
+  // current leader (falls back to any member if leaderless).
+  std::vector<ring::GroupInfo> AuthoritativeRing() const;
+
+  void RunFor(TimeMicros duration) { sim_.RunFor(duration); }
+
+  // Adapter for the churn driver.
+  churn::ChurnHooks ChurnHooksFor() {
+    return churn::ChurnHooks{
+        .live_nodes = [this]() { return live_node_ids(); },
+        .crash = [this](NodeId id) { CrashNode(id); },
+        .spawn = [this]() { return SpawnNode(); },
+        .refresh_seeds = [this]() { RefreshSeeds(); },
+    };
+  }
+
+ private:
+  std::vector<NodeId> SampleSeeds(size_t count) const;
+
+  ClusterConfig cfg_;
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::map<NodeId, std::unique_ptr<ScatterNode>> nodes_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  NodeId next_node_id_ = 1;
+  NodeId next_client_id_ = 1000000000;  // clients live in their own id space
+};
+
+}  // namespace scatter::core
+
+#endif  // SCATTER_SRC_CORE_CLUSTER_H_

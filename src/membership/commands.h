@@ -1,0 +1,161 @@
+// Application commands of the Scatter group state machine, and the
+// descriptor of cross-group transactions (nested consensus).
+//
+// Storage operations (put/delete) and structural operations (split, and the
+// prepare/decide records of merge/repartition transactions) all flow through
+// the group's Paxos log as these commands; reads never enter the log (they
+// are served by the leader under its lease).
+
+#ifndef SCATTER_SRC_MEMBERSHIP_COMMANDS_H_
+#define SCATTER_SRC_MEMBERSHIP_COMMANDS_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/paxos/command.h"
+#include "src/ring/group_info.h"
+#include "src/ring/key_range.h"
+#include "src/store/kv_store.h"
+
+namespace scatter::membership {
+
+// Per-client exactly-once bookkeeping: highest applied sequence number and
+// the recorded outcome of that operation, so retries return the original
+// result instead of re-executing. Shipped alongside data whenever a key
+// range changes owner, preserving exactly-once across splits, merges and
+// repartitions.
+struct DedupEntry {
+  uint64_t seq = 0;
+  uint8_t code = 0;  // StatusCode of the applied op
+};
+using DedupTable = std::map<uint64_t, DedupEntry>;  // client id -> entry
+
+enum class GroupCmdKind : uint8_t {
+  kPut,
+  kDelete,
+  kSplit,
+  kCoordStart,   // coordinator: begin + self-prepare of a cross-group txn
+  kCoordDecide,  // coordinator: durable commit/abort decision (+ execution)
+  kPrepare,      // participant: prepare (freeze + record peer contribution)
+  kDecide,       // participant: learn decision and execute/release
+  kUpdateNeighbor,
+};
+
+struct GroupCommand : paxos::AppCommand {
+  explicit GroupCommand(GroupCmdKind k) : op(k) {}
+  GroupCmdKind op;
+};
+
+struct PutCommand : GroupCommand {
+  PutCommand(Key k, Value v)
+      : GroupCommand(GroupCmdKind::kPut), key(k), value(std::move(v)) {}
+  size_t ByteSize() const override { return 48 + value.size(); }
+  Key key;
+  Value value;
+};
+
+struct DeleteCommand : GroupCommand {
+  explicit DeleteCommand(Key k) : GroupCommand(GroupCmdKind::kDelete), key(k) {}
+  Key key;
+};
+
+// Splits the group in two: members and key range are both partitioned. A
+// purely intra-group structural change — atomic by virtue of being one log
+// entry — so it needs no cross-group transaction. The proposer chooses the
+// child ids and the member partition; apply validates geometry.
+struct SplitCommand : GroupCommand {
+  SplitCommand() : GroupCommand(GroupCmdKind::kSplit) {}
+  Key split_key = 0;
+  GroupId left_id = kInvalidGroup;
+  GroupId right_id = kInvalidGroup;
+  std::vector<NodeId> left_members;
+  std::vector<NodeId> right_members;
+};
+
+// Descriptor of a two-group transaction. Merge and repartition both involve
+// exactly two ring-adjacent groups; the coordinator is always the
+// counterclockwise one (the group whose range comes first), which rules out
+// two-party initiation cycles.
+struct RingTxn {
+  enum class Kind : uint8_t { kMerge, kRepartition };
+
+  uint64_t id = 0;
+  Kind kind = Kind::kMerge;
+  GroupId coord_group = kInvalidGroup;
+  GroupId part_group = kInvalidGroup;
+  // Geometry expected at prepare time; a participant whose epoch or range
+  // moved on rejects the prepare (the coordinator then aborts and retries
+  // with fresh information).
+  ring::KeyRange coord_range;
+  ring::KeyRange part_range;
+  uint64_t coord_epoch = 0;
+  uint64_t part_epoch = 0;
+  // Merge only: identity of the merged group (chosen by the coordinator).
+  GroupId merged_id = kInvalidGroup;
+  // Repartition only: the new boundary between the two ranges. Must lie in
+  // coord_range ∪ part_range; data in the moved sub-range changes owner.
+  Key new_boundary = 0;
+};
+
+// Coordinator's begin record. Applying it freezes the group's range
+// (writes are rejected until the decision) and captures the group's
+// membership for the transaction.
+struct CoordStartCommand : GroupCommand {
+  CoordStartCommand() : GroupCommand(GroupCmdKind::kCoordStart) {}
+  RingTxn txn;
+};
+
+// Coordinator's decision record. For a commit it carries the participant's
+// contribution (members + frozen data) so that applying it fully determines
+// the coordinator group's successor state.
+struct CoordDecideCommand : GroupCommand {
+  CoordDecideCommand() : GroupCommand(GroupCmdKind::kCoordDecide) {}
+  size_t ByteSize() const override {
+    return 96 + part_data.byte_size() + 24 * part_dedup.size() +
+           8 * part_members.size();
+  }
+  uint64_t txn_id = 0;
+  bool commit = false;
+  std::vector<NodeId> part_members;
+  store::KvStore part_data;
+  DedupTable part_dedup;
+  // Participant's outer neighbor (needed to stitch the merged group's
+  // successor link).
+  ring::GroupInfo part_outer_neighbor;
+};
+
+// Participant's prepare record: freezes the group and stores the
+// coordinator's contribution so a later decide is self-contained.
+struct PrepareCommand : GroupCommand {
+  PrepareCommand() : GroupCommand(GroupCmdKind::kPrepare) {}
+  size_t ByteSize() const override {
+    return 160 + coord_data.byte_size() + 24 * coord_dedup.size() +
+           8 * coord_members.size();
+  }
+  RingTxn txn;
+  std::vector<NodeId> coord_members;
+  store::KvStore coord_data;
+  DedupTable coord_dedup;
+  ring::GroupInfo coord_outer_neighbor;
+};
+
+// Participant's decision record.
+struct DecideCommand : GroupCommand {
+  DecideCommand() : GroupCommand(GroupCmdKind::kDecide) {}
+  uint64_t txn_id = 0;
+  bool commit = false;
+};
+
+// Refreshes the group's cached view of an adjacent group. Committed so all
+// replicas agree on the neighbor links (they feed structural decisions).
+struct UpdateNeighborCommand : GroupCommand {
+  UpdateNeighborCommand() : GroupCommand(GroupCmdKind::kUpdateNeighbor) {}
+  bool is_successor = true;
+  ring::GroupInfo info;
+};
+
+}  // namespace scatter::membership
+
+#endif  // SCATTER_SRC_MEMBERSHIP_COMMANDS_H_

@@ -1,0 +1,58 @@
+// Tunable timing parameters of the Paxos implementation.
+
+#ifndef SCATTER_SRC_PAXOS_CONFIG_H_
+#define SCATTER_SRC_PAXOS_CONFIG_H_
+
+#include "src/common/types.h"
+
+namespace scatter::paxos {
+
+struct PaxosConfig {
+  // Leader -> follower heartbeat period.
+  TimeMicros heartbeat_interval = Millis(50);
+
+  // A follower that hears nothing from a leader for a randomized timeout in
+  // [election_timeout_min, election_timeout_max] starts an election.
+  TimeMicros election_timeout_min = Millis(250);
+  TimeMicros election_timeout_max = Millis(500);
+
+  // Leader lease length. Followers refuse to promise to a new candidate for
+  // this long after hearing from the leader; the leader serves local reads
+  // while a quorum's grants are unexpired. Must be <= election_timeout_min
+  // so a live follower never times out while its own grant still binds it.
+  TimeMicros lease_duration = Millis(250);
+
+  // Retry delay after a rejected or unanswered prepare.
+  TimeMicros prepare_retry_min = Millis(50);
+  TimeMicros prepare_retry_max = Millis(200);
+
+  // Leader retransmits unacknowledged proposals at this period.
+  TimeMicros accept_resend_interval = Millis(100);
+
+  // Leader declares a member suspect after this long without any ack; the
+  // group layer may then propose removing it.
+  TimeMicros member_fail_timeout = Seconds(4);
+
+  // Log entries retained below the applied index before truncation. The
+  // window lets laggards catch up from the log instead of by snapshot.
+  uint64_t log_retention = 256;
+
+  // When true, the leader serves linearizable reads locally under a valid
+  // lease (fast path). When false, every read commits a no-op barrier
+  // through the log (slow path); benchmarks toggle this to measure the
+  // lease optimization.
+  bool enable_lease_reads = true;
+
+  // Period of the per-replica peer RTT probe (feeds leader placement).
+  // Zero disables probing.
+  TimeMicros peer_probe_interval = Seconds(2);
+
+  // Maximum clock skew assumed by the lease logic. The simulator has a
+  // single global clock, so the default is 0; tests inject non-zero values
+  // to exercise the margin arithmetic.
+  TimeMicros clock_skew_bound = 0;
+};
+
+}  // namespace scatter::paxos
+
+#endif  // SCATTER_SRC_PAXOS_CONFIG_H_

@@ -1,0 +1,1088 @@
+#include "src/paxos/replica.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace scatter::paxos {
+namespace {
+
+// Entries shipped per AcceptMsg during catch-up.
+constexpr uint64_t kMaxBatch = 64;
+
+// A snapshot install is retransmitted if unacknowledged for this long.
+constexpr TimeMicros kSnapshotResend = Seconds(2);
+
+}  // namespace
+
+Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
+                 StateMachine* state_machine, const PaxosConfig& config,
+                 GroupId group, NodeId self,
+                 std::vector<NodeId> initial_members)
+    : sim_(sim),
+      host_(host),
+      sm_(state_machine),
+      cfg_(config),
+      group_(group),
+      self_(self),
+      rng_(sim->rng().Fork()),
+      timers_(sim) {
+  SCATTER_CHECK(cfg_.lease_duration <= cfg_.election_timeout_min);
+  if (!initial_members.empty()) {
+    // Founding replica: all members boot with the same config and an empty
+    // log; the config is the (virtual) snapshot at index 0.
+    snap_config_ = initial_members;
+    snap_config_index_ = 0;
+    config_ = std::move(initial_members);
+    started_ = true;
+    SCATTER_CHECK(std::count(config_.begin(), config_.end(), self_) == 1);
+    ResetElectionTimer();
+  }
+  // Joiners stay passive (started_ == false) until a snapshot arrives.
+  if (cfg_.peer_probe_interval > 0) {
+    timers_.Schedule(cfg_.peer_probe_interval + rng_.Range(0, Millis(500)),
+                     [this]() { ProbePeers(); });
+  }
+}
+
+Replica::~Replica() {
+  FailPendingProposals(AbortedError("replica destroyed"));
+  for (auto& [index, cb] : pending_reads_) {
+    cb(AbortedError("replica destroyed"));
+  }
+  pending_reads_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Role transitions
+// ---------------------------------------------------------------------------
+
+void Replica::ResetElectionTimer() {
+  timers_.Cancel(election_timer_);
+  const TimeMicros delay =
+      rng_.Range(cfg_.election_timeout_min, cfg_.election_timeout_max);
+  election_timer_ = timers_.Schedule(delay, [this]() { StartElection(); });
+}
+
+void Replica::BecomeFollower(Ballot seen) {
+  promised_ = std::max(promised_, seen);
+  max_round_seen_ = std::max(max_round_seen_, seen.round);
+  role_ = Role::kFollower;
+  ResetElectionTimer();
+}
+
+void Replica::StepDown(Ballot seen) {
+  const bool was_leader = role_ == Role::kLeader;
+  lease_surrendered_until_ = 0;
+  promised_ = std::max(promised_, seen);
+  max_round_seen_ = std::max(max_round_seen_, seen.round);
+  role_ = Role::kFollower;
+  timers_.Cancel(heartbeat_timer_);
+  heartbeat_timer_ = sim::kInvalidTimer;
+  timers_.Cancel(fd_timer_);
+  fd_timer_ = sim::kInvalidTimer;
+  votes_.clear();
+  peers_.clear();
+  term_barrier_index_ = 0;
+  pending_config_index_ = 0;
+  FailPendingProposals(NotLeaderError("lost leadership"));
+  for (auto& [index, cb] : pending_reads_) {
+    cb(NotLeaderError("lost leadership"));
+  }
+  pending_reads_.clear();
+  if (was_leader) {
+    host_->OnRoleChanged(group_, /*is_leader=*/false);
+  }
+  ResetElectionTimer();
+}
+
+void Replica::StartElection() {
+  if (!started_ || role_ == Role::kLeader) {
+    return;
+  }
+  if (std::count(config_.begin(), config_.end(), self_) == 0) {
+    return;  // Removed from the group; never campaign.
+  }
+  role_ = Role::kCandidate;
+  max_round_seen_++;
+  promised_ = Ballot{max_round_seen_, self_};
+  votes_ = {self_};
+  stats_.elections_started++;
+  SCATTER_TRACE() << "g" << group_ << " n" << self_ << " campaigning at "
+                  << promised_.ToString();
+  if (votes_.size() >= QuorumSize()) {
+    BecomeLeader();
+    return;
+  }
+  for (NodeId peer : config_) {
+    if (peer == self_) {
+      continue;
+    }
+    auto m = std::make_shared<PrepareMsg>(group_);
+    m->ballot = promised_;
+    m->last_log_index = last_log_index();
+    m->last_log_ballot = LastLogBallot();
+    m->bypass_lease = transfer_election_;
+    host_->SendPaxos(peer, std::move(m));
+  }
+  if (transfer_election_) {
+    stats_.transfer_elections++;
+    transfer_election_ = false;
+  }
+  ResetElectionTimer();  // Retry with a fresh ballot if this one stalls.
+}
+
+void Replica::BecomeLeader() {
+  SCATTER_CHECK(role_ == Role::kCandidate);
+  role_ = Role::kLeader;
+  lease_surrendered_until_ = 0;
+  stats_.times_elected++;
+  votes_.clear();
+  timers_.Cancel(election_timer_);
+  election_timer_ = sim::kInvalidTimer;
+  peers_.clear();
+  for (NodeId peer : config_) {
+    if (peer == self_) {
+      continue;
+    }
+    peers_[peer] =
+        Peer{.next_index = last_log_index() + 1, .last_ack = sim_->now()};
+  }
+  // A config entry appended by a predecessor may still be uncommitted;
+  // block further changes until it resolves.
+  pending_config_index_ = config_index_ > commit_index_ ? config_index_ : 0;
+  NoteLeader(self_);
+  host_->OnRoleChanged(group_, /*is_leader=*/true);
+  // Barrier no-op: commits everything inherited from prior ballots and
+  // marks the point after which lease reads are safe.
+  term_barrier_index_ = AppendLocal(std::make_shared<NoOpCommand>());
+  SCATTER_DEBUG() << "g" << group_ << " n" << self_ << " elected at "
+                  << promised_.ToString() << " last=" << last_log_index();
+  BroadcastAppends();
+  heartbeat_timer_ = timers_.Schedule(cfg_.heartbeat_interval,
+                                      [this]() { OnHeartbeatTimer(); });
+  fd_timer_ = timers_.Schedule(cfg_.member_fail_timeout,
+                               [this]() { CheckQuorumConnectivity(); });
+  MaybeAdvanceCommit();  // Single-node groups commit immediately.
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void Replica::OnMessage(const std::shared_ptr<PaxosMessage>& message) {
+  SCATTER_CHECK(message->group == group_);
+  switch (message->type) {
+    case sim::MessageType::kPaxosPrepare:
+      HandlePrepare(static_cast<const PrepareMsg&>(*message));
+      break;
+    case sim::MessageType::kPaxosPromise:
+      HandlePromise(static_cast<const PromiseMsg&>(*message));
+      break;
+    case sim::MessageType::kPaxosAccept:
+      HandleAccept(message);
+      break;
+    case sim::MessageType::kPaxosAccepted:
+      HandleAccepted(static_cast<const AcceptedMsg&>(*message));
+      break;
+    case sim::MessageType::kPaxosSnapshot:
+      HandleSnapshot(static_cast<const SnapshotMsg&>(*message));
+      break;
+    case sim::MessageType::kPaxosSnapshotAck:
+      HandleSnapshotAck(static_cast<const SnapshotAckMsg&>(*message));
+      break;
+    case sim::MessageType::kPaxosTimeoutNow:
+      HandleTimeoutNow(static_cast<const TimeoutNowMsg&>(*message));
+      break;
+    case sim::MessageType::kPaxosPing:
+      HandlePing(static_cast<const PingMsg&>(*message));
+      break;
+    case sim::MessageType::kPaxosPong:
+      HandlePong(static_cast<const PongMsg&>(*message));
+      break;
+    default:
+      SCATTER_CHECK(false);
+  }
+}
+
+void Replica::HandlePrepare(const PrepareMsg& m) {
+  max_round_seen_ = std::max(max_round_seen_, m.ballot.round);
+  auto reply = std::make_shared<PromiseMsg>(group_);
+  reply->ballot = m.ballot;
+
+  if (m.ballot <= promised_) {
+    reply->granted = false;
+    reply->promised = promised_;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+
+  // Lease check: while we believe a leader holds a lease we granted, we must
+  // not help elect anyone else — that is what makes the leader's local reads
+  // linearizable. The lease holder itself may re-campaign (e.g. after
+  // restarting its term); that cannot violate its own reads.
+  const TimeMicros now = sim_->now();
+  if (!m.bypass_lease && cfg_.enable_lease_reads && lease_ballot_.valid() &&
+      lease_ballot_.node != m.ballot.node && now < lease_until_) {
+    reply->granted = false;
+    reply->promised = promised_;
+    reply->lease_wait = lease_until_ - now;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+
+  if (!LogUpToDate(m.last_log_index, m.last_log_ballot)) {
+    // Candidate's log is stale; raise our promise so it stops retrying this
+    // ballot, but do not vote.
+    promised_ = m.ballot;
+    if (role_ != Role::kFollower) {
+      StepDown(m.ballot);
+    }
+    reply->granted = false;
+    reply->promised = promised_;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+
+  promised_ = m.ballot;
+  if (role_ != Role::kFollower) {
+    StepDown(m.ballot);
+  } else {
+    ResetElectionTimer();
+  }
+  reply->granted = true;
+  reply->promised = promised_;
+  host_->SendPaxos(m.from, std::move(reply));
+}
+
+void Replica::HandlePromise(const PromiseMsg& m) {
+  if (role_ != Role::kCandidate || m.ballot != promised_) {
+    if (m.promised > promised_) {
+      BecomeFollower(m.promised);
+    }
+    return;
+  }
+  if (!m.granted) {
+    if (m.promised > promised_) {
+      StepDown(m.promised);
+    } else if (m.lease_wait > 0) {
+      // Back off until the blocking lease expires.
+      role_ = Role::kFollower;
+      votes_.clear();
+      timers_.Cancel(election_timer_);
+      election_timer_ = timers_.Schedule(
+          m.lease_wait + rng_.Range(Millis(1), cfg_.prepare_retry_min),
+          [this]() { StartElection(); });
+    }
+    return;
+  }
+  votes_.insert(m.from);
+  if (votes_.size() >= QuorumSize()) {
+    BecomeLeader();
+  }
+}
+
+void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
+  const auto& m = static_cast<const AcceptMsg&>(*message);
+  max_round_seen_ = std::max(max_round_seen_, m.ballot.round);
+
+  auto reply = std::make_shared<AcceptedMsg>(group_);
+  reply->ballot = m.ballot;
+  reply->leader_sent_at = m.sent_at;
+
+  if (m.ballot < promised_) {
+    reply->ok = false;
+    reply->promised = promised_;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+
+  // Valid leader traffic: adopt it, refresh timers and lease grant.
+  promised_ = m.ballot;
+  if (role_ != Role::kFollower) {
+    StepDown(m.ballot);
+  }
+  NoteLeader(m.from);
+  ResetElectionTimer();
+  lease_ballot_ = m.ballot;
+  lease_until_ = sim_->now() + cfg_.lease_duration;
+
+  if (!started_) {
+    // Joiner with no state yet: ask for a snapshot (need_from == 0).
+    reply->ok = false;
+    reply->need_from = 0;
+    reply->promised = promised_;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+
+  // Chain check at (prev_index, prev_ballot). If part of the batch is
+  // already covered by our snapshot, the covered prefix is committed state
+  // and provably matches the leader's log, so we skip it and re-anchor at
+  // the snapshot base.
+  uint64_t prev_index = m.prev_index;
+  size_t skip = 0;
+  if (prev_index < snap_base_index_) {
+    while (skip < m.entries.size() &&
+           m.entries[skip].index <= snap_base_index_) {
+      skip++;
+    }
+    prev_index = snap_base_index_;
+  }
+
+  if (prev_index > last_log_index()) {
+    reply->ok = false;
+    reply->need_from = last_log_index() + 1;
+    reply->promised = promised_;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+  if (prev_index == m.prev_index && BallotAt(prev_index) != m.prev_ballot) {
+    // Conflicting suffix; it cannot be committed (committed entries match
+    // the leader's log by Leader Completeness), so drop it.
+    SCATTER_CHECK(prev_index > commit_index_);
+    log_.TruncateSuffix(prev_index);
+    RecomputeVotingConfig();
+    reply->ok = false;
+    reply->need_from = prev_index;
+    reply->promised = promised_;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+
+  // Append, skipping entries we already hold at the same ballot.
+  bool mutated = false;
+  for (size_t i = skip; i < m.entries.size(); ++i) {
+    const LogEntry& e = m.entries[i];
+    const LogEntry* existing = log_.At(e.index);
+    if (existing != nullptr) {
+      if (existing->ballot == e.ballot) {
+        continue;
+      }
+      SCATTER_CHECK(e.index > commit_index_);
+      log_.TruncateSuffix(e.index);
+      mutated = true;
+    }
+    SCATTER_CHECK(e.index == last_log_index() + 1);
+    log_.Set(e.index, e.ballot, e.command);
+    mutated = true;
+  }
+  if (mutated) {
+    RecomputeVotingConfig();
+  }
+
+  const uint64_t new_commit =
+      std::min<uint64_t>(m.commit_index, last_log_index());
+  if (new_commit > commit_index_) {
+    commit_index_ = new_commit;
+    ApplyCommitted();
+  }
+
+  reply->ok = true;
+  reply->match_index = m.prev_index + m.entries.size();
+  reply->applied_index = applied_index_;
+  reply->centrality = Centrality();
+  host_->SendPaxos(m.from, std::move(reply));
+}
+
+void Replica::HandleAccepted(const AcceptedMsg& m) {
+  if (m.promised > promised_) {
+    if (role_ != Role::kFollower) {
+      StepDown(m.promised);
+    } else {
+      promised_ = std::max(promised_, m.promised);
+    }
+    return;
+  }
+  if (role_ != Role::kLeader || m.ballot != promised_) {
+    return;
+  }
+  auto it = peers_.find(m.from);
+  if (it == peers_.end()) {
+    return;  // Ack from a node no longer in the config.
+  }
+  Peer& peer = it->second;
+  peer.last_ack = sim_->now();
+  peer.suspected = false;
+  if (m.leader_sent_at > 0) {
+    peer.grant_until =
+        m.leader_sent_at + cfg_.lease_duration - cfg_.clock_skew_bound;
+    const TimeMicros rtt = sim_->now() - m.leader_sent_at;
+    peer.rtt_ewma =
+        peer.rtt_ewma == 0 ? rtt : (3 * peer.rtt_ewma + rtt) / 4;
+  }
+  if (m.centrality > 0) {
+    peer.centrality = m.centrality;
+  }
+  if (m.ok) {
+    peer.match_index = std::max(peer.match_index, m.match_index);
+    peer.next_index = std::max(peer.next_index, peer.match_index + 1);
+    if (peer.leaving_at != 0 && peer.match_index >= peer.leaving_at &&
+        m.applied_index >= peer.leaving_at) {
+      peers_.erase(m.from);  // It has applied its own removal; done.
+      MaybeAdvanceCommit();
+      return;
+    }
+    MaybeAdvanceCommit();
+    if (peer.next_index <= last_log_index()) {
+      ReplicateTo(m.from);  // Keep catch-up flowing.
+    }
+    return;
+  }
+  // Chain mismatch: back up (need_from == 0 means "send a snapshot";
+  // next_index 0 is the snapshot-request sentinel ReplicateTo acts on).
+  if (m.need_from == 0) {
+    peer.next_index = 0;
+    peer.match_index = 0;
+    peer.snapshot_inflight = false;
+    ReplicateTo(m.from);
+    return;
+  }
+  peer.next_index = std::min(peer.next_index, m.need_from);
+  if (peer.next_index == 0) {
+    peer.next_index = 1;
+  }
+  ReplicateTo(m.from);
+}
+
+void Replica::HandleSnapshot(const SnapshotMsg& m) {
+  max_round_seen_ = std::max(max_round_seen_, m.ballot.round);
+  if (m.ballot < promised_) {
+    return;  // Stale leader.
+  }
+  promised_ = m.ballot;
+  if (role_ != Role::kFollower) {
+    StepDown(m.ballot);
+  }
+  NoteLeader(m.from);
+  ResetElectionTimer();
+  lease_ballot_ = m.ballot;
+  lease_until_ = sim_->now() + cfg_.lease_duration;
+
+  auto reply = std::make_shared<SnapshotAckMsg>(group_);
+  reply->ballot = m.ballot;
+  reply->leader_sent_at = m.sent_at;
+
+  if (started_ && m.last_included_index <= applied_index_) {
+    reply->last_included_index = applied_index_;
+    host_->SendPaxos(m.from, std::move(reply));
+    return;
+  }
+
+  SCATTER_CHECK(m.data != nullptr);
+  sm_->Restore(*m.data);
+  log_.ResetToSnapshot(m.last_included_index);
+  snap_base_index_ = m.last_included_index;
+  snap_base_ballot_ = m.last_included_ballot;
+  commit_index_ = m.last_included_index;
+  applied_index_ = m.last_included_index;
+  snap_config_ = m.config;
+  snap_config_index_ = m.config_index;
+  RecomputeVotingConfig();
+  host_->OnConfigApplied(group_, config_);
+  started_ = true;
+  stats_.snapshots_installed++;
+  ResetElectionTimer();
+  SCATTER_DEBUG() << "g" << group_ << " n" << self_
+                  << " installed snapshot at " << m.last_included_index;
+
+  reply->last_included_index = m.last_included_index;
+  host_->SendPaxos(m.from, std::move(reply));
+}
+
+void Replica::HandleSnapshotAck(const SnapshotAckMsg& m) {
+  if (role_ != Role::kLeader || m.ballot != promised_) {
+    return;
+  }
+  auto it = peers_.find(m.from);
+  if (it == peers_.end()) {
+    return;
+  }
+  Peer& peer = it->second;
+  peer.last_ack = sim_->now();
+  peer.suspected = false;
+  peer.snapshot_inflight = false;
+  if (m.leader_sent_at > 0) {
+    peer.grant_until =
+        m.leader_sent_at + cfg_.lease_duration - cfg_.clock_skew_bound;
+  }
+  peer.match_index = std::max(peer.match_index, m.last_included_index);
+  peer.next_index = std::max(peer.next_index, peer.match_index + 1);
+  MaybeAdvanceCommit();
+  if (peer.next_index <= last_log_index()) {
+    ReplicateTo(m.from);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leader machinery
+// ---------------------------------------------------------------------------
+
+uint64_t Replica::AppendLocal(CommandPtr command) {
+  SCATTER_CHECK(role_ == Role::kLeader);
+  const uint64_t index = last_log_index() + 1;
+  const bool is_config = command->kind == Command::Kind::kConfig;
+  log_.Set(index, promised_, std::move(command));
+  if (is_config) {
+    RecomputeVotingConfig();
+  }
+  return index;
+}
+
+void Replica::ReplicateTo(NodeId peer_id) {
+  SCATTER_CHECK(role_ == Role::kLeader);
+  auto it = peers_
+                .try_emplace(peer_id, Peer{.next_index = last_log_index() + 1,
+                                           .last_ack = sim_->now()})
+                .first;
+  Peer& peer = it->second;
+
+  if (peer.next_index == 0 || peer.next_index <= snap_base_index_ ||
+      peer.next_index < log_.first_index()) {
+    // The entries this peer needs were truncated; ship a snapshot.
+    if (peer.snapshot_inflight &&
+        sim_->now() - peer.snapshot_sent_at < kSnapshotResend) {
+      return;
+    }
+    auto snap = std::make_shared<SnapshotMsg>(group_);
+    snap->ballot = promised_;
+    snap->last_included_index = applied_index_;
+    snap->last_included_ballot = BallotAt(applied_index_);
+    snap->config = applied_config();
+    snap->config_index = applied_config_index_;
+    snap->data = sm_->TakeSnapshot();
+    snap->sent_at = sim_->now();
+    peer.snapshot_inflight = true;
+    peer.snapshot_sent_at = sim_->now();
+    stats_.snapshots_sent++;
+    host_->SendPaxos(peer_id, std::move(snap));
+    return;
+  }
+
+  auto m = std::make_shared<AcceptMsg>(group_);
+  m->ballot = promised_;
+  m->prev_index = peer.next_index - 1;
+  m->prev_ballot = BallotAt(m->prev_index);
+  const uint64_t last = std::min(last_log_index(),
+                                 peer.next_index + kMaxBatch - 1);
+  for (uint64_t i = peer.next_index; i <= last; ++i) {
+    const LogEntry* e = log_.At(i);
+    SCATTER_CHECK(e != nullptr);
+    m->entries.push_back(*e);
+  }
+  m->commit_index = commit_index_;
+  m->sent_at = sim_->now();
+  host_->SendPaxos(peer_id, std::move(m));
+}
+
+void Replica::BroadcastAppends() {
+  for (NodeId peer : config_) {
+    if (peer != self_) {
+      ReplicateTo(peer);
+    }
+  }
+  // Departing peers stay on the list until they learn of their removal.
+  std::vector<NodeId> leaving;
+  for (const auto& [id, peer] : peers_) {
+    if (peer.leaving_at != 0) {
+      leaving.push_back(id);
+    }
+  }
+  for (NodeId id : leaving) {
+    ReplicateTo(id);
+  }
+}
+
+void Replica::MaybeAdvanceCommit() {
+  if (role_ != Role::kLeader) {
+    return;
+  }
+  uint64_t best = commit_index_;
+  for (uint64_t n = commit_index_ + 1; n <= last_log_index(); ++n) {
+    size_t count = 0;
+    for (NodeId member : config_) {
+      if (member == self_) {
+        count++;  // Our own log always matches itself.
+        continue;
+      }
+      auto it = peers_.find(member);
+      if (it != peers_.end() && it->second.match_index >= n) {
+        count++;
+      }
+    }
+    if (count < QuorumSize()) {
+      break;  // Higher indexes can only have fewer acks.
+    }
+    // Only entries carrying our own ballot commit by counting; earlier
+    // entries commit transitively.
+    if (BallotAt(n) == promised_) {
+      best = n;
+    }
+  }
+  if (best > commit_index_) {
+    stats_.entries_committed += best - commit_index_;
+    commit_index_ = best;
+    ApplyCommitted();
+    ServePendingReads();
+  }
+}
+
+void Replica::OnHeartbeatTimer() {
+  if (role_ != Role::kLeader) {
+    return;
+  }
+  BroadcastAppends();
+  // Failure detector: flag members that have gone silent.
+  for (NodeId member : config_) {
+    if (member == self_) {
+      continue;
+    }
+    auto it = peers_.find(member);
+    if (it == peers_.end()) {
+      continue;
+    }
+    if (!it->second.suspected &&
+        sim_->now() - it->second.last_ack > cfg_.member_fail_timeout) {
+      it->second.suspected = true;
+      host_->OnMemberSuspected(group_, member);
+    }
+  }
+  heartbeat_timer_ = timers_.Schedule(cfg_.heartbeat_interval,
+                                      [this]() { OnHeartbeatTimer(); });
+}
+
+void Replica::CheckQuorumConnectivity() {
+  if (role_ != Role::kLeader) {
+    return;
+  }
+  // If no quorum has acked us recently we may be in a minority partition;
+  // step down so clients stop being routed to a dead end.
+  std::vector<TimeMicros> acks;
+  for (NodeId member : config_) {
+    if (member == self_) {
+      acks.push_back(sim_->now());
+      continue;
+    }
+    auto it = peers_.find(member);
+    acks.push_back(it == peers_.end() ? 0 : it->second.last_ack);
+  }
+  std::sort(acks.begin(), acks.end(), std::greater<>());
+  const TimeMicros quorum_ack = acks[QuorumSize() - 1];
+  if (sim_->now() - quorum_ack > 2 * cfg_.election_timeout_max) {
+    SCATTER_DEBUG() << "g" << group_ << " n" << self_
+                    << " lost quorum contact; stepping down";
+    StepDown(promised_);
+    return;
+  }
+  fd_timer_ = timers_.Schedule(cfg_.member_fail_timeout,
+                               [this]() { CheckQuorumConnectivity(); });
+}
+
+TimeMicros Replica::LeaseExpiry() const {
+  // The lease holds until the QuorumSize()-th largest grant (counting our
+  // own, which never expires) runs out.
+  std::vector<TimeMicros> grants;
+  for (NodeId member : config_) {
+    if (member == self_) {
+      grants.push_back(std::numeric_limits<TimeMicros>::max());
+      continue;
+    }
+    auto it = peers_.find(member);
+    grants.push_back(it == peers_.end() ? 0 : it->second.grant_until);
+  }
+  std::sort(grants.begin(), grants.end(), std::greater<>());
+  return grants[QuorumSize() - 1];
+}
+
+std::vector<NodeId> Replica::SuspectedMembers() const {
+  std::vector<NodeId> out;
+  if (role_ != Role::kLeader) {
+    return out;
+  }
+  for (const auto& [id, peer] : peers_) {
+    if (peer.suspected && peer.leaving_at == 0) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+bool Replica::HasLease() const {
+  return role_ == Role::kLeader && cfg_.enable_lease_reads &&
+         commit_index_ >= term_barrier_index_ && term_barrier_index_ > 0 &&
+         sim_->now() >= lease_surrendered_until_ &&
+         sim_->now() < LeaseExpiry();
+}
+
+bool Replica::TransferLeadership(NodeId target) {
+  if (role_ != Role::kLeader || target == self_ ||
+      std::count(config_.begin(), config_.end(), target) == 0) {
+    return false;
+  }
+  // Surrender the lease for long enough that the handover either completes
+  // (we step down on seeing the higher ballot) or visibly fails; reads fall
+  // back to the barrier path meanwhile, so linearizability is unaffected.
+  lease_surrendered_until_ = sim_->now() + 2 * cfg_.election_timeout_max;
+  stats_.transfers_initiated++;
+  auto m = std::make_shared<TimeoutNowMsg>(group_);
+  m->ballot = promised_;
+  host_->SendPaxos(target, std::move(m));
+  return true;
+}
+
+void Replica::HandleTimeoutNow(const TimeoutNowMsg& m) {
+  if (!started_ || role_ == Role::kLeader || m.ballot < promised_) {
+    return;  // Stale transfer or we already moved on.
+  }
+  transfer_election_ = true;
+  StartElection();
+}
+
+void Replica::ProbePeers() {
+  timers_.Schedule(cfg_.peer_probe_interval + rng_.Range(0, Millis(200)),
+                   [this]() { ProbePeers(); });
+  if (!started_ || config_.size() < 2) {
+    return;
+  }
+  // One peer per round, round-robin.
+  const NodeId target = config_[probe_cursor_++ % config_.size()];
+  if (target == self_) {
+    return;
+  }
+  auto m = std::make_shared<PingMsg>(group_);
+  m->sent_at = sim_->now();
+  host_->SendPaxos(target, std::move(m));
+}
+
+void Replica::HandlePing(const PingMsg& m) {
+  auto reply = std::make_shared<PongMsg>(group_);
+  reply->ping_sent_at = m.sent_at;
+  host_->SendPaxos(m.from, std::move(reply));
+}
+
+void Replica::HandlePong(const PongMsg& m) {
+  const TimeMicros rtt = sim_->now() - m.ping_sent_at;
+  TimeMicros& slot = probe_rtt_[m.from];
+  slot = slot == 0 ? rtt : (3 * slot + rtt) / 4;
+}
+
+TimeMicros Replica::Centrality() const {
+  TimeMicros total = 0;
+  size_t measured = 0;
+  for (NodeId member : config_) {
+    if (member == self_) {
+      continue;
+    }
+    auto it = probe_rtt_.find(member);
+    if (it != probe_rtt_.end() && it->second > 0) {
+      total += it->second;
+      measured++;
+    }
+  }
+  if (config_.size() < 2 || measured * 2 < config_.size() - 1) {
+    return 0;  // Too few probes to mean anything yet.
+  }
+  return total / static_cast<TimeMicros>(measured);
+}
+
+std::vector<std::pair<NodeId, TimeMicros>> Replica::MemberCentralities()
+    const {
+  std::vector<std::pair<NodeId, TimeMicros>> out;
+  for (NodeId member : config_) {
+    if (member == self_) {
+      out.emplace_back(member, Centrality());
+      continue;
+    }
+    auto it = peers_.find(member);
+    out.emplace_back(member,
+                     it == peers_.end() ? 0 : it->second.centrality);
+  }
+  return out;
+}
+
+std::vector<std::pair<NodeId, TimeMicros>> Replica::PeerRtts() const {
+  std::vector<std::pair<NodeId, TimeMicros>> out;
+  for (NodeId member : config_) {
+    if (member == self_) {
+      continue;
+    }
+    auto it = peers_.find(member);
+    out.emplace_back(member,
+                     it == peers_.end() ? 0 : it->second.rtt_ewma);
+  }
+  return out;
+}
+
+void Replica::ServePendingReads() {
+  if (pending_reads_.empty()) {
+    return;
+  }
+  std::vector<std::pair<uint64_t, ReadCallback>> still_waiting;
+  auto reads = std::move(pending_reads_);
+  pending_reads_.clear();
+  for (auto& [read_index, cb] : reads) {
+    if (applied_index_ >= read_index) {
+      cb(Status::Ok());
+    } else {
+      still_waiting.emplace_back(read_index, std::move(cb));
+    }
+  }
+  for (auto& r : still_waiting) {
+    pending_reads_.push_back(std::move(r));
+  }
+}
+
+void Replica::FailPendingProposals(const Status& status) {
+  auto pending = std::move(pending_proposals_);
+  pending_proposals_.clear();
+  stats_.proposals_failed += pending.size();
+  for (auto& [index, cb] : pending) {
+    cb(status);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+void Replica::Propose(CommandPtr command, CommitCallback callback) {
+  SCATTER_CHECK(command != nullptr);
+  SCATTER_CHECK(command->kind == Command::Kind::kApp);
+  if (role_ != Role::kLeader) {
+    callback(NotLeaderError("not leader"));
+    return;
+  }
+  const uint64_t index = AppendLocal(std::move(command));
+  pending_proposals_.emplace(index, std::move(callback));
+  BroadcastAppends();
+  MaybeAdvanceCommit();  // Single-node groups commit synchronously.
+}
+
+void Replica::ProposeConfigChange(ConfigCommand::Op op, NodeId node,
+                                  CommitCallback callback) {
+  if (role_ != Role::kLeader) {
+    callback(NotLeaderError("not leader"));
+    return;
+  }
+  if (pending_config_index_ != 0) {
+    callback(ConflictError("config change already in flight"));
+    return;
+  }
+  const bool present =
+      std::count(config_.begin(), config_.end(), node) > 0;
+  if (op == ConfigCommand::Op::kAddMember && present) {
+    callback(InvalidArgumentError("already a member"));
+    return;
+  }
+  if (op == ConfigCommand::Op::kRemoveMember && !present) {
+    callback(InvalidArgumentError("not a member"));
+    return;
+  }
+  if (op == ConfigCommand::Op::kRemoveMember && node == self_) {
+    callback(InvalidArgumentError("leader cannot remove itself"));
+    return;
+  }
+  const uint64_t index =
+      AppendLocal(std::make_shared<ConfigCommand>(op, node));
+  pending_config_index_ = index;
+  pending_proposals_.emplace(index, std::move(callback));
+  BroadcastAppends();
+  MaybeAdvanceCommit();
+}
+
+void Replica::LinearizableRead(ReadCallback callback) {
+  if (role_ != Role::kLeader) {
+    callback(NotLeaderError("not leader"));
+    return;
+  }
+  if (HasLease()) {
+    stats_.lease_reads++;
+    const uint64_t read_index = commit_index_;
+    if (applied_index_ >= read_index) {
+      callback(Status::Ok());
+    } else {
+      pending_reads_.emplace_back(read_index, std::move(callback));
+    }
+    return;
+  }
+  // Slow path: a no-op barrier through the log.
+  stats_.barrier_reads++;
+  const uint64_t index = AppendLocal(std::make_shared<NoOpCommand>());
+  pending_proposals_.emplace(
+      index, [cb = std::move(callback)](StatusOr<uint64_t> result) {
+        cb(result.ok() ? Status::Ok() : result.status());
+      });
+  BroadcastAppends();
+  MaybeAdvanceCommit();
+}
+
+// ---------------------------------------------------------------------------
+// Shared machinery
+// ---------------------------------------------------------------------------
+
+void Replica::ApplyCommitted() {
+  while (applied_index_ < commit_index_) {
+    const uint64_t index = applied_index_ + 1;
+    const LogEntry* entry = log_.At(index);
+    SCATTER_CHECK(entry != nullptr);
+    const CommandPtr command = entry->command;  // Keep alive across apply.
+    applied_index_ = index;
+    switch (command->kind) {
+      case Command::Kind::kNoOp:
+        break;
+      case Command::Kind::kConfig:
+        ApplyConfig(static_cast<const ConfigCommand&>(*command), index);
+        break;
+      case Command::Kind::kApp:
+        sm_->Apply(index, *command);
+        break;
+    }
+    auto it = pending_proposals_.find(index);
+    if (it != pending_proposals_.end()) {
+      CommitCallback cb = std::move(it->second);
+      pending_proposals_.erase(it);
+      cb(index);
+    }
+  }
+  MaybeTruncateLog();
+  ServePendingReads();
+}
+
+void Replica::ApplyConfig(const ConfigCommand& cmd, uint64_t index) {
+  applied_config_index_ = index;
+  host_->OnConfigApplied(group_, config_);
+  if (role_ == Role::kLeader) {
+    if (pending_config_index_ == index) {
+      pending_config_index_ = 0;
+    }
+    if (cmd.op == ConfigCommand::Op::kAddMember) {
+      ReplicateTo(cmd.node);  // Kicks off snapshot/catch-up for the joiner.
+    } else if (auto it = peers_.find(cmd.node); it != peers_.end()) {
+      // Keep the departing peer on the replication list until it holds the
+      // entry that removed it, so it learns to stand down.
+      it->second.leaving_at = index;
+      ReplicateTo(cmd.node);
+    }
+  }
+  if (cmd.op == ConfigCommand::Op::kRemoveMember && cmd.node == self_) {
+    // We are out. Stop participating; the host tears us down shortly.
+    timers_.Cancel(election_timer_);
+    election_timer_ = sim::kInvalidTimer;
+    host_->OnSelfRemoved(group_);
+  }
+}
+
+void Replica::RecomputeVotingConfig() {
+  std::vector<NodeId> config = snap_config_;
+  uint64_t config_index = snap_config_index_;
+  for (uint64_t i = log_.first_index(); i <= log_.last_index(); ++i) {
+    const LogEntry* e = log_.At(i);
+    if (e == nullptr || e->command->kind != Command::Kind::kConfig) {
+      continue;
+    }
+    const auto& cc = static_cast<const ConfigCommand&>(*e->command);
+    if (cc.op == ConfigCommand::Op::kAddMember) {
+      if (std::count(config.begin(), config.end(), cc.node) == 0) {
+        config.push_back(cc.node);
+      }
+    } else {
+      config.erase(std::remove(config.begin(), config.end(), cc.node),
+                   config.end());
+    }
+    config_index = i;
+  }
+  config_ = std::move(config);
+  config_index_ = config_index;
+}
+
+std::vector<NodeId> Replica::applied_config() const {
+  // Reconstruct membership as of applied_index_: snapshot config plus all
+  // applied config deltas still in the log.
+  std::vector<NodeId> config = snap_config_;
+  for (uint64_t i = log_.first_index();
+       i <= std::min(applied_index_, log_.last_index()); ++i) {
+    const LogEntry* e = log_.At(i);
+    if (e == nullptr || e->command->kind != Command::Kind::kConfig) {
+      continue;
+    }
+    const auto& cc = static_cast<const ConfigCommand&>(*e->command);
+    if (cc.op == ConfigCommand::Op::kAddMember) {
+      if (std::count(config.begin(), config.end(), cc.node) == 0) {
+        config.push_back(cc.node);
+      }
+    } else {
+      config.erase(std::remove(config.begin(), config.end(), cc.node),
+                   config.end());
+    }
+  }
+  return config;
+}
+
+void Replica::MaybeTruncateLog() {
+  if (applied_index_ <= snap_base_index_ + 2 * cfg_.log_retention) {
+    return;
+  }
+  const uint64_t new_base = applied_index_ - cfg_.log_retention;
+  const Ballot base_ballot = BallotAt(new_base);
+  // The snapshot-equivalent config moves with the base: it is the membership
+  // as of new_base, which equals the applied config because new_base <=
+  // applied_index_ and config entries in (new_base, applied] are re-derived
+  // from the log by applied_config().
+  std::vector<NodeId> base_config = snap_config_;
+  uint64_t base_config_index = snap_config_index_;
+  for (uint64_t i = log_.first_index(); i <= new_base; ++i) {
+    const LogEntry* e = log_.At(i);
+    if (e == nullptr || e->command->kind != Command::Kind::kConfig) {
+      continue;
+    }
+    const auto& cc = static_cast<const ConfigCommand&>(*e->command);
+    if (cc.op == ConfigCommand::Op::kAddMember) {
+      if (std::count(base_config.begin(), base_config.end(), cc.node) == 0) {
+        base_config.push_back(cc.node);
+      }
+    } else {
+      base_config.erase(
+          std::remove(base_config.begin(), base_config.end(), cc.node),
+          base_config.end());
+    }
+    base_config_index = i;
+  }
+  log_.TruncatePrefix(new_base);
+  snap_base_index_ = new_base;
+  snap_base_ballot_ = base_ballot;
+  snap_config_ = std::move(base_config);
+  snap_config_index_ = base_config_index;
+}
+
+bool Replica::LogUpToDate(uint64_t last_index, Ballot last_ballot) const {
+  const Ballot mine = LastLogBallot();
+  if (last_ballot != mine) {
+    return last_ballot > mine;
+  }
+  return last_index >= last_log_index();
+}
+
+void Replica::NoteLeader(NodeId leader) {
+  if (leader_hint_ != leader) {
+    leader_hint_ = leader;
+    host_->OnLeaderChanged(group_, leader);
+  }
+}
+
+Ballot Replica::LastLogBallot() const { return BallotAt(last_log_index()); }
+
+Ballot Replica::BallotAt(uint64_t index) const {
+  if (index == 0) {
+    return Ballot{};
+  }
+  if (index == snap_base_index_) {
+    return snap_base_ballot_;
+  }
+  const LogEntry* e = log_.At(index);
+  SCATTER_CHECK(e != nullptr);
+  return e->ballot;
+}
+
+}  // namespace scatter::paxos

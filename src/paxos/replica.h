@@ -1,0 +1,299 @@
+// A group replica: acceptor, proposer, learner, and state-machine driver.
+//
+// One Replica instance per (node, group). The hosting node routes incoming
+// PaxosMessages to the replica via OnMessage and provides the transport and
+// lifecycle callbacks through ReplicaHost.
+//
+// Protocol summary (see messages.h for the safety rationale):
+//  - Leader election: randomized timeouts; PrepareMsg = vote request with an
+//    up-to-date-log restriction; a quorum of promises makes a leader, which
+//    immediately appends a no-op barrier entry at its ballot.
+//  - Replication: AcceptMsg carries consecutive entries anchored at
+//    (prev_index, prev_ballot); followers verify the anchor, truncate
+//    conflicting suffixes, and ack their match index. The leader advances
+//    the commit index when a quorum matches an index whose entry carries the
+//    leader's own ballot.
+//  - Leases: every granted append extends the follower's promise not to
+//    vote for anyone else for lease_duration; the leader serves linearizable
+//    reads locally while a quorum of such grants (measured from its own send
+//    timestamps, minus the configured clock-skew bound) is unexpired.
+//  - Membership: single-member config changes through the log, effective on
+//    append for quorum counting, one change in flight at a time.
+//  - Snapshots: followers too far behind receive a full state-machine
+//    snapshot; the log is prefix-truncated behind the applied index.
+
+#ifndef SCATTER_SRC_PAXOS_REPLICA_H_
+#define SCATTER_SRC_PAXOS_REPLICA_H_
+
+#include <functional>
+#include <map>
+#include <utility>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/paxos/command.h"
+#include "src/paxos/config.h"
+#include "src/paxos/log.h"
+#include "src/paxos/messages.h"
+#include "src/paxos/state_machine.h"
+#include "src/sim/simulator.h"
+
+namespace scatter::paxos {
+
+// Services the replica requires from its hosting node.
+class ReplicaHost {
+ public:
+  virtual ~ReplicaHost() = default;
+
+  // Delivers a protocol message to the same group's replica on `to`.
+  virtual void SendPaxos(NodeId to, std::shared_ptr<PaxosMessage> message) = 0;
+
+  // The replica learned a (possibly new) leader for its group.
+  virtual void OnLeaderChanged(GroupId group, NodeId leader) {}
+
+  // This replica became / stopped being leader.
+  virtual void OnRoleChanged(GroupId group, bool is_leader) {}
+
+  // A committed config change took effect.
+  virtual void OnConfigApplied(GroupId group,
+                               const std::vector<NodeId>& members) {}
+
+  // This node was removed from the group. The host should destroy the
+  // replica soon, but must NOT do so synchronously from this callback.
+  virtual void OnSelfRemoved(GroupId group) {}
+
+  // Leader-side failure detector verdict: `member` has not acknowledged
+  // anything for PaxosConfig::member_fail_timeout.
+  virtual void OnMemberSuspected(GroupId group, NodeId member) {}
+};
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+class Replica {
+ public:
+  // Creates a founding replica (initial_members includes self; every member
+  // starts with the same config and an empty log) or a joiner (passive until
+  // a snapshot arrives; initial_members empty).
+  Replica(sim::Simulator* sim, ReplicaHost* host, StateMachine* state_machine,
+          const PaxosConfig& config, GroupId group, NodeId self,
+          std::vector<NodeId> initial_members);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // Routes one incoming protocol message.
+  void OnMessage(const std::shared_ptr<PaxosMessage>& message);
+
+  // Proposes an application command. The callback fires exactly once:
+  // - with the entry's log index after the command committed AND applied, or
+  // - with NOT_LEADER / ABORTED if this replica cannot commit it (the
+  //   command may still commit later if it reached other replicas; callers
+  //   rely on state-machine dedup for exactly-once effects).
+  using CommitCallback = std::function<void(StatusOr<uint64_t>)>;
+  void Propose(CommandPtr command, CommitCallback callback);
+
+  // Proposes a membership change. Rejected with CONFLICT while another
+  // change is in flight, NOT_LEADER on followers, INVALID_ARGUMENT for
+  // no-op changes (adding a member twice, removing a non-member).
+  void ProposeConfigChange(ConfigCommand::Op op, NodeId node,
+                           CommitCallback callback);
+
+  // Linearizable read barrier. The callback fires with OK once the local
+  // applied state is guaranteed to reflect every operation that completed
+  // before this call. Fast path: leader lease + ReadIndex (no network).
+  // Slow path (lease disabled or not yet held): commit a no-op barrier.
+  using ReadCallback = std::function<void(Status)>;
+  void LinearizableRead(ReadCallback callback);
+
+  // --- Introspection ----------------------------------------------------
+  GroupId group_id() const { return group_; }
+  NodeId self() const { return self_; }
+  Role role() const { return role_; }
+  bool is_leader() const { return role_ == Role::kLeader; }
+  // Current leader as far as this replica knows (kInvalidNode if unknown).
+  NodeId leader_hint() const { return leader_hint_; }
+  const std::vector<NodeId>& members() const { return config_; }
+  // Membership as of applied_index_ — what the state machine's Apply "sees".
+  // Deterministic across replicas at equal applied indexes (unlike
+  // members(), which reflects uncommitted config entries).
+  std::vector<NodeId> AppliedConfig() const { return applied_config(); }
+  // Leader only: members flagged silent by the failure detector.
+  std::vector<NodeId> SuspectedMembers() const;
+  uint64_t commit_index() const { return commit_index_; }
+  uint64_t applied_index() const { return applied_index_; }
+  uint64_t last_log_index() const { return log_.last_index(); }
+  Ballot promised() const { return promised_; }
+  bool has_started() const { return started_; }
+  // True while the leader's lease covers local reads right now.
+  bool HasLease() const;
+
+  // Leadership transfer (leader only): surrender the lease and tell
+  // `target` to campaign immediately. Returns false if preconditions fail
+  // (not leader, target not a member, target == self).
+  bool TransferLeadership(NodeId target);
+
+  // Leader's smoothed RTT to each current peer (zero if unmeasured).
+  std::vector<std::pair<NodeId, TimeMicros>> PeerRtts() const;
+
+  // This replica's self-measured centrality: mean smoothed RTT to peers
+  // (0 until at least half the peers have been probed).
+  TimeMicros Centrality() const;
+
+  // Leader only: each member's self-reported centrality (0 if unknown);
+  // includes self. Input to the placement policy.
+  std::vector<std::pair<NodeId, TimeMicros>> MemberCentralities() const;
+
+  struct Stats {
+    uint64_t elections_started = 0;
+    uint64_t transfers_initiated = 0;
+    uint64_t transfer_elections = 0;
+    uint64_t times_elected = 0;
+    uint64_t entries_committed = 0;
+    uint64_t snapshots_sent = 0;
+    uint64_t snapshots_installed = 0;
+    uint64_t lease_reads = 0;
+    uint64_t barrier_reads = 0;
+    uint64_t proposals_failed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Peer {
+    uint64_t next_index = 1;
+    uint64_t match_index = 0;
+    TimeMicros last_ack = 0;
+    // Until when this peer's lease grant (measured from our send time)
+    // holds.
+    TimeMicros grant_until = 0;
+    // Smoothed round-trip time to this peer (from append send to ack),
+    // feeding latency-aware leader placement.
+    TimeMicros rtt_ewma = 0;
+    // Peer's self-reported centrality (leader side; from AcceptedMsg).
+    TimeMicros centrality = 0;
+    bool snapshot_inflight = false;
+    TimeMicros snapshot_sent_at = 0;
+    bool suspected = false;
+    // Nonzero: index of the config entry that removed this peer. We keep
+    // replicating until the peer has that entry (so it learns it was
+    // removed), then drop it.
+    uint64_t leaving_at = 0;
+  };
+
+  // --- Role transitions ---------------------------------------------
+  void BecomeFollower(Ballot seen);
+  void StartElection();
+  void BecomeLeader();
+  void StepDown(Ballot seen);
+
+  // --- Message handlers ----------------------------------------------
+  void HandlePrepare(const PrepareMsg& m);
+  void HandlePromise(const PromiseMsg& m);
+  void HandleAccept(const std::shared_ptr<PaxosMessage>& m);
+  void HandleAccepted(const AcceptedMsg& m);
+  void HandleSnapshot(const SnapshotMsg& m);
+  void HandleSnapshotAck(const SnapshotAckMsg& m);
+  void HandleTimeoutNow(const TimeoutNowMsg& m);
+  void HandlePing(const PingMsg& m);
+  void HandlePong(const PongMsg& m);
+  void ProbePeers();
+
+  // --- Leader machinery ----------------------------------------------
+  // Appends a command to the local log at the next index with our ballot.
+  uint64_t AppendLocal(CommandPtr command);
+  // Sends entries (or a snapshot) to one follower from its next_index.
+  void ReplicateTo(NodeId peer);
+  void BroadcastAppends();
+  void MaybeAdvanceCommit();
+  void OnHeartbeatTimer();
+  void CheckQuorumConnectivity();
+  TimeMicros LeaseExpiry() const;
+  void ServePendingReads();
+  void FailPendingProposals(const Status& status);
+
+  // --- Shared machinery ----------------------------------------------
+  void ApplyCommitted();
+  void ApplyConfig(const ConfigCommand& cmd, uint64_t index);
+  // Updates the voting config when a config entry is appended/truncated.
+  void RecomputeVotingConfig();
+  void MaybeTruncateLog();
+  // Membership as of applied_index_ (what a snapshot taken now would carry).
+  std::vector<NodeId> applied_config() const;
+  size_t QuorumSize() const { return config_.size() / 2 + 1; }
+  bool LogUpToDate(uint64_t last_index, Ballot last_ballot) const;
+  void ResetElectionTimer();
+  void NoteLeader(NodeId leader);
+  Ballot LastLogBallot() const;
+  Ballot BallotAt(uint64_t index) const;  // snapshot-base aware
+
+  sim::Simulator* sim_;
+  ReplicaHost* host_;
+  StateMachine* sm_;
+  PaxosConfig cfg_;
+  GroupId group_;
+  NodeId self_;
+  Rng rng_;
+
+  // Durable-equivalent state.
+  Ballot promised_;
+  Log log_;
+  uint64_t snap_base_index_ = 0;
+  Ballot snap_base_ballot_;
+
+  // Voting configuration: the latest config entry present in the log (even
+  // uncommitted), falling back to the snapshot config.
+  std::vector<NodeId> config_;
+  uint64_t config_index_ = 0;  // log index that produced config_
+  uint64_t snap_config_index_ = 0;
+  std::vector<NodeId> snap_config_;
+  uint64_t applied_config_index_ = 0;
+
+  Role role_ = Role::kFollower;
+  NodeId leader_hint_ = kInvalidNode;
+  uint64_t commit_index_ = 0;
+  uint64_t applied_index_ = 0;
+  uint64_t max_round_seen_ = 0;
+  bool started_ = false;  // false for joiners until the first snapshot
+
+  // Leader state.
+  std::unordered_map<NodeId, Peer> peers_;
+  uint64_t term_barrier_index_ = 0;  // our no-op; reads wait for its commit
+  uint64_t pending_config_index_ = 0;  // uncommitted config entry, 0 if none
+  std::map<uint64_t, CommitCallback> pending_proposals_;  // by log index
+  std::vector<std::pair<uint64_t, ReadCallback>> pending_reads_;
+
+  // Candidate state.
+  std::set<NodeId> votes_;
+  // The next election we start carries bypass_lease (leadership transfer).
+  bool transfer_election_ = false;
+  // Set when we hand leadership away: stop serving lease reads until we
+  // observe the outcome (a higher ballot) or the attempt expires.
+  TimeMicros lease_surrendered_until_ = 0;
+
+  // Follower lease grant.
+  Ballot lease_ballot_;
+  TimeMicros lease_until_ = 0;
+
+  // Peer probing (all roles): our own RTT estimates to each member, and
+  // outstanding ping send-times. Leader-side estimates also come from
+  // append acks; probing covers followers.
+  std::unordered_map<NodeId, TimeMicros> probe_rtt_;
+  size_t probe_cursor_ = 0;
+
+  Stats stats_;
+
+  sim::TimerId election_timer_ = sim::kInvalidTimer;
+  sim::TimerId heartbeat_timer_ = sim::kInvalidTimer;
+  sim::TimerId fd_timer_ = sim::kInvalidTimer;
+  // Declared last: cancels all timers before other members are destroyed.
+  sim::TimerOwner timers_;
+};
+
+}  // namespace scatter::paxos
+
+#endif  // SCATTER_SRC_PAXOS_REPLICA_H_

@@ -1,0 +1,104 @@
+#include "src/rpc/rpc_node.h"
+
+#include "src/common/logging.h"
+
+namespace scatter::rpc {
+
+RpcNode::RpcNode(NodeId id, sim::Network* network)
+    : id_(id),
+      network_(network),
+      rng_(network->simulator()->rng().Fork()),
+      timers_(network->simulator()) {
+  SCATTER_CHECK(!network_->IsAttached(id_));
+  network_->Attach(id_, this);
+}
+
+RpcNode::~RpcNode() {
+  network_->Detach(id_);
+  // Outstanding call callbacks are dropped, never invoked: the node is gone.
+  pending_.clear();
+}
+
+void RpcNode::HandleMessage(const sim::MessagePtr& message) {
+  if (message->is_response) {
+    auto it = pending_.find(message->rpc_id);
+    if (it == pending_.end()) {
+      return;  // Response to a timed-out or cancelled call; drop.
+    }
+    PendingCall call = std::move(it->second);
+    pending_.erase(it);
+    timers_.Cancel(call.timeout_timer);
+    if (message->type == sim::MessageType::kRpcError) {
+      call.callback(sim::As<RpcErrorMessage>(message).status);
+    } else {
+      call.callback(message);
+    }
+    return;
+  }
+  OnRequest(message);
+}
+
+uint64_t RpcNode::Call(NodeId to, sim::MessagePtr request, TimeMicros timeout,
+                       RpcCallback callback) {
+  SCATTER_CHECK(timeout > 0);
+  const uint64_t call_id = next_call_id_++;
+  request->from = id_;
+  request->to = to;
+  request->rpc_id = call_id;
+  request->is_response = false;
+
+  const sim::TimerId timer =
+      timers_.Schedule(timeout, [this, call_id, to]() {
+        auto it = pending_.find(call_id);
+        if (it == pending_.end()) {
+          return;
+        }
+        PendingCall call = std::move(it->second);
+        pending_.erase(it);
+        call.callback(TimeoutError("rpc to node " + std::to_string(to)));
+      });
+
+  pending_.emplace(call_id, PendingCall{std::move(callback), timer});
+  network_->Send(std::move(request));
+  return call_id;
+}
+
+void RpcNode::CancelCall(uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  timers_.Cancel(it->second.timeout_timer);
+  pending_.erase(it);
+}
+
+void RpcNode::SendOneWay(NodeId to, sim::MessagePtr message) {
+  message->from = id_;
+  message->to = to;
+  message->rpc_id = 0;
+  message->is_response = false;
+  network_->Send(std::move(message));
+}
+
+void RpcNode::Forward(NodeId to, const sim::MessagePtr& message) {
+  SCATTER_CHECK(message->rpc_id == 0);  // Only one-way messages relay safely.
+  message->to = to;
+  network_->Send(message);
+}
+
+void RpcNode::Reply(const sim::Message& request, sim::MessagePtr response) {
+  SCATTER_CHECK(request.rpc_id != 0);
+  response->from = id_;
+  response->to = request.from;
+  response->rpc_id = request.rpc_id;
+  response->is_response = true;
+  network_->Send(std::move(response));
+}
+
+void RpcNode::ReplyError(const sim::Message& request, Status status) {
+  auto err = std::make_shared<RpcErrorMessage>();
+  err->status = std::move(status);
+  Reply(request, std::move(err));
+}
+
+}  // namespace scatter::rpc

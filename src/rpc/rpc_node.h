@@ -1,0 +1,97 @@
+// Typed request/response RPC over the simulated network.
+//
+// RpcNode is the base class for every protocol participant (Paxos replica,
+// Scatter node, Chord node, client). It attaches itself to the network,
+// matches responses to outstanding calls, enforces per-call timeouts, and
+// funnels unmatched (request) messages to the subclass.
+
+#ifndef SCATTER_SRC_RPC_RPC_NODE_H_
+#define SCATTER_SRC_RPC_RPC_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/sim/message.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace scatter::rpc {
+
+// Generic error response carrying only a Status; sent by ReplyError and
+// synthesized locally on timeout.
+struct RpcErrorMessage : sim::Message {
+  RpcErrorMessage() : Message(sim::MessageType::kRpcError) {}
+  Status status;
+};
+
+class RpcNode : public sim::Endpoint {
+ public:
+  // Attaches to the network as `id`. The id must not be attached already.
+  RpcNode(NodeId id, sim::Network* network);
+
+  // Detaches and cancels all timers / outstanding calls.
+  ~RpcNode() override;
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  NodeId id() const { return id_; }
+
+  void HandleMessage(const sim::MessagePtr& message) final;
+
+  using RpcCallback = std::function<void(StatusOr<sim::MessagePtr>)>;
+
+  // Sends `request` to `to` and invokes `callback` exactly once with either
+  // the response or a TIMEOUT status. Returns a handle for CancelCall.
+  uint64_t Call(NodeId to, sim::MessagePtr request, TimeMicros timeout,
+                RpcCallback callback);
+
+  // Drops an outstanding call; its callback will never run.
+  void CancelCall(uint64_t call_id);
+
+  // Fire-and-forget send (no response matching).
+  void SendOneWay(NodeId to, sim::MessagePtr message);
+
+  // Relays a received one-way message toward `to`, preserving the original
+  // sender so replies flow back to it (leader-hint forwarding).
+  void Forward(NodeId to, const sim::MessagePtr& message);
+
+  // Sends `response` as the reply to `request`.
+  void Reply(const sim::Message& request, sim::MessagePtr response);
+
+  // Replies with an RpcErrorMessage carrying `status`.
+  void ReplyError(const sim::Message& request, Status status);
+
+ protected:
+  // Invoked for every incoming message that is not a response to an
+  // outstanding call (i.e. requests and one-way messages).
+  virtual void OnRequest(const sim::MessagePtr& message) = 0;
+
+  sim::Simulator* simulator() const { return network_->simulator(); }
+  sim::Network* network() const { return network_; }
+  TimeMicros now() const { return simulator()->now(); }
+  sim::TimerOwner& timers() { return timers_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  struct PendingCall {
+    RpcCallback callback;
+    sim::TimerId timeout_timer;
+  };
+
+  NodeId id_;
+  sim::Network* network_;
+  Rng rng_;
+  uint64_t next_call_id_ = 1;
+  std::unordered_map<uint64_t, PendingCall> pending_;
+  // Destroyed first (declared last): cancels timers before members vanish.
+  sim::TimerOwner timers_;
+};
+
+}  // namespace scatter::rpc
+
+#endif  // SCATTER_SRC_RPC_RPC_NODE_H_

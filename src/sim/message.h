@@ -1,0 +1,104 @@
+// Message base type for everything that crosses the simulated network.
+//
+// Messages form a closed class hierarchy tagged with MessageType so receive
+// paths dispatch with a switch instead of dynamic_cast. A message is
+// immutable once handed to Network::Send; broadcast fan-out shares one
+// allocation.
+
+#ifndef SCATTER_SRC_SIM_MESSAGE_H_
+#define SCATTER_SRC_SIM_MESSAGE_H_
+
+#include <memory>
+
+#include "src/common/types.h"
+
+namespace scatter::sim {
+
+// Every concrete message class has a unique tag. Tags are grouped by the
+// module that owns the message so modules stay decoupled; the enum lives
+// here only because the transport must be able to carry all of them.
+enum class MessageType : uint16_t {
+  kInvalid = 0,
+
+  // rpc/: generic envelope used by RpcClient for error replies.
+  kRpcError,
+
+  // paxos/: consensus traffic within one group. An empty Accept doubles as
+  // the leader heartbeat.
+  kPaxosPrepare,
+  kPaxosPromise,
+  kPaxosAccept,
+  kPaxosAccepted,
+  kPaxosSnapshot,  // snapshot install for a (re)joining replica
+  kPaxosSnapshotAck,
+  kPaxosTimeoutNow,  // leadership transfer: "campaign immediately"
+  kPaxosPing,        // peer RTT probe (feeds leader-placement centrality)
+  kPaxosPong,
+
+  // txn/: nested consensus across groups.
+  kTxnPrepare,
+  kTxnPrepareReply,
+  kTxnDecision,
+  kTxnDecisionAck,
+  kTxnStatusQuery,
+  kTxnStatusReply,
+
+  // core/: client-facing storage and control plane.
+  kClientRequest,
+  kClientReply,
+  kLookupRequest,
+  kLookupReply,
+  kJoinRequest,
+  kJoinReply,
+  kGroupInfoRequest,
+  kGroupInfoReply,
+  kMigrateRequest,    // needy group asks a donor group for a member
+  kMigrateDirective,  // donor leader tells a member to move
+  kLeaveRequest,      // migrating node asks its old leader to drop it
+  kRingGossip,        // anti-entropy exchange of group routing infos
+
+  // baseline/: Chord-like DHT traffic.
+  kChordFindSuccessor,
+  kChordFindSuccessorReply,
+  kChordGetNeighbors,
+  kChordGetNeighborsReply,
+  kChordNotify,
+  kChordStore,
+  kChordStoreAck,
+  kChordFetch,
+  kChordFetchReply,
+  kChordPing,
+  kChordPong,
+};
+
+struct Message {
+  explicit Message(MessageType t) : type(t) {}
+  virtual ~Message() = default;
+
+  // Approximate wire size in bytes (headers + payload). Subclasses carrying
+  // bulk data (log entries, store snapshots, values) override this so the
+  // network's bandwidth model charges them realistically.
+  virtual size_t ByteSize() const { return 64; }
+
+  MessageType type;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  // Nonzero when this message is part of an RPC exchange; responses echo the
+  // id of their request.
+  uint64_t rpc_id = 0;
+  bool is_response = false;
+};
+
+using MessagePtr = std::shared_ptr<Message>;
+
+// Convenience for receive-path downcasts after a switch on type. The switch
+// guarantees the dynamic type, so this is a static_cast in disguise; the
+// template just keeps call sites readable.
+template <typename T>
+const T& As(const MessagePtr& m) {
+  return static_cast<const T&>(*m);
+}
+
+}  // namespace scatter::sim
+
+#endif  // SCATTER_SRC_SIM_MESSAGE_H_

@@ -1,0 +1,133 @@
+// Simulated network: latency models, loss, partitions, node attachment.
+//
+// The network delivers messages between attached endpoints after a sampled
+// one-way latency. Messages to detached (crashed / departed) nodes vanish,
+// as do messages crossing a partition or an administratively blocked link.
+// Delivery order between two nodes is NOT FIFO — each message samples its
+// own latency — which deliberately exercises protocol robustness to
+// reordering.
+
+#ifndef SCATTER_SRC_SIM_NETWORK_H_
+#define SCATTER_SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/sim/message.h"
+#include "src/sim/simulator.h"
+
+namespace scatter::sim {
+
+// Receives messages addressed to the NodeId this endpoint is attached as.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void HandleMessage(const MessagePtr& message) = 0;
+};
+
+// One-way message latency distribution.
+struct LatencyModel {
+  enum class Kind { kConstant, kUniform, kLogNormal };
+
+  Kind kind = Kind::kConstant;
+  // kConstant: `base`. kUniform: uniform in [base, base + spread].
+  // kLogNormal: base + LogNormal(mu, sigma), capped at base + 50 * spread.
+  TimeMicros base = Millis(1);
+  TimeMicros spread = 0;
+  double mu = 0.0;
+  double sigma = 0.0;
+
+  // A LAN-like profile: ~0.2 ms +/- jitter.
+  static LatencyModel Lan();
+  // A WAN-like profile: log-normal around tens of milliseconds, matching the
+  // shape of PlanetLab inter-node RTT/2 distributions.
+  static LatencyModel Wan();
+
+  TimeMicros Sample(Rng& rng) const;
+};
+
+struct NetworkConfig {
+  LatencyModel latency;
+  // Independent per-message drop probability.
+  double loss_rate = 0.0;
+  // Independent per-message duplication probability (the copy takes its own
+  // latency sample, so duplicates also reorder). Protocols must be
+  // idempotent against this.
+  double duplicate_rate = 0.0;
+  // Link bandwidth in bytes per simulated second; adds a serialization
+  // delay of ByteSize()/bandwidth to every message. Zero = infinite
+  // (latency-only model). Bulk transfers (snapshots, merge data) are the
+  // messages this matters for.
+  uint64_t bandwidth_bytes_per_sec = 0;
+
+  // Per-node speed heterogeneity: each node gets a deterministic latency
+  // multiplier exp(sigma * z) with z ~ N(0,1) derived from its id, and a
+  // link's latency scales by the mean of its endpoints' multipliers. Models
+  // PlanetLab-style slow nodes; 0 = homogeneous.
+  double heterogeneity_sigma = 0.0;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, NetworkConfig config);
+
+  // Attaches an endpoint under `id`. A node that restarts re-attaches.
+  void Attach(NodeId id, Endpoint* endpoint);
+
+  // Detaches `id`; in-flight messages to it are dropped on delivery.
+  void Detach(NodeId id);
+
+  bool IsAttached(NodeId id) const { return endpoints_.count(id) > 0; }
+
+  // Sends m.from -> m.to (both must be set). Self-sends are delivered with
+  // zero latency on the next event-loop turn.
+  void Send(MessagePtr message);
+
+  // --- Fault injection -------------------------------------------------
+  void set_loss_rate(double p) { config_.loss_rate = p; }
+
+  // Splits the node id space into islands; messages between different
+  // islands are dropped. Nodes not listed are unreachable from everyone.
+  void Partition(const std::vector<std::vector<NodeId>>& islands);
+  void HealPartition();
+
+  // Blocks / unblocks one directed link.
+  void BlockLink(NodeId from, NodeId to);
+  void UnblockLink(NodeId from, NodeId to);
+
+  // --- Stats ------------------------------------------------------------
+  uint64_t messages_sent() const { return sent_; }
+  uint64_t messages_delivered() const { return delivered_; }
+  uint64_t messages_dropped() const { return dropped_; }
+  const Histogram& latency_histogram() const { return latency_hist_; }
+
+  Simulator* simulator() const { return sim_; }
+
+ private:
+  bool LinkAllows(NodeId from, NodeId to) const;
+  void Deliver(const MessagePtr& message);
+  double NodeFactor(NodeId id) const;
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  // Partition islands: node -> island index. Empty map = no partition.
+  std::unordered_map<NodeId, int> island_of_;
+  bool partitioned_ = false;
+  std::unordered_set<uint64_t> blocked_links_;  // (from << 32) ^ to packed
+
+  uint64_t sent_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  Histogram latency_hist_;
+};
+
+}  // namespace scatter::sim
+
+#endif  // SCATTER_SRC_SIM_NETWORK_H_

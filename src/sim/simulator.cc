@@ -1,0 +1,112 @@
+#include "src/sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace scatter::sim {
+namespace {
+
+int64_t SimClock(void* arg) {
+  return static_cast<Simulator*>(arg)->now();
+}
+
+}  // namespace
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  SetLogClock(&SimClock, this);
+}
+
+Simulator::~Simulator() { SetLogClock(nullptr, nullptr); }
+
+TimerId Simulator::Schedule(TimeMicros delay, std::function<void()> fn) {
+  SCATTER_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+TimerId Simulator::ScheduleAt(TimeMicros when, std::function<void()> fn) {
+  SCATTER_CHECK(when >= now_);
+  const TimerId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulator::Cancel(TimerId id) {
+  if (callbacks_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    SCATTER_CHECK(it != callbacks_.end());
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    SCATTER_CHECK(ev.at >= now_);
+    now_ = ev.at;
+    events_processed_++;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(TimeMicros t) {
+  SCATTER_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > t) {
+      break;
+    }
+    Step();
+  }
+  now_ = t;
+}
+
+TimerId TimerOwner::Schedule(TimeMicros delay, std::function<void()> fn) {
+  // The wrapper drops its own id from live_ when the event fires so live_
+  // only tracks genuinely pending events. The id is not known until the
+  // simulator assigns it, hence the shared slot.
+  auto slot = std::make_shared<TimerId>(kInvalidTimer);
+  const TimerId id =
+      sim_->Schedule(delay, [this, slot, fn = std::move(fn)]() {
+        live_.erase(*slot);
+        fn();
+      });
+  *slot = id;
+  live_.insert(id);
+  return id;
+}
+
+void TimerOwner::Cancel(TimerId id) {
+  if (live_.erase(id) > 0) {
+    sim_->Cancel(id);
+  }
+}
+
+void TimerOwner::CancelAll() {
+  for (TimerId id : live_) {
+    sim_->Cancel(id);
+  }
+  live_.clear();
+}
+
+}  // namespace scatter::sim

@@ -1,0 +1,119 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator owns virtual time and an event queue ordered by
+// (fire time, insertion sequence). All protocol code runs inside event
+// callbacks; wall-clock time never appears anywhere in the system. A run is
+// bit-for-bit reproducible from the Simulator seed.
+
+#ifndef SCATTER_SRC_SIM_SIMULATOR_H_
+#define SCATTER_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace scatter::sim {
+
+using TimerId = uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time.
+  TimeMicros now() const { return now_; }
+
+  // The single root source of randomness for the run. Components that need
+  // independent streams should Fork() children at setup time.
+  Rng& rng() { return rng_; }
+
+  // Schedules fn to run at now() + delay (delay >= 0). Returns an id that
+  // can cancel the event before it fires.
+  TimerId Schedule(TimeMicros delay, std::function<void()> fn);
+
+  // Schedules fn at an absolute virtual time (>= now()).
+  TimerId ScheduleAt(TimeMicros when, std::function<void()> fn);
+
+  // Cancels a pending event. Harmless if the event already fired or was
+  // cancelled (ids are never reused).
+  void Cancel(TimerId id);
+
+  // Runs the earliest pending event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs events until the queue drains.
+  void Run();
+
+  // Runs events with fire time <= t, then advances the clock to exactly t.
+  void RunUntil(TimeMicros t);
+
+  // RunUntil(now() + d).
+  void RunFor(TimeMicros d) { RunUntil(now_ + d); }
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimeMicros at;
+    uint64_t seq;
+    TimerId id;
+    // Ordered for a min-heap via std::greater.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeMicros now_ = 0;
+  Rng rng_;
+  uint64_t next_seq_ = 1;
+  TimerId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+// RAII owner of timers: cancels everything it scheduled when destroyed.
+// Every object that captures `this` in timer callbacks must route them
+// through a TimerOwner member (declared last, so it is destroyed first),
+// which makes node crash = object destruction safe.
+class TimerOwner {
+ public:
+  explicit TimerOwner(Simulator* sim) : sim_(sim) {}
+  ~TimerOwner() { CancelAll(); }
+
+  TimerOwner(const TimerOwner&) = delete;
+  TimerOwner& operator=(const TimerOwner&) = delete;
+
+  // Schedules fn after delay; the pending event is auto-cancelled if this
+  // owner is destroyed first.
+  TimerId Schedule(TimeMicros delay, std::function<void()> fn);
+
+  void Cancel(TimerId id);
+  void CancelAll();
+
+  Simulator* simulator() const { return sim_; }
+
+ private:
+  Simulator* sim_;
+  std::unordered_set<TimerId> live_;
+};
+
+}  // namespace scatter::sim
+
+#endif  // SCATTER_SRC_SIM_SIMULATOR_H_

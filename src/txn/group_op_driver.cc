@@ -1,0 +1,470 @@
+#include "src/txn/group_op_driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace scatter::txn {
+
+using membership::CoordDecideCommand;
+using membership::CoordStartCommand;
+using membership::DecideCommand;
+using membership::PrepareCommand;
+using membership::RingTxn;
+using membership::SplitCommand;
+
+GroupOpDriver::GroupOpDriver(sim::Simulator* sim, DriverHost* host,
+                             paxos::Replica* replica,
+                             membership::GroupStateMachine* state_machine,
+                             const TxnConfig& config)
+    : sim_(sim),
+      host_(host),
+      replica_(replica),
+      sm_(state_machine),
+      cfg_(config),
+      rng_(sim->rng().Fork()),
+      timers_(sim) {
+  ScheduleTick();
+}
+
+void GroupOpDriver::ScheduleTick() {
+  timers_.Schedule(cfg_.resend_interval + rng_.Range(0, Millis(50)),
+                   [this]() {
+                     Poke();
+                     ScheduleTick();
+                   });
+}
+
+void GroupOpDriver::Poke() {
+  const bool frozen = sm_->IsFrozen();
+  if (!frozen) {
+    frozen_since_ = 0;
+  } else if (frozen_since_ == 0) {
+    frozen_since_ = sim_->now();
+  }
+
+  if (!IsLeader()) {
+    // Resign the volatile coordinator role; a successor rebuilds it from
+    // the state machine.
+    if (phase_ != Phase::kIdle) {
+      Finish(NotLeaderError("lost leadership mid-transaction"));
+    }
+    return;
+  }
+
+  if (frozen && sm_->state().active->is_coordinator &&
+      phase_ == Phase::kIdle) {
+    // We inherited an in-flight coordinated transaction (leader change).
+    txn_ = sm_->state().active->txn;
+    phase_ = Phase::kPreparing;
+    phase_started_ = sim_->now();
+    SendPrepare();
+    return;
+  }
+
+  switch (phase_) {
+    case Phase::kIdle:
+      break;
+    case Phase::kStarting:
+    case Phase::kDeciding:
+      break;  // Waiting on our own Paxos commit callbacks.
+    case Phase::kPreparing:
+      if (sim_->now() - phase_started_ > cfg_.prepare_timeout) {
+        Decide(false);
+      } else if (sim_->now() - last_send_ >= cfg_.resend_interval) {
+        SendPrepare();
+      }
+      break;
+    case Phase::kNotifying:
+      if (sim_->now() - last_send_ >= cfg_.resend_interval) {
+        SendDecision();
+      }
+      break;
+  }
+
+  MaybeStatusQuery();
+}
+
+// ---------------------------------------------------------------------------
+// Initiation
+// ---------------------------------------------------------------------------
+
+void GroupOpDriver::StartSplit(Key split_key, std::vector<NodeId> left_members,
+                               std::vector<NodeId> right_members,
+                               GroupId left_id, GroupId right_id,
+                               DoneCallback done) {
+  if (!IsLeader() || sm_->IsFrozen() || sm_->IsRetired()) {
+    done(ConflictError("group busy"));
+    return;
+  }
+  auto cmd = std::make_shared<SplitCommand>();
+  cmd->split_key = split_key;
+  cmd->left_members = std::move(left_members);
+  cmd->right_members = std::move(right_members);
+  cmd->left_id = left_id;
+  cmd->right_id = right_id;
+  replica_->Propose(
+      cmd, [this, done = std::move(done)](StatusOr<uint64_t> result) {
+        if (!result.ok()) {
+          done(result.status());
+          return;
+        }
+        done(sm_->IsRetired() ? Status::Ok()
+                              : AbortedError("split rejected at apply"));
+      });
+}
+
+void GroupOpDriver::StartMerge(const ring::GroupInfo& successor,
+                               GroupId merged_id, uint64_t txn_id,
+                               DoneCallback done) {
+  RingTxn txn;
+  txn.id = txn_id;
+  txn.kind = RingTxn::Kind::kMerge;
+  txn.coord_group = sm_->id();
+  txn.part_group = successor.id;
+  txn.coord_range = sm_->range();
+  txn.part_range = successor.range;
+  txn.coord_epoch = sm_->epoch();
+  txn.part_epoch = successor.epoch;
+  txn.merged_id = merged_id;
+  StartTxn(std::move(txn), std::move(done));
+}
+
+void GroupOpDriver::StartRepartition(const ring::GroupInfo& successor,
+                                     Key new_boundary, uint64_t txn_id,
+                                     DoneCallback done) {
+  RingTxn txn;
+  txn.id = txn_id;
+  txn.kind = RingTxn::Kind::kRepartition;
+  txn.coord_group = sm_->id();
+  txn.part_group = successor.id;
+  txn.coord_range = sm_->range();
+  txn.part_range = successor.range;
+  txn.coord_epoch = sm_->epoch();
+  txn.part_epoch = successor.epoch;
+  txn.new_boundary = new_boundary;
+  const Key old_boundary = txn.part_range.begin;
+  if (new_boundary == old_boundary ||
+      (!txn.coord_range.Contains(new_boundary) &&
+       !txn.part_range.Contains(new_boundary))) {
+    done(InvalidArgumentError("boundary outside the two ranges"));
+    return;
+  }
+  StartTxn(std::move(txn), std::move(done));
+}
+
+void GroupOpDriver::StartTxn(RingTxn txn, DoneCallback done) {
+  if (!IsLeader() || sm_->IsFrozen() || sm_->IsRetired() ||
+      phase_ != Phase::kIdle) {
+    done(ConflictError("group busy"));
+    return;
+  }
+  stats_.txns_started++;
+  txn_ = txn;
+  done_ = std::move(done);
+  phase_ = Phase::kStarting;
+  phase_started_ = sim_->now();
+  auto cmd = std::make_shared<CoordStartCommand>();
+  cmd->txn = std::move(txn);
+  replica_->Propose(cmd, [this, id = txn_->id](StatusOr<uint64_t> result) {
+    if (phase_ != Phase::kStarting || !txn_ || txn_->id != id) {
+      return;  // Superseded (leadership churn).
+    }
+    if (!result.ok()) {
+      Finish(result.status());
+      return;
+    }
+    if (!sm_->IsFrozen() || sm_->state().active->txn.id != id) {
+      Finish(AbortedError("coordinator start rejected at apply"));
+      return;
+    }
+    phase_ = Phase::kPreparing;
+    phase_started_ = sim_->now();
+    SendPrepare();
+  });
+}
+
+void GroupOpDriver::SendPrepare() {
+  SCATTER_CHECK(txn_.has_value());
+  SCATTER_CHECK(sm_->IsFrozen());
+  const membership::ActiveTxn& active = *sm_->state().active;
+  auto m = std::make_shared<TxnPrepareMsg>();
+  m->txn = *txn_;
+  m->coord_members = active.my_members;
+  m->coord_dedup = sm_->state().dedup;
+  m->coord_outer_neighbor = sm_->state().pred;
+  if (txn_->kind == RingTxn::Kind::kMerge) {
+    m->coord_data = sm_->state().data;
+  } else if (txn_->coord_range.Contains(txn_->new_boundary)) {
+    // We shed [new_boundary, old_boundary) to the participant.
+    m->coord_data = sm_->state().data.ExtractRange(
+        ring::KeyRange{txn_->new_boundary, txn_->part_range.begin});
+  }
+
+  // Prefer the successor's known leader, then round-robin its members.
+  const std::vector<NodeId>& members = SuccessorMembers();
+  if (members.empty()) {
+    return;
+  }
+  const NodeId to = members[participant_cursor_++ % members.size()];
+  last_send_ = sim_->now();
+  host_->SendToNode(to, std::move(m));
+}
+
+const std::vector<NodeId>& GroupOpDriver::SuccessorMembers() const {
+  // The participant is always our clockwise successor; use the freshest
+  // member list we have for it.
+  static const std::vector<NodeId> kEmpty;
+  const ring::GroupInfo& succ = sm_->state().succ;
+  if (txn_ && succ.id == txn_->part_group && !succ.members.empty()) {
+    return succ.members;
+  }
+  return kEmpty;
+}
+
+void GroupOpDriver::OnPrepareReply(const TxnPrepareReplyMsg& m) {
+  if (phase_ != Phase::kPreparing || !txn_ || m.txn_id != txn_->id) {
+    return;
+  }
+  if (!m.prepared) {
+    Decide(false);
+    return;
+  }
+  prepare_reply_ = m;
+  Decide(true);
+}
+
+void GroupOpDriver::Decide(bool commit) {
+  SCATTER_CHECK(txn_.has_value());
+  phase_ = Phase::kDeciding;
+  auto cmd = std::make_shared<CoordDecideCommand>();
+  cmd->txn_id = txn_->id;
+  cmd->commit = commit;
+  if (commit) {
+    SCATTER_CHECK(prepare_reply_.has_value());
+    cmd->part_members = prepare_reply_->part_members;
+    cmd->part_data = prepare_reply_->part_data;
+    cmd->part_dedup = prepare_reply_->part_dedup;
+    cmd->part_outer_neighbor = prepare_reply_->part_outer_neighbor;
+  }
+  replica_->Propose(
+      cmd, [this, id = txn_->id, commit](StatusOr<uint64_t> result) {
+        if (phase_ != Phase::kDeciding || !txn_ || txn_->id != id) {
+          return;
+        }
+        if (!result.ok()) {
+          // Leadership lost; a successor (or the participant backstop)
+          // finishes the job.
+          Finish(result.status());
+          return;
+        }
+        if (commit) {
+          stats_.txns_committed++;
+        } else {
+          stats_.txns_aborted++;
+        }
+        phase_ = Phase::kNotifying;
+        SendDecision();
+      });
+}
+
+void GroupOpDriver::SendDecision() {
+  SCATTER_CHECK(txn_.has_value());
+  const auto outcome = sm_->OutcomeOf(txn_->id);
+  if (!outcome.has_value()) {
+    return;  // Decide entry not applied yet.
+  }
+  auto m = std::make_shared<TxnDecisionMsg>();
+  m->txn_id = txn_->id;
+  m->participant_group = txn_->part_group;
+  m->commit = *outcome;
+  const std::vector<NodeId>& members = SuccessorMembers();
+  std::vector<NodeId> targets = members;
+  if (targets.empty() && prepare_reply_.has_value()) {
+    targets = prepare_reply_->part_members;
+  }
+  if (targets.empty()) {
+    return;
+  }
+  const NodeId to = targets[participant_cursor_++ % targets.size()];
+  last_send_ = sim_->now();
+  host_->SendToNode(to, std::move(m));
+}
+
+void GroupOpDriver::OnDecisionAck(const TxnDecisionAckMsg& m) {
+  if (phase_ != Phase::kNotifying || !txn_ || m.txn_id != txn_->id) {
+    return;
+  }
+  const auto outcome = sm_->OutcomeOf(txn_->id);
+  Finish(outcome.value_or(false)
+             ? Status::Ok()
+             : AbortedError("transaction aborted"));
+}
+
+void GroupOpDriver::Finish(Status status) {
+  phase_ = Phase::kIdle;
+  txn_.reset();
+  prepare_reply_.reset();
+  if (done_) {
+    DoneCallback done = std::move(done_);
+    done_ = nullptr;
+    done(std::move(status));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Participant side
+// ---------------------------------------------------------------------------
+
+void GroupOpDriver::FillParticipantReply(TxnPrepareReplyMsg* reply) const {
+  const membership::ActiveTxn& active = *sm_->state().active;
+  const RingTxn& txn = active.txn;
+  reply->txn_id = txn.id;
+  reply->prepared = true;
+  reply->part_members = active.my_members;
+  reply->part_dedup = sm_->state().dedup;
+  reply->part_outer_neighbor = sm_->state().succ;
+  if (txn.kind == RingTxn::Kind::kMerge) {
+    reply->part_data = sm_->state().data;
+  } else if (txn.part_range.Contains(txn.new_boundary)) {
+    // The coordinator gains [old_boundary, new_boundary) from us.
+    reply->part_data = sm_->state().data.ExtractRange(
+        ring::KeyRange{txn.part_range.begin, txn.new_boundary});
+  }
+}
+
+void GroupOpDriver::OnPrepare(const TxnPrepareMsg& m) {
+  if (!IsLeader()) {
+    return;  // The host forwards toward the leader hint; otherwise retry.
+  }
+  stats_.prepares_answered++;
+  const NodeId coordinator = m.from;
+  auto nack = [&]() {
+    auto reply = std::make_shared<TxnPrepareReplyMsg>();
+    reply->txn_id = m.txn.id;
+    reply->prepared = false;
+    host_->SendToNode(coordinator, std::move(reply));
+  };
+
+  if (sm_->IsRetired()) {
+    nack();
+    return;
+  }
+  if (sm_->IsFrozen()) {
+    if (sm_->state().active->txn.id == m.txn.id) {
+      auto reply = std::make_shared<TxnPrepareReplyMsg>();
+      FillParticipantReply(reply.get());
+      host_->SendToNode(coordinator, std::move(reply));
+    } else {
+      nack();
+    }
+    return;
+  }
+  if (m.txn.part_epoch != sm_->epoch() || m.txn.part_range != sm_->range()) {
+    nack();
+    return;
+  }
+  auto cmd = std::make_shared<PrepareCommand>();
+  cmd->txn = m.txn;
+  cmd->coord_members = m.coord_members;
+  cmd->coord_data = m.coord_data;
+  cmd->coord_dedup = m.coord_dedup;
+  cmd->coord_outer_neighbor = m.coord_outer_neighbor;
+  replica_->Propose(cmd, [this, coordinator,
+                          id = m.txn.id](StatusOr<uint64_t> result) {
+    if (!result.ok()) {
+      return;  // Coordinator resends; the next leader answers.
+    }
+    auto reply = std::make_shared<TxnPrepareReplyMsg>();
+    reply->txn_id = id;
+    if (sm_->IsFrozen() && sm_->state().active->txn.id == id) {
+      FillParticipantReply(reply.get());
+    } else {
+      reply->prepared = false;  // Lost an apply-time race.
+    }
+    host_->SendToNode(coordinator, std::move(reply));
+  });
+}
+
+void GroupOpDriver::OnDecision(const TxnDecisionMsg& m) {
+  const NodeId coordinator = m.from;
+  auto ack = [&]() {
+    auto reply = std::make_shared<TxnDecisionAckMsg>();
+    reply->txn_id = m.txn_id;
+    host_->SendToNode(coordinator, std::move(reply));
+  };
+  if (sm_->OutcomeOf(m.txn_id).has_value()) {
+    ack();  // Already decided (duplicate notification).
+    return;
+  }
+  if (!IsLeader()) {
+    return;
+  }
+  if (!sm_->IsFrozen() || sm_->state().active->txn.id != m.txn_id) {
+    // We never prepared this transaction. An abort needs no local record
+    // (there is nothing to release) — ack it so the coordinator stops
+    // retrying. A commit notification here would be a protocol violation
+    // (commits require our prepare), so it is dropped.
+    if (!m.commit) {
+      ack();
+    }
+    return;
+  }
+  ProposeDecide(m.txn_id, m.commit, coordinator);
+}
+
+void GroupOpDriver::ProposeDecide(uint64_t txn_id, bool commit,
+                                  NodeId ack_to) {
+  if (decide_in_flight_) {
+    return;
+  }
+  decide_in_flight_ = true;
+  auto cmd = std::make_shared<DecideCommand>();
+  cmd->txn_id = txn_id;
+  cmd->commit = commit;
+  replica_->Propose(
+      cmd, [this, txn_id, ack_to](StatusOr<uint64_t> result) {
+        decide_in_flight_ = false;
+        if (!result.ok() || ack_to == kInvalidNode) {
+          return;
+        }
+        if (sm_->OutcomeOf(txn_id).has_value()) {
+          auto reply = std::make_shared<TxnDecisionAckMsg>();
+          reply->txn_id = txn_id;
+          host_->SendToNode(ack_to, std::move(reply));
+        }
+      });
+}
+
+void GroupOpDriver::MaybeStatusQuery() {
+  if (!IsLeader() || !sm_->IsFrozen() ||
+      sm_->state().active->is_coordinator) {
+    return;
+  }
+  const TimeMicros now = sim_->now();
+  if (frozen_since_ == 0 || now - frozen_since_ < cfg_.status_query_after ||
+      now - last_status_query_ < cfg_.resend_interval) {
+    return;
+  }
+  const std::vector<NodeId>& coords = sm_->state().active->coord_members;
+  if (coords.empty()) {
+    return;
+  }
+  auto m = std::make_shared<TxnStatusQueryMsg>();
+  m->txn_id = sm_->state().active->txn.id;
+  last_status_query_ = now;
+  stats_.status_queries_sent++;
+  host_->SendToNode(coords[coord_cursor_++ % coords.size()], std::move(m));
+}
+
+void GroupOpDriver::OnStatusReply(const TxnStatusReplyMsg& m) {
+  if (!IsLeader() || !m.known || !sm_->IsFrozen() ||
+      sm_->state().active->is_coordinator ||
+      sm_->state().active->txn.id != m.txn_id) {
+    return;
+  }
+  ProposeDecide(m.txn_id, m.committed, kInvalidNode);
+}
+
+}  // namespace scatter::txn

@@ -1,0 +1,145 @@
+// Leader-side driver of structural group operations.
+//
+// One driver per hosted replica. All durable state lives in the group state
+// machine (committed through Paxos); the driver is pure volatile glue that
+// (a) pushes a coordinator transaction through prepare -> decide -> notify,
+// (b) answers the participant side, and (c) runs the recovery backstops
+// (re-driving after leader changes, status queries when frozen too long).
+// Any driver can crash at any point; a successor rebuilds its agenda from
+// the state machine.
+
+#ifndef SCATTER_SRC_TXN_GROUP_OP_DRIVER_H_
+#define SCATTER_SRC_TXN_GROUP_OP_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/membership/commands.h"
+#include "src/membership/group_state_machine.h"
+#include "src/paxos/replica.h"
+#include "src/ring/group_info.h"
+#include "src/sim/simulator.h"
+#include "src/txn/messages.h"
+
+namespace scatter::txn {
+
+struct TxnConfig {
+  // Coordinator aborts if the participant has not prepared by then.
+  TimeMicros prepare_timeout = Seconds(3);
+  // Resend cadence for unacknowledged prepare / decision messages.
+  TimeMicros resend_interval = Millis(500);
+  // A participant frozen this long without a decision starts status
+  // queries against the coordinator group's members.
+  TimeMicros status_query_after = Seconds(4);
+};
+
+// Transport the driver needs from its hosting node.
+class DriverHost {
+ public:
+  virtual ~DriverHost() = default;
+  virtual void SendToNode(NodeId to, sim::MessagePtr message) = 0;
+};
+
+class GroupOpDriver {
+ public:
+  GroupOpDriver(sim::Simulator* sim, DriverHost* host,
+                paxos::Replica* replica,
+                membership::GroupStateMachine* state_machine,
+                const TxnConfig& config);
+
+  // Re-evaluates the agenda. The host calls this on leadership changes and
+  // on structural state-machine changes; the driver also self-schedules a
+  // periodic tick.
+  void Poke();
+
+  // --- Message entry points (routed by the host) -------------------------
+  void OnPrepare(const TxnPrepareMsg& m);
+  void OnPrepareReply(const TxnPrepareReplyMsg& m);
+  void OnDecision(const TxnDecisionMsg& m);
+  void OnDecisionAck(const TxnDecisionAckMsg& m);
+  void OnStatusReply(const TxnStatusReplyMsg& m);
+
+  // --- Initiation (leader only; rejected otherwise) ----------------------
+  using DoneCallback = std::function<void(Status)>;
+
+  // Splits this group at `split_key` into (left_members, right_members).
+  // Single-group atomic operation.
+  void StartSplit(Key split_key, std::vector<NodeId> left_members,
+                  std::vector<NodeId> right_members, GroupId left_id,
+                  GroupId right_id, DoneCallback done);
+
+  // Merges this group with its clockwise successor (this group
+  // coordinates). `successor` must be the current cached successor info.
+  void StartMerge(const ring::GroupInfo& successor, GroupId merged_id,
+                  uint64_t txn_id, DoneCallback done);
+
+  // Moves the boundary with the clockwise successor to `new_boundary`.
+  void StartRepartition(const ring::GroupInfo& successor, Key new_boundary,
+                        uint64_t txn_id, DoneCallback done);
+
+  struct Stats {
+    uint64_t txns_started = 0;
+    uint64_t txns_committed = 0;
+    uint64_t txns_aborted = 0;
+    uint64_t status_queries_sent = 0;
+    uint64_t prepares_answered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kStarting,    // CoordStart proposed, not yet applied
+    kPreparing,   // prepare sent, awaiting participant reply
+    kDeciding,    // CoordDecide proposed, not yet applied
+    kNotifying,   // decision committed locally, awaiting participant ack
+  };
+
+  void StartTxn(membership::RingTxn txn, DoneCallback done);
+  void SendPrepare();
+  void Decide(bool commit);
+  void SendDecision();
+  void Finish(Status status);
+  void MaybeStatusQuery();
+  void ScheduleTick();
+  void ProposeDecide(uint64_t txn_id, bool commit, NodeId ack_to);
+  const std::vector<NodeId>& SuccessorMembers() const;
+  bool IsLeader() const { return replica_->is_leader(); }
+
+  // Builds this group's shipped contribution for `txn` (as participant).
+  void FillParticipantReply(TxnPrepareReplyMsg* reply) const;
+
+  sim::Simulator* sim_;
+  DriverHost* host_;
+  paxos::Replica* replica_;
+  membership::GroupStateMachine* sm_;
+  TxnConfig cfg_;
+  Rng rng_;
+
+  // Volatile coordinator-side state (rebuilt after leader change by Poke).
+  Phase phase_ = Phase::kIdle;
+  std::optional<membership::RingTxn> txn_;
+  DoneCallback done_;
+  TimeMicros phase_started_ = 0;
+  TimeMicros last_send_ = 0;
+  size_t participant_cursor_ = 0;  // member round-robin for resends
+  // Participant contribution captured from the prepare reply.
+  std::optional<TxnPrepareReplyMsg> prepare_reply_;
+
+  // Participant-side backstop bookkeeping.
+  TimeMicros frozen_since_ = 0;
+  TimeMicros last_status_query_ = 0;
+  size_t coord_cursor_ = 0;
+  bool decide_in_flight_ = false;
+
+  Stats stats_;
+  sim::TimerOwner timers_;
+};
+
+}  // namespace scatter::txn
+
+#endif  // SCATTER_SRC_TXN_GROUP_OP_DRIVER_H_

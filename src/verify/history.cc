@@ -1,0 +1,60 @@
+#include "src/verify/history.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace scatter::verify {
+
+uint64_t HistoryRecorder::RecordInvoke(OpType type, Key key, Value value,
+                                       TimeMicros now) {
+  const uint64_t id = next_id_++;
+  Operation op;
+  op.op_id = id;
+  op.type = type;
+  op.key = key;
+  op.value = std::move(value);
+  op.invoked_at = now;
+  op.outcome = Outcome::kPending;
+  index_[id] = ops_.size();
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+void HistoryRecorder::RecordComplete(uint64_t op_id, Outcome outcome,
+                                     Value read_value, TimeMicros now) {
+  auto it = index_.find(op_id);
+  SCATTER_CHECK(it != index_.end());
+  Operation& op = ops_[it->second];
+  SCATTER_CHECK(op.outcome == Outcome::kPending);
+  op.outcome = outcome;
+  op.completed_at = now;
+  if (op.type == OpType::kRead && outcome == Outcome::kOk) {
+    op.value = std::move(read_value);
+  }
+}
+
+void HistoryRecorder::Close(TimeMicros now) {
+  for (Operation& op : ops_) {
+    if (op.outcome == Outcome::kPending) {
+      op.outcome = Outcome::kIndeterminate;
+      op.completed_at = now;
+    }
+  }
+}
+
+std::map<Key, std::vector<Operation>> HistoryRecorder::PerKeyHistories()
+    const {
+  std::map<Key, std::vector<Operation>> out;
+  for (const Operation& op : ops_) {
+    if (op.type == OpType::kRead && (op.outcome == Outcome::kIndeterminate ||
+                                     op.outcome == Outcome::kFailed ||
+                                     op.outcome == Outcome::kPending)) {
+      continue;  // An unanswered read constrains nothing.
+    }
+    out[op.key].push_back(op);
+  }
+  return out;
+}
+
+}  // namespace scatter::verify

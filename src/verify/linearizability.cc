@@ -1,0 +1,212 @@
+#include "src/verify/linearizability.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace scatter::verify {
+namespace {
+
+constexpr TimeMicros kForever = std::numeric_limits<TimeMicros>::max();
+
+struct Item {
+  bool is_write = false;
+  bool optional = false;   // indeterminate write: may be excluded
+  bool tombstone = false;  // delete: a write of "no value"
+  // For writes: its own id. For reads: the id of the write whose value it
+  // returned; -1 means "not found" / deleted.
+  int value_id = -1;
+  TimeMicros invoked = 0;
+  TimeMicros completed = 0;
+};
+
+// Dynamic bitmask of linearized items. Histories are typically long but
+// nearly sequential, so the search visits few distinct masks; size is not
+// the constraint, the state budget is.
+struct Mask {
+  std::vector<uint64_t> words;
+  explicit Mask(size_t n) : words((n + 63) / 64, 0) {}
+  bool Test(int i) const { return (words[i / 64] >> (i % 64)) & 1; }
+  void Set(int i) { words[i / 64] |= uint64_t{1} << (i % 64); }
+  friend bool operator==(const Mask&, const Mask&) = default;
+};
+
+struct StateHash {
+  size_t operator()(const std::pair<Mask, int>& s) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : s.first.words) {
+      h = (h ^ w) * 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    h ^= static_cast<uint64_t>(s.second + 2) * 0xff51afd7ed558ccdULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+struct StateEq {
+  bool operator()(const std::pair<Mask, int>& a,
+                  const std::pair<Mask, int>& b) const {
+    return a.second == b.second && a.first == b.first;
+  }
+};
+
+}  // namespace
+
+int LinearizabilityChecker::CheckKey(
+    const std::vector<Operation>& history) const {
+  // --- Preprocess: map values to write ids, classify items. --------------
+  std::vector<Item> items;
+  std::unordered_map<std::string, int> writer_of;  // value -> item index
+  std::vector<const Operation*> writes;
+  std::vector<const Operation*> reads;
+  for (const Operation& op : history) {
+    if (op.type == OpType::kWrite) {
+      writes.push_back(&op);
+    } else {
+      reads.push_back(&op);
+    }
+  }
+  // kFailed writes never applied; note their values for violation checks.
+  std::unordered_set<std::string> failed_values;
+  for (const Operation* w : writes) {
+    if (w->outcome == Outcome::kFailed) {
+      failed_values.insert(w->value);
+    }
+  }
+  for (const Operation* w : writes) {
+    if (w->outcome == Outcome::kFailed) {
+      continue;
+    }
+    Item item;
+    item.is_write = true;
+    item.optional = w->outcome != Outcome::kOk;  // indeterminate / pending
+    item.tombstone = w->value.empty();           // delete
+    item.value_id = static_cast<int>(items.size());
+    item.invoked = w->invoked_at;
+    item.completed = item.optional ? kForever : w->completed_at;
+    if (!item.tombstone) {
+      writer_of[w->value] = item.value_id;
+    }
+    items.push_back(item);
+  }
+  for (const Operation* r : reads) {
+    Item item;
+    item.is_write = false;
+    item.invoked = r->invoked_at;
+    item.completed = r->completed_at;
+    if (r->outcome == Outcome::kNotFound) {
+      item.value_id = -1;
+    } else {
+      if (failed_values.count(r->value) > 0) {
+        return 0;  // Read observed a value that was definitively rejected.
+      }
+      auto it = writer_of.find(r->value);
+      if (it == writer_of.end()) {
+        return 0;  // Value from nowhere.
+      }
+      item.value_id = it->second;
+    }
+    items.push_back(item);
+  }
+
+  const int n = static_cast<int>(items.size());
+  if (n == 0) {
+    return 1;
+  }
+
+  // --- Search (Wing & Gong with memoized (mask, register) states). -------
+  // Goal: linearize all non-optional items; optional writes may be skipped
+  // implicitly (their completion never blocks anyone).
+  Mask required(n);
+  int required_count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!items[i].optional) {
+      required.Set(i);
+      required_count++;
+    }
+  }
+
+  std::unordered_set<std::pair<Mask, int>, StateHash, StateEq> visited;
+  std::vector<std::pair<Mask, int>> stack;
+  stack.emplace_back(Mask(n), -1);
+  size_t budget = state_budget_;
+
+  while (!stack.empty()) {
+    auto [mask, reg] = stack.back();
+    stack.pop_back();
+    if (!visited.insert({mask, reg}).second) {
+      continue;
+    }
+    if (budget-- == 0) {
+      return -1;
+    }
+    // Done when every required item is linearized.
+    int done = 0;
+    for (int i = 0; i < n; ++i) {
+      if (required.Test(i) && mask.Test(i)) {
+        done++;
+      }
+    }
+    if (done == required_count) {
+      return 1;
+    }
+    // The earliest completion among unlinearized *required* items bounds
+    // which ops may be linearized next (real-time order).
+    TimeMicros min_completion = kForever;
+    for (int i = 0; i < n; ++i) {
+      if (!mask.Test(i) && !items[i].optional) {
+        min_completion = std::min(min_completion, items[i].completed);
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      if (mask.Test(i) || items[i].invoked > min_completion) {
+        continue;
+      }
+      const Item& item = items[i];
+      if (item.is_write) {
+        Mask next = mask;
+        next.Set(i);
+        stack.emplace_back(next, i);
+      } else if (item.value_id == reg ||
+                 (item.value_id == -1 &&
+                  (reg == -1 || items[reg].tombstone))) {
+        Mask next = mask;
+        next.Set(i);
+        stack.emplace_back(next, reg);
+      }
+    }
+  }
+  return 0;
+}
+
+CheckResult LinearizabilityChecker::CheckAll(
+    const std::map<Key, std::vector<Operation>>& histories) const {
+  CheckResult result;
+  for (const auto& [key, ops] : histories) {
+    result.keys_checked++;
+    result.ops_checked += ops.size();
+    const int verdict = CheckKey(ops);
+    if (verdict == 0) {
+      result.linearizable = false;
+      result.violations.push_back(key);
+    } else if (verdict < 0) {
+      result.inconclusive.push_back(key);
+    }
+  }
+  return result;
+}
+
+std::string CheckResult::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %zu keys, %zu ops, %zu violations, %zu inconclusive",
+                linearizable ? "LINEARIZABLE" : "VIOLATION", keys_checked,
+                ops_checked, violations.size(), inconclusive.size());
+  return buf;
+}
+
+}  // namespace scatter::verify

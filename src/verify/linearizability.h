@@ -1,0 +1,59 @@
+// Per-key linearizability checker for a read/write register with unique
+// written values (Wing & Gong search with memoization, Lowe-style).
+//
+// Semantics of outcomes:
+//  - kOk writes applied exactly once, at some point within [invoke,
+//    complete].
+//  - kIndeterminate writes (client timeout) may have applied at any point
+//    at or after invoke — they are modeled with an infinite completion
+//    time, and the linearization may include or exclude them.
+//  - kFailed writes never applied (server-side dedup recorded a rejection);
+//    a read returning such a value is a violation outright.
+//  - Reads must return the value of the latest linearized write before
+//    them, or "not found" if none.
+
+#ifndef SCATTER_SRC_VERIFY_LINEARIZABILITY_H_
+#define SCATTER_SRC_VERIFY_LINEARIZABILITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/verify/history.h"
+
+namespace scatter::verify {
+
+struct CheckResult {
+  bool linearizable = true;
+  // Keys whose histories could not be linearized.
+  std::vector<Key> violations;
+  // Keys whose histories exceeded the search budget (rare; counted
+  // separately so a pass is a real pass).
+  std::vector<Key> inconclusive;
+  size_t keys_checked = 0;
+  size_t ops_checked = 0;
+
+  std::string Summary() const;
+};
+
+class LinearizabilityChecker {
+ public:
+  // Search budget per key (visited memoized states) before declaring the
+  // key inconclusive.
+  explicit LinearizabilityChecker(size_t state_budget = 2000000)
+      : state_budget_(state_budget) {}
+
+  // Checks one key's history. 1 = linearizable, 0 = violation,
+  // -1 = inconclusive (budget exhausted).
+  int CheckKey(const std::vector<Operation>& history) const;
+
+  CheckResult CheckAll(
+      const std::map<Key, std::vector<Operation>>& histories) const;
+
+ private:
+  size_t state_budget_;
+};
+
+}  // namespace scatter::verify
+
+#endif  // SCATTER_SRC_VERIFY_LINEARIZABILITY_H_

@@ -1,0 +1,108 @@
+#include "src/verify/ring_checker.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/ring/ring_map.h"
+
+namespace scatter::verify {
+
+RingCheckOutcome CheckQuiescentCover(const core::Cluster& cluster) {
+  RingCheckOutcome out;
+  ring::RingMap map;
+  for (const ring::GroupInfo& info : cluster.AuthoritativeRing()) {
+    map.Upsert(info);
+  }
+  if (map.size() == 0) {
+    out.ok = false;
+    out.problems.push_back("no serving groups at all");
+    return out;
+  }
+  if (!map.IsCompleteCover()) {
+    out.ok = false;
+    std::string layout = "ring is not a disjoint cover:";
+    for (const ring::GroupInfo& info : map.All()) {
+      layout += " " + info.ToString();
+    }
+    out.problems.push_back(layout);
+  }
+  return out;
+}
+
+RingCheckOutcome CheckNoOverlappingLeaders(core::Cluster& cluster) {
+  RingCheckOutcome out;
+  struct LedGroup {
+    ring::GroupInfo info;
+    NodeId leader_node;
+  };
+  std::vector<LedGroup> led;
+  for (NodeId id : cluster.live_node_ids()) {
+    core::ScatterNode* node = cluster.node(id);
+    for (const ring::GroupInfo& info : node->ServingInfos()) {
+      if (info.leader == id) {
+        led.push_back({info, id});
+      }
+    }
+  }
+  for (size_t i = 0; i < led.size(); ++i) {
+    for (size_t j = i + 1; j < led.size(); ++j) {
+      if (led[i].info.id == led[j].info.id) {
+        // Two leaders of the same group: allowed only transiently at
+        // different epochs of the replica's term; flag same-range overlap.
+        continue;
+      }
+      if (led[i].info.range.Overlaps(led[j].info.range)) {
+        out.ok = false;
+        out.problems.push_back("leader-led overlap: " +
+                               led[i].info.ToString() + " vs " +
+                               led[j].info.ToString());
+      }
+    }
+  }
+  return out;
+}
+
+RingCheckOutcome CheckReplicaAgreement(core::Cluster& cluster) {
+  RingCheckOutcome out;
+  // Gather replicas per group.
+  std::map<GroupId, std::vector<std::pair<NodeId, const
+      membership::GroupStateMachine*>>> groups;
+  for (NodeId id : cluster.live_node_ids()) {
+    core::ScatterNode* node = cluster.node(id);
+    for (const auto* sm : node->ServingGroups()) {
+      groups[sm->id()].emplace_back(id, sm);
+    }
+  }
+  for (const auto& [gid, replicas] : groups) {
+    // Compare every replica with the most-applied one; replicas that are
+    // behind (lower applied index) are skipped — only equal progress must
+    // mean equal state.
+    const paxos::Replica* best = nullptr;
+    const membership::GroupStateMachine* best_sm = nullptr;
+    for (const auto& [nid, sm] : replicas) {
+      const paxos::Replica* r = cluster.node(nid)->GroupReplica(gid);
+      if (best == nullptr || r->applied_index() > best->applied_index()) {
+        best = r;
+        best_sm = sm;
+      }
+    }
+    for (const auto& [nid, sm] : replicas) {
+      const paxos::Replica* r = cluster.node(nid)->GroupReplica(gid);
+      if (r->applied_index() != best->applied_index()) {
+        continue;  // Laggard; nothing to compare yet.
+      }
+      if (!(sm->state().data == best_sm->state().data) ||
+          sm->range() != best_sm->range() ||
+          sm->epoch() != best_sm->epoch()) {
+        out.ok = false;
+        out.problems.push_back(
+            "replica divergence in g" + std::to_string(gid) + " on node " +
+            std::to_string(nid) + " at applied index " +
+            std::to_string(r->applied_index()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace scatter::verify

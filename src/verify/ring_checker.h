@@ -1,0 +1,43 @@
+// God's-eye structural invariant checks over a running cluster.
+//
+// The core invariant — group ranges tile the full ring disjointly — holds
+// of the *committed* state at all times, but an observer sampling replicas
+// mid-handover sees transients (a merged group whose laggard parent replica
+// has not yet retired). The checker therefore distinguishes:
+//  - Quiescent check: with structural operations drained, the authoritative
+//    ring must be an exact disjoint cover.
+//  - Continuous check: at any instant, the groups WITH an elected leader
+//    must never have two leaders serving overlapping ranges at overlapping
+//    epochs (that would make split-brain possible).
+
+#ifndef SCATTER_SRC_VERIFY_RING_CHECKER_H_
+#define SCATTER_SRC_VERIFY_RING_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+
+namespace scatter::verify {
+
+struct RingCheckOutcome {
+  bool ok = true;
+  std::vector<std::string> problems;
+};
+
+// Quiescent invariant: the authoritative ring exactly tiles the key space.
+RingCheckOutcome CheckQuiescentCover(const core::Cluster& cluster);
+
+// Continuous invariant: no two *leader-led* serving groups overlap.
+RingCheckOutcome CheckNoOverlappingLeaders(core::Cluster& cluster);
+
+// Quiescent invariant: all replicas of each group that have applied the
+// same log prefix hold identical stores and ranges. Compares every member
+// pair at the minimum applied index... in practice, at quiescence all
+// members have applied everything, so stores must match exactly (after
+// drained traffic and a settle period).
+RingCheckOutcome CheckReplicaAgreement(core::Cluster& cluster);
+
+}  // namespace scatter::verify
+
+#endif  // SCATTER_SRC_VERIFY_RING_CHECKER_H_

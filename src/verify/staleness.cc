@@ -1,0 +1,95 @@
+#include "src/verify/staleness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace scatter::verify {
+
+StalenessReport AuditStaleness(const HistoryRecorder& recorder) {
+  StalenessReport report;
+  // Per key: definite (OK) writes sorted by completion time, plus an index
+  // from value -> its write, to order the read's value against them.
+  struct KeyWrites {
+    std::vector<const Operation*> ok_writes;  // sorted by completed_at
+    std::unordered_map<std::string, const Operation*> by_value;
+  };
+  std::map<Key, KeyWrites> writes;
+  for (const Operation& op : recorder.ops()) {
+    if (op.type != OpType::kWrite) {
+      continue;
+    }
+    KeyWrites& kw = writes[op.key];
+    kw.by_value[op.value] = &op;
+    if (op.outcome == Outcome::kOk) {
+      kw.ok_writes.push_back(&op);
+    }
+  }
+  for (auto& [key, kw] : writes) {
+    std::sort(kw.ok_writes.begin(), kw.ok_writes.end(),
+              [](const Operation* a, const Operation* b) {
+                return a->completed_at < b->completed_at;
+              });
+  }
+
+  for (const Operation& op : recorder.ops()) {
+    if (op.type != OpType::kRead ||
+        (op.outcome != Outcome::kOk && op.outcome != Outcome::kNotFound)) {
+      continue;
+    }
+    report.reads++;
+    auto wit = writes.find(op.key);
+    if (wit == writes.end() || wit->second.ok_writes.empty()) {
+      continue;  // Nothing was ever definitely written; cannot be stale.
+    }
+    const KeyWrites& kw = wit->second;
+    // The most recent write that definitely finished before the read began.
+    const Operation* latest_before = nullptr;
+    for (const Operation* w : kw.ok_writes) {
+      if (w->completed_at < op.invoked_at) {
+        latest_before = w;
+      } else {
+        break;
+      }
+    }
+    if (latest_before == nullptr) {
+      continue;  // All definite writes overlap the read; any value is fine.
+    }
+    if (op.outcome == Outcome::kNotFound) {
+      if (!latest_before->value.empty()) {
+        // A (non-delete) write definitely preceded; "missing" is stale.
+        report.stale_reads++;
+      }
+      continue;
+    }
+    auto vit = kw.by_value.find(op.value);
+    if (vit == kw.by_value.end()) {
+      report.stale_reads++;  // Value from nowhere (corruption); count it.
+      continue;
+    }
+    const Operation* source = vit->second;
+    // Stale iff the value's write definitely precedes latest_before
+    // (completed before it was even invoked). Overlapping writes are
+    // unordered, so either value would be linearizable.
+    if (source != latest_before &&
+        source->completed_at != 0 &&
+        source->outcome == Outcome::kOk &&
+        source->completed_at < latest_before->invoked_at) {
+      report.stale_reads++;
+    }
+  }
+  return report;
+}
+
+std::string StalenessReport::Summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "reads=%llu stale=%llu (%.3f%%)",
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(stale_reads),
+                stale_fraction() * 100.0);
+  return buf;
+}
+
+}  // namespace scatter::verify

@@ -1,0 +1,40 @@
+// Staleness audit: the per-read inconsistency metric of the churn
+// comparison (fraction of reads that return definitely-stale results).
+//
+// A completed read is *definitely stale* when some write to the same key
+// definitely finished before the read began, yet the read returned an older
+// value (or nothing). This is a sound under-approximation of
+// linearizability violations — every flagged read is a real violation — and
+// is directly comparable across both systems, matching the
+// "inconsistent lookups" metric of the paper's evaluation. (The full
+// checker in linearizability.h is exact but binary per key; this audit
+// gives the per-operation rate the figures plot.)
+
+#ifndef SCATTER_SRC_VERIFY_STALENESS_H_
+#define SCATTER_SRC_VERIFY_STALENESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/verify/history.h"
+
+namespace scatter::verify {
+
+struct StalenessReport {
+  uint64_t reads = 0;        // completed reads examined
+  uint64_t stale_reads = 0;  // definitely stale among them
+
+  double stale_fraction() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(stale_reads) /
+                            static_cast<double>(reads);
+  }
+  std::string Summary() const;
+};
+
+// Audits a closed history (call recorder.Close first).
+StalenessReport AuditStaleness(const HistoryRecorder& recorder);
+
+}  // namespace scatter::verify
+
+#endif  // SCATTER_SRC_VERIFY_STALENESS_H_

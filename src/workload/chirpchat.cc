@@ -1,0 +1,112 @@
+#include "src/workload/chirpchat.h"
+
+#include <utility>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace scatter::workload {
+
+ChirpChatDriver::ChirpChatDriver(core::Cluster* cluster,
+                                 const ChirpChatConfig& config)
+    : cluster_(cluster),
+      cfg_(config),
+      rng_(cluster->sim().rng().Fork()),
+      popularity_(config.num_users, config.popularity_s) {}
+
+Key ChirpChatDriver::WallKey(uint64_t user) {
+  // Walls live at consecutive ring positions (a range-partitioned user
+  // table): popular users (low Zipf ranks) cluster in one arc, so request
+  // heat concentrates on a few ranges — the load the balancing policies
+  // must spread.
+  const Key arc = ~uint64_t{0} / 8;
+  return arc + user * 4096;
+}
+
+void ChirpChatDriver::Start() {
+  SCATTER_CHECK(!running_);
+  running_ = true;
+  for (size_t i = 0; i < cfg_.num_clients; ++i) {
+    clients_.push_back(cluster_->AddClient());
+    post_counter_.push_back(0);
+  }
+  for (size_t i = 0; i < cfg_.num_clients; ++i) {
+    const TimeMicros jitter = rng_.Range(0, Millis(20));
+    cluster_->sim().Schedule(jitter, [this, i]() { IssueOne(i); });
+  }
+}
+
+void ChirpChatDriver::Stop() { running_ = false; }
+
+void ChirpChatDriver::ScheduleNext(size_t client_index) {
+  if (!running_) {
+    return;
+  }
+  if (cfg_.think_time > 0) {
+    cluster_->sim().Schedule(cfg_.think_time,
+                             [this, client_index]() { IssueOne(client_index); });
+  } else {
+    IssueOne(client_index);
+  }
+}
+
+void ChirpChatDriver::IssueOne(size_t client_index) {
+  if (!running_) {
+    return;
+  }
+  core::Client* client = clients_[client_index];
+  const TimeMicros start = cluster_->sim().now();
+
+  if (rng_.Bernoulli(cfg_.post_fraction)) {
+    // Posting activity follows the same popularity skew: celebrities post
+    // more, concentrating write load on their walls too.
+    const uint64_t user = popularity_.Sample(rng_);
+    const uint64_t seq = ++post_counter_[client_index];
+    Value post = "post:" + std::to_string(client->id()) + ":" +
+                 std::to_string(seq);
+    client->Put(WallKey(user), std::move(post),
+                [this, start, client_index](Status s) {
+                  const TimeMicros now = cluster_->sim().now();
+                  if (s.ok()) {
+                    stats_.posts_ok++;
+                    stats_.post_latency.Record(now - start);
+                  } else {
+                    stats_.posts_failed++;
+                  }
+                  ScheduleNext(client_index);
+                });
+    return;
+  }
+
+  // Timeline refresh: fan in over `timeline_fanin` followees' walls; the
+  // refresh completes when the slowest wall read returns.
+  struct Fanin {
+    size_t outstanding;
+    bool any_failed = false;
+  };
+  auto fanin = std::make_shared<Fanin>();
+  fanin->outstanding = cfg_.timeline_fanin;
+  for (size_t i = 0; i < cfg_.timeline_fanin; ++i) {
+    const uint64_t followee = popularity_.Sample(rng_);
+    client->Get(WallKey(followee), [this, fanin, start,
+                                    client_index](StatusOr<Value> result) {
+      if (!result.ok() &&
+          result.status().code() != StatusCode::kNotFound) {
+        fanin->any_failed = true;
+      }
+      if (--fanin->outstanding > 0) {
+        return;
+      }
+      const TimeMicros now = cluster_->sim().now();
+      if (fanin->any_failed) {
+        stats_.timelines_failed++;
+      } else {
+        stats_.timelines_ok++;
+        stats_.timeline_latency.Record(now - start);
+      }
+      ScheduleNext(client_index);
+    });
+  }
+}
+
+}  // namespace scatter::workload

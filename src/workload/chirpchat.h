@@ -1,0 +1,82 @@
+// ChirpChat: the Twitter-style application workload from the paper's
+// evaluation, modeled over the key-value API.
+//
+// Each user owns a "wall" key. Posting overwrites the poster's wall;
+// reading a home timeline fans in over the walls of `timeline_fanin`
+// followees sampled by Zipf popularity — so a few celebrity walls absorb
+// most of the read traffic, which is exactly the skew that stresses the
+// load-balancing policies (E8/E9).
+
+#ifndef SCATTER_SRC_WORKLOAD_CHIRPCHAT_H_
+#define SCATTER_SRC_WORKLOAD_CHIRPCHAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/client.h"
+#include "src/core/cluster.h"
+
+namespace scatter::workload {
+
+struct ChirpChatConfig {
+  size_t num_users = 1000;
+  size_t num_clients = 8;
+  // Fraction of operations that are posts (the rest are timeline reads).
+  double post_fraction = 0.2;
+  // Walls read per timeline refresh.
+  size_t timeline_fanin = 8;
+  // Zipf skew of user popularity (whose walls get read) and of posting
+  // activity.
+  double popularity_s = 1.0;
+  TimeMicros think_time = 0;
+};
+
+struct ChirpChatStats {
+  uint64_t posts_ok = 0;
+  uint64_t posts_failed = 0;
+  uint64_t timelines_ok = 0;
+  uint64_t timelines_failed = 0;  // at least one wall read failed
+  Histogram post_latency;
+  Histogram timeline_latency;  // full fan-in completion time
+
+  double availability() const {
+    const uint64_t total =
+        posts_ok + posts_failed + timelines_ok + timelines_failed;
+    return total == 0 ? 1.0
+                      : static_cast<double>(posts_ok + timelines_ok) /
+                            static_cast<double>(total);
+  }
+};
+
+class ChirpChatDriver {
+ public:
+  ChirpChatDriver(core::Cluster* cluster, const ChirpChatConfig& config);
+
+  void Start();
+  void Stop();
+
+  const ChirpChatStats& stats() const { return stats_; }
+
+  // Ring key of user `u`'s wall.
+  static Key WallKey(uint64_t user);
+
+ private:
+  void IssueOne(size_t client_index);
+  void ScheduleNext(size_t client_index);
+
+  core::Cluster* cluster_;
+  ChirpChatConfig cfg_;
+  std::vector<core::Client*> clients_;
+  std::vector<uint64_t> post_counter_;
+  Rng rng_;
+  ZipfSampler popularity_;
+  bool running_ = false;
+  ChirpChatStats stats_;
+};
+
+}  // namespace scatter::workload
+
+#endif  // SCATTER_SRC_WORKLOAD_CHIRPCHAT_H_

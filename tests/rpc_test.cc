@@ -1,0 +1,200 @@
+// Unit tests for the RPC layer: request/response matching, timeouts,
+// cancellation, error envelopes, forwarding, and stray-response handling.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/rpc/rpc_node.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace scatter::rpc {
+namespace {
+
+struct EchoRequest : sim::Message {
+  explicit EchoRequest(int v)
+      : Message(sim::MessageType::kInvalid), value(v) {}
+  int value;
+};
+
+struct EchoReply : sim::Message {
+  explicit EchoReply(int v) : Message(sim::MessageType::kInvalid), value(v) {}
+  int value;
+};
+
+// Echoes requests back (optionally with a delay or not at all).
+class EchoNode : public RpcNode {
+ public:
+  EchoNode(NodeId id, sim::Network* net) : RpcNode(id, net) {}
+
+  void OnRequest(const sim::MessagePtr& m) override {
+    requests_seen++;
+    if (mute) {
+      return;
+    }
+    const auto& req = sim::As<EchoRequest>(m);
+    if (reply_error) {
+      ReplyError(*m, AbortedError("nope"));
+      return;
+    }
+    if (forward_to != kInvalidNode && m->rpc_id == 0) {
+      Forward(forward_to, m);
+      return;
+    }
+    if (m->rpc_id != 0) {
+      Reply(*m, std::make_shared<EchoReply>(req.value * 2));
+    } else {
+      one_way_values.push_back(req.value);
+    }
+  }
+
+  int requests_seen = 0;
+  bool mute = false;
+  bool reply_error = false;
+  NodeId forward_to = kInvalidNode;
+  std::vector<int> one_way_values;
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : sim_(1), net_(&sim_, NetConfig()) {
+    a_ = std::make_unique<EchoNode>(1, &net_);
+    b_ = std::make_unique<EchoNode>(2, &net_);
+    c_ = std::make_unique<EchoNode>(3, &net_);
+  }
+
+  static sim::NetworkConfig NetConfig() {
+    sim::NetworkConfig cfg;
+    cfg.latency = sim::LatencyModel{.kind = sim::LatencyModel::Kind::kConstant,
+                                    .base = Millis(2)};
+    return cfg;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::unique_ptr<EchoNode> a_;
+  std::unique_ptr<EchoNode> b_;
+  std::unique_ptr<EchoNode> c_;
+};
+
+TEST_F(RpcTest, CallRoundTrip) {
+  int result = 0;
+  a_->Call(2, std::make_shared<EchoRequest>(21), Seconds(1),
+           [&](StatusOr<sim::MessagePtr> r) {
+             ASSERT_TRUE(r.ok());
+             result = sim::As<EchoReply>(*r).value;
+           });
+  sim_.Run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(sim_.now(), Millis(4));  // One RTT.
+}
+
+TEST_F(RpcTest, TimeoutFiresExactlyOnce) {
+  b_->mute = true;
+  int calls = 0;
+  Status status;
+  a_->Call(2, std::make_shared<EchoRequest>(1), Millis(100),
+           [&](StatusOr<sim::MessagePtr> r) {
+             calls++;
+             status = r.status();
+           });
+  sim_.Run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, LateReplyAfterTimeoutIsDropped) {
+  // b replies, but after the caller's timeout.
+  sim::NetworkConfig slow = NetConfig();
+  slow.latency.base = Millis(200);
+  sim::Network slow_net(&sim_, slow);
+  EchoNode a(11, &slow_net);
+  EchoNode b(12, &slow_net);
+  int calls = 0;
+  a.Call(12, std::make_shared<EchoRequest>(5), Millis(50),
+         [&](StatusOr<sim::MessagePtr> r) {
+           calls++;
+           EXPECT_FALSE(r.ok());
+         });
+  sim_.Run();
+  EXPECT_EQ(calls, 1);  // Only the timeout; the late reply vanished.
+}
+
+TEST_F(RpcTest, CancelSuppressesCallback) {
+  int calls = 0;
+  const uint64_t id = a_->Call(2, std::make_shared<EchoRequest>(1), Seconds(1),
+                               [&](StatusOr<sim::MessagePtr>) { calls++; });
+  a_->CancelCall(id);
+  sim_.Run();
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(b_->requests_seen, 1);  // The request still arrived.
+}
+
+TEST_F(RpcTest, ErrorEnvelopeCarriesStatus) {
+  b_->reply_error = true;
+  Status status;
+  a_->Call(2, std::make_shared<EchoRequest>(1), Seconds(1),
+           [&](StatusOr<sim::MessagePtr> r) { status = r.status(); });
+  sim_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_EQ(status.message(), "nope");
+}
+
+TEST_F(RpcTest, OneWayDelivers) {
+  a_->SendOneWay(2, std::make_shared<EchoRequest>(9));
+  sim_.Run();
+  ASSERT_EQ(b_->one_way_values.size(), 1u);
+  EXPECT_EQ(b_->one_way_values[0], 9);
+}
+
+TEST_F(RpcTest, ForwardPreservesOriginalSender) {
+  // a sends one-way to b; b forwards to c; c records and would reply to a.
+  b_->forward_to = 3;
+  a_->SendOneWay(2, std::make_shared<EchoRequest>(7));
+  sim_.Run();
+  ASSERT_EQ(c_->one_way_values.size(), 1u);
+  EXPECT_EQ(c_->one_way_values[0], 7);
+  EXPECT_EQ(b_->requests_seen, 1);
+  // The message c saw claims to be from a (id 1), not from b.
+  // (Verified indirectly: if from were rewritten to b, c's reply targeting
+  // logic in real protocols would misroute — covered by the txn tests.)
+}
+
+TEST_F(RpcTest, ManyConcurrentCallsMatchCorrectly) {
+  std::vector<int> results(50, 0);
+  for (int i = 0; i < 50; ++i) {
+    a_->Call(2, std::make_shared<EchoRequest>(i), Seconds(1),
+             [&results, i](StatusOr<sim::MessagePtr> r) {
+               ASSERT_TRUE(r.ok());
+               results[i] = sim::As<EchoReply>(*r).value;
+             });
+  }
+  sim_.Run();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(results[i], i * 2);
+  }
+}
+
+TEST_F(RpcTest, DestructionDropsOutstandingCallbacks) {
+  b_->mute = true;
+  int calls = 0;
+  a_->Call(2, std::make_shared<EchoRequest>(1), Seconds(1),
+           [&](StatusOr<sim::MessagePtr>) { calls++; });
+  a_.reset();  // Caller dies with the call outstanding.
+  sim_.Run();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(RpcTest, CallToCrashedNodeTimesOut) {
+  b_.reset();
+  Status status;
+  a_->Call(2, std::make_shared<EchoRequest>(1), Millis(100),
+           [&](StatusOr<sim::MessagePtr> r) { status = r.status(); });
+  sim_.Run();
+  EXPECT_EQ(status.code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace scatter::rpc

@@ -1,0 +1,350 @@
+// Unit tests for the discrete-event simulator and network model.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/types.h"
+#include "src/sim/message.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace scatter::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.Schedule(Millis(30), [&] { order.push_back(3); });
+  sim.Schedule(Millis(10), [&] { order.push_back(1); });
+  sim.Schedule(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Millis(30));
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim(1);
+  bool fired = false;
+  TimerId id = sim.Schedule(Millis(10), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsHarmless) {
+  Simulator sim(1);
+  int fires = 0;
+  TimerId id = sim.Schedule(Millis(1), [&] { fires++; });
+  sim.Run();
+  sim.Cancel(id);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim(1);
+  int fires = 0;
+  sim.Schedule(Millis(10), [&] { fires++; });
+  sim.Schedule(Millis(100), [&] { fires++; });
+  sim.RunUntil(Millis(50));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.now(), Millis(50));
+  sim.Run();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim(1);
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    depth++;
+    if (depth < 100) {
+      sim.Schedule(Millis(1), recurse);
+    }
+  };
+  sim.Schedule(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Millis(99));
+}
+
+TEST(TimerOwnerTest, DestructionCancelsPending) {
+  Simulator sim(1);
+  bool fired = false;
+  {
+    TimerOwner owner(&sim);
+    owner.Schedule(Millis(10), [&] { fired = true; });
+  }
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerOwnerTest, FiredTimersLeaveTheSet) {
+  Simulator sim(1);
+  TimerOwner owner(&sim);
+  int fires = 0;
+  for (int i = 0; i < 5; ++i) {
+    owner.Schedule(Millis(i + 1), [&] { fires++; });
+  }
+  sim.Run();
+  EXPECT_EQ(fires, 5);
+  owner.CancelAll();  // Nothing pending; must not crash.
+}
+
+struct TestMsg : Message {
+  explicit TestMsg(int v) : Message(MessageType::kInvalid), value(v) {}
+  int value;
+};
+
+class Recorder : public Endpoint {
+ public:
+  void HandleMessage(const MessagePtr& m) override {
+    received.push_back(static_cast<const TestMsg&>(*m).value);
+  }
+  std::vector<int> received;
+};
+
+MessagePtr MakeMsg(NodeId from, NodeId to, int v) {
+  auto m = std::make_shared<TestMsg>(v);
+  m->from = from;
+  m->to = to;
+  return m;
+}
+
+TEST(NetworkTest, DeliversBetweenEndpoints) {
+  Simulator sim(1);
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel{.kind = LatencyModel::Kind::kConstant,
+                             .base = Millis(2)};
+  Network net(&sim, cfg);
+  Recorder a;
+  Recorder b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+  net.Send(MakeMsg(1, 2, 7));
+  sim.Run();
+  EXPECT_EQ(b.received, std::vector<int>{7});
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(sim.now(), Millis(2));
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(NetworkTest, DropsToDetachedNode) {
+  Simulator sim(1);
+  Network net(&sim, NetworkConfig{});
+  Recorder a;
+  net.Attach(1, &a);
+  net.Send(MakeMsg(1, 2, 7));
+  sim.Run();
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, DropsWhenDetachedInFlight) {
+  Simulator sim(1);
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel{.kind = LatencyModel::Kind::kConstant,
+                             .base = Millis(5)};
+  Network net(&sim, cfg);
+  Recorder a;
+  Recorder b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+  net.Send(MakeMsg(1, 2, 7));
+  sim.Schedule(Millis(1), [&] { net.Detach(2); });
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, LossRateDropsRoughlyProportionally) {
+  Simulator sim(42);
+  NetworkConfig cfg;
+  cfg.loss_rate = 0.3;
+  Network net(&sim, cfg);
+  Recorder a;
+  Recorder b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+  constexpr int kSends = 10000;
+  for (int i = 0; i < kSends; ++i) {
+    net.Send(MakeMsg(1, 2, i));
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(b.received.size()), kSends * 0.7,
+              kSends * 0.05);
+}
+
+TEST(NetworkTest, PartitionBlocksCrossIslandTraffic) {
+  Simulator sim(1);
+  Network net(&sim, NetworkConfig{});
+  Recorder a;
+  Recorder b;
+  Recorder c;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+  net.Attach(3, &c);
+  net.Partition({{1, 2}, {3}});
+  net.Send(MakeMsg(1, 2, 1));  // same island: delivered
+  net.Send(MakeMsg(1, 3, 2));  // cross island: dropped
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+
+  net.HealPartition();
+  net.Send(MakeMsg(1, 3, 3));
+  sim.Run();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(NetworkTest, BlockedLinkIsDirectional) {
+  Simulator sim(1);
+  Network net(&sim, NetworkConfig{});
+  Recorder a;
+  Recorder b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+  net.BlockLink(1, 2);
+  net.Send(MakeMsg(1, 2, 1));
+  net.Send(MakeMsg(2, 1, 2));
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(a.received.size(), 1u);
+  net.UnblockLink(1, 2);
+  net.Send(MakeMsg(1, 2, 3));
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, SelfSendDeliveredImmediately) {
+  Simulator sim(1);
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel{.kind = LatencyModel::Kind::kConstant,
+                             .base = Millis(50)};
+  cfg.loss_rate = 1.0;  // Even full loss must not affect self-sends.
+  Network net(&sim, cfg);
+  Recorder a;
+  net.Attach(1, &a);
+  net.Send(MakeMsg(1, 1, 9));
+  sim.Run();
+  EXPECT_EQ(a.received, std::vector<int>{9});
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(LatencyModelTest, SamplesWithinBounds) {
+  Simulator sim(5);
+  LatencyModel uniform{.kind = LatencyModel::Kind::kUniform,
+                       .base = Millis(10),
+                       .spread = Millis(5)};
+  for (int i = 0; i < 1000; ++i) {
+    TimeMicros s = uniform.Sample(sim.rng());
+    EXPECT_GE(s, Millis(10));
+    EXPECT_LE(s, Millis(15));
+  }
+  LatencyModel wan = LatencyModel::Wan();
+  for (int i = 0; i < 1000; ++i) {
+    TimeMicros s = wan.Sample(sim.rng());
+    EXPECT_GE(s, wan.base);
+  }
+}
+
+TEST(NetworkTest, DuplicationDeliversExtraCopies) {
+  Simulator sim(3);
+  NetworkConfig cfg;
+  cfg.duplicate_rate = 0.5;
+  Network net(&sim, cfg);
+  Recorder a;
+  Recorder b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+  constexpr int kSends = 4000;
+  for (int i = 0; i < kSends; ++i) {
+    net.Send(MakeMsg(1, 2, i));
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(b.received.size()), kSends * 1.5,
+              kSends * 0.05);
+}
+
+TEST(NetworkTest, BandwidthAddsSerializationDelay) {
+  Simulator sim(5);
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel{.kind = LatencyModel::Kind::kConstant,
+                             .base = Millis(1)};
+  cfg.bandwidth_bytes_per_sec = 1000000;  // 1 MB/s
+  Network net(&sim, cfg);
+  Recorder a;
+  Recorder b;
+  net.Attach(1, &a);
+  net.Attach(2, &b);
+
+  struct BigMsg : TestMsg {
+    BigMsg() : TestMsg(0) {}
+    size_t ByteSize() const override { return 1000000; }  // 1 MB -> 1 s
+  };
+  auto m = std::make_shared<BigMsg>();
+  m->from = 1;
+  m->to = 2;
+  net.Send(m);
+  sim.Run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_GE(sim.now(), Seconds(1));  // Serialization dominated.
+}
+
+TEST(NetworkTest, HeterogeneityScalesPerNodeDeterministically) {
+  Simulator sim(7);
+  NetworkConfig cfg;
+  cfg.latency = LatencyModel{.kind = LatencyModel::Kind::kConstant,
+                             .base = Millis(10)};
+  cfg.heterogeneity_sigma = 1.0;
+  Network net(&sim, cfg);
+  Recorder r1;
+  Recorder r2;
+  net.Attach(1001, &r1);
+  net.Attach(1002, &r2);
+  net.Send(MakeMsg(1001, 1002, 1));
+  sim.Run();
+  const TimeMicros first = sim.now();
+  // Same pair again: identical factor, identical latency (constant base).
+  net.Send(MakeMsg(1001, 1002, 2));
+  sim.Run();
+  EXPECT_EQ(sim.now() - first, first);
+  // And the factor differs from 1.0 for most node pairs.
+  EXPECT_NE(first, Millis(10));
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(seed);
+    NetworkConfig cfg;
+    cfg.latency = LatencyModel::Wan();
+    cfg.loss_rate = 0.1;
+    Network net(&sim, cfg);
+    Recorder a;
+    Recorder b;
+    net.Attach(1, &a);
+    net.Attach(2, &b);
+    for (int i = 0; i < 500; ++i) {
+      net.Send(MakeMsg(1, 2, i));
+    }
+    sim.Run();
+    return std::make_pair(b.received, sim.now());
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99).first, run(100).first);
+}
+
+}  // namespace
+}  // namespace scatter::sim

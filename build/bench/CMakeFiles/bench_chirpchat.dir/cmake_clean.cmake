@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chirpchat.dir/bench_chirpchat.cc.o"
+  "CMakeFiles/bench_chirpchat.dir/bench_chirpchat.cc.o.d"
+  "bench_chirpchat"
+  "bench_chirpchat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chirpchat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

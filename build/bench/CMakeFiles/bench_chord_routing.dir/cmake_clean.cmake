@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chord_routing.dir/bench_chord_routing.cc.o"
+  "CMakeFiles/bench_chord_routing.dir/bench_chord_routing.cc.o.d"
+  "bench_chord_routing"
+  "bench_chord_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chord_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_churn_distributions.dir/bench_churn_distributions.cc.o"
+  "CMakeFiles/bench_churn_distributions.dir/bench_churn_distributions.cc.o.d"
+  "bench_churn_distributions"
+  "bench_churn_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_churn_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_resilience.dir/bench_group_resilience.cc.o"
+  "CMakeFiles/bench_group_resilience.dir/bench_group_resilience.cc.o.d"
+  "bench_group_resilience"
+  "bench_group_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

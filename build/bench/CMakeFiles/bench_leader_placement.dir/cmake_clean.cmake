@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leader_placement.dir/bench_leader_placement.cc.o"
+  "CMakeFiles/bench_leader_placement.dir/bench_leader_placement.cc.o.d"
+  "bench_leader_placement"
+  "bench_leader_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leader_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_load_balance.cc" "bench/CMakeFiles/bench_load_balance.dir/bench_load_balance.cc.o" "gcc" "bench/CMakeFiles/bench_load_balance.dir/bench_load_balance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scatter_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scatter_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/scatter_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/scatter_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/scatter_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/scatter_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/scatter_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/scatter_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scatter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/scatter_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scatter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

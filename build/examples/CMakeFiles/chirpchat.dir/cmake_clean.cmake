@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirpchat.dir/chirpchat.cpp.o"
+  "CMakeFiles/chirpchat.dir/chirpchat.cpp.o.d"
+  "chirpchat"
+  "chirpchat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirpchat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

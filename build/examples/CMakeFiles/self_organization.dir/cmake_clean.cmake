@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_organization.dir/self_organization.cpp.o"
+  "CMakeFiles/self_organization.dir/self_organization.cpp.o.d"
+  "self_organization"
+  "self_organization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_organization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("rpc")
+subdirs("paxos")
+subdirs("membership")
+subdirs("store")
+subdirs("ring")
+subdirs("txn")
+subdirs("core")
+subdirs("baseline")
+subdirs("workload")
+subdirs("churn")
+subdirs("verify")

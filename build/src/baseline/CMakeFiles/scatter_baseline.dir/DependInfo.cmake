@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/chord_client.cc" "src/baseline/CMakeFiles/scatter_baseline.dir/chord_client.cc.o" "gcc" "src/baseline/CMakeFiles/scatter_baseline.dir/chord_client.cc.o.d"
+  "/root/repo/src/baseline/chord_cluster.cc" "src/baseline/CMakeFiles/scatter_baseline.dir/chord_cluster.cc.o" "gcc" "src/baseline/CMakeFiles/scatter_baseline.dir/chord_cluster.cc.o.d"
+  "/root/repo/src/baseline/chord_node.cc" "src/baseline/CMakeFiles/scatter_baseline.dir/chord_node.cc.o" "gcc" "src/baseline/CMakeFiles/scatter_baseline.dir/chord_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/churn/CMakeFiles/scatter_churn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/scatter_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scatter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scatter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

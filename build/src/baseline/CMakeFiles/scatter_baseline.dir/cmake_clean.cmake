@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_baseline.dir/chord_client.cc.o"
+  "CMakeFiles/scatter_baseline.dir/chord_client.cc.o.d"
+  "CMakeFiles/scatter_baseline.dir/chord_cluster.cc.o"
+  "CMakeFiles/scatter_baseline.dir/chord_cluster.cc.o.d"
+  "CMakeFiles/scatter_baseline.dir/chord_node.cc.o"
+  "CMakeFiles/scatter_baseline.dir/chord_node.cc.o.d"
+  "libscatter_baseline.a"
+  "libscatter_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

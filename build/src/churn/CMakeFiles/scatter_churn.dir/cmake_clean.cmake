@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_churn.dir/churn.cc.o"
+  "CMakeFiles/scatter_churn.dir/churn.cc.o.d"
+  "libscatter_churn.a"
+  "libscatter_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

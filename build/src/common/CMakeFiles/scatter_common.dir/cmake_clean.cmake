@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_common.dir/histogram.cc.o"
+  "CMakeFiles/scatter_common.dir/histogram.cc.o.d"
+  "CMakeFiles/scatter_common.dir/logging.cc.o"
+  "CMakeFiles/scatter_common.dir/logging.cc.o.d"
+  "CMakeFiles/scatter_common.dir/random.cc.o"
+  "CMakeFiles/scatter_common.dir/random.cc.o.d"
+  "CMakeFiles/scatter_common.dir/status.cc.o"
+  "CMakeFiles/scatter_common.dir/status.cc.o.d"
+  "libscatter_common.a"
+  "libscatter_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_core.dir/client.cc.o"
+  "CMakeFiles/scatter_core.dir/client.cc.o.d"
+  "CMakeFiles/scatter_core.dir/cluster.cc.o"
+  "CMakeFiles/scatter_core.dir/cluster.cc.o.d"
+  "CMakeFiles/scatter_core.dir/scatter_node.cc.o"
+  "CMakeFiles/scatter_core.dir/scatter_node.cc.o.d"
+  "libscatter_core.a"
+  "libscatter_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_membership.dir/group_state_machine.cc.o"
+  "CMakeFiles/scatter_membership.dir/group_state_machine.cc.o.d"
+  "libscatter_membership.a"
+  "libscatter_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

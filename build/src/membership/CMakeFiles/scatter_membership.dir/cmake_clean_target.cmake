@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscatter_membership.a"
+)

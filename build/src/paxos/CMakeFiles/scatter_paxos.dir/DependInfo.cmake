@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paxos/log.cc" "src/paxos/CMakeFiles/scatter_paxos.dir/log.cc.o" "gcc" "src/paxos/CMakeFiles/scatter_paxos.dir/log.cc.o.d"
+  "/root/repo/src/paxos/replica.cc" "src/paxos/CMakeFiles/scatter_paxos.dir/replica.cc.o" "gcc" "src/paxos/CMakeFiles/scatter_paxos.dir/replica.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scatter_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scatter_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

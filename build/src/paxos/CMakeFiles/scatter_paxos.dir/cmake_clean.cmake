@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_paxos.dir/log.cc.o"
+  "CMakeFiles/scatter_paxos.dir/log.cc.o.d"
+  "CMakeFiles/scatter_paxos.dir/replica.cc.o"
+  "CMakeFiles/scatter_paxos.dir/replica.cc.o.d"
+  "libscatter_paxos.a"
+  "libscatter_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_ring.dir/ring_map.cc.o"
+  "CMakeFiles/scatter_ring.dir/ring_map.cc.o.d"
+  "libscatter_ring.a"
+  "libscatter_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_rpc.dir/rpc_node.cc.o"
+  "CMakeFiles/scatter_rpc.dir/rpc_node.cc.o.d"
+  "libscatter_rpc.a"
+  "libscatter_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

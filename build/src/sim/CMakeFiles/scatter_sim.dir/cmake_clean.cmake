@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_sim.dir/network.cc.o"
+  "CMakeFiles/scatter_sim.dir/network.cc.o.d"
+  "CMakeFiles/scatter_sim.dir/simulator.cc.o"
+  "CMakeFiles/scatter_sim.dir/simulator.cc.o.d"
+  "libscatter_sim.a"
+  "libscatter_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

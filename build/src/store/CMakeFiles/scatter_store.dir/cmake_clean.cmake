@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_store.dir/kv_store.cc.o"
+  "CMakeFiles/scatter_store.dir/kv_store.cc.o.d"
+  "libscatter_store.a"
+  "libscatter_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_txn.dir/group_op_driver.cc.o"
+  "CMakeFiles/scatter_txn.dir/group_op_driver.cc.o.d"
+  "libscatter_txn.a"
+  "libscatter_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_verify.dir/history.cc.o"
+  "CMakeFiles/scatter_verify.dir/history.cc.o.d"
+  "CMakeFiles/scatter_verify.dir/linearizability.cc.o"
+  "CMakeFiles/scatter_verify.dir/linearizability.cc.o.d"
+  "CMakeFiles/scatter_verify.dir/ring_checker.cc.o"
+  "CMakeFiles/scatter_verify.dir/ring_checker.cc.o.d"
+  "CMakeFiles/scatter_verify.dir/staleness.cc.o"
+  "CMakeFiles/scatter_verify.dir/staleness.cc.o.d"
+  "libscatter_verify.a"
+  "libscatter_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

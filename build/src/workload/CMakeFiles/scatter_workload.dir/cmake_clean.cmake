@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_workload.dir/chirpchat.cc.o"
+  "CMakeFiles/scatter_workload.dir/chirpchat.cc.o.d"
+  "CMakeFiles/scatter_workload.dir/workload.cc.o"
+  "CMakeFiles/scatter_workload.dir/workload.cc.o.d"
+  "libscatter_workload.a"
+  "libscatter_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_routing_test.dir/chord_routing_test.cc.o"
+  "CMakeFiles/chord_routing_test.dir/chord_routing_test.cc.o.d"
+  "chord_routing_test"
+  "chord_routing_test.pdb"
+  "chord_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

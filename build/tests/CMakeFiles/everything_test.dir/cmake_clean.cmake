@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/everything_test.dir/everything_test.cc.o"
+  "CMakeFiles/everything_test.dir/everything_test.cc.o.d"
+  "everything_test"
+  "everything_test.pdb"
+  "everything_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/everything_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

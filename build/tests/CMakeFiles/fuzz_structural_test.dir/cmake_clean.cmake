@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_structural_test.dir/fuzz_structural_test.cc.o"
+  "CMakeFiles/fuzz_structural_test.dir/fuzz_structural_test.cc.o.d"
+  "fuzz_structural_test"
+  "fuzz_structural_test.pdb"
+  "fuzz_structural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

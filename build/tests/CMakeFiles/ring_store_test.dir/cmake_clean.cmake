@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_store_test.dir/ring_store_test.cc.o"
+  "CMakeFiles/ring_store_test.dir/ring_store_test.cc.o.d"
+  "ring_store_test"
+  "ring_store_test.pdb"
+  "ring_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

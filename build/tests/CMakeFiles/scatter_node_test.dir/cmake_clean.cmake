@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_node_test.dir/scatter_node_test.cc.o"
+  "CMakeFiles/scatter_node_test.dir/scatter_node_test.cc.o.d"
+  "scatter_node_test"
+  "scatter_node_test.pdb"
+  "scatter_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Full CI gate: the test suite must pass clean under AddressSanitizer and
+# UndefinedBehaviorSanitizer with the continuous invariant auditor compiled
+# in (SCATTER_AUDIT=ON), and clang-tidy must be quiet on changed files.
+#
+#   scripts/ci.sh                 # everything (two sanitized builds + lint)
+#   scripts/ci.sh address         # just the ASan leg
+#   scripts/ci.sh undefined       # just the UBSan leg
+#   scripts/ci.sh lint            # just clang-tidy on changed files
+#
+# Build trees go to build-asan/ and build-ubsan/ so they never disturb the
+# developer's plain build/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+run_sanitized() {
+  local san="$1"
+  local dir="build-${san:0:4}"
+  [[ "$san" == "undefined" ]] && dir="build-ubsan"
+  [[ "$san" == "address" ]] && dir="build-asan"
+  echo "=== [$san] configure + build ($dir) ==="
+  cmake -B "$dir" -S . -DSCATTER_SANITIZE="$san" -DSCATTER_AUDIT=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$san] ctest ==="
+  ( cd "$dir" && ctest --output-on-failure -j "$JOBS" )
+}
+
+run_lint() {
+  echo "=== clang-tidy (changed files) ==="
+  # Lint against the ASan tree if present (it has compile_commands.json),
+  # else the default build tree.
+  local bdir=build
+  [[ -f build-asan/compile_commands.json ]] && bdir=build-asan
+  BUILD_DIR="$bdir" scripts/run_clang_tidy.sh --changed
+}
+
+case "${1:-all}" in
+  address|undefined|thread) run_sanitized "$1" ;;
+  lint) run_lint ;;
+  all)
+    run_sanitized address
+    run_sanitized undefined
+    run_lint
+    echo "=== CI green: ASan + UBSan suites clean, lint done ==="
+    ;;
+  *)
+    echo "usage: $0 [address|undefined|thread|lint|all]" >&2
+    exit 2
+    ;;
+esac

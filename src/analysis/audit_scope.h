@@ -1,0 +1,43 @@
+// Test-side attachment point for the continuous invariant auditor.
+//
+// Cluster tests declare a ScopedAudit next to their Cluster. When the build
+// has SCATTER_AUDIT=ON (the default; it defines SCATTER_AUDIT_ENABLED), the
+// scope attaches a real InvariantAuditor that checks every subsystem
+// invariant continuously and aborts on violation — so every existing
+// integration test doubles as a continuous-safety test. With SCATTER_AUDIT
+// =OFF the scope is an empty shell and the run is audit-free (benchmark
+// builds).
+
+#ifndef SCATTER_SRC_ANALYSIS_AUDIT_SCOPE_H_
+#define SCATTER_SRC_ANALYSIS_AUDIT_SCOPE_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/analysis/invariant_auditor.h"
+#include "src/core/cluster.h"
+
+namespace scatter::analysis {
+
+class ScopedAudit {
+ public:
+  explicit ScopedAudit(core::Cluster* cluster, AuditorOptions options = {}) {
+#ifdef SCATTER_AUDIT_ENABLED
+    auditor_ =
+        std::make_unique<InvariantAuditor>(cluster, std::move(options));
+#else
+    (void)cluster;
+    (void)options;
+#endif
+  }
+
+  // The live auditor, or nullptr when the build disabled auditing.
+  InvariantAuditor* auditor() { return auditor_.get(); }
+
+ private:
+  std::unique_ptr<InvariantAuditor> auditor_;
+};
+
+}  // namespace scatter::analysis
+
+#endif  // SCATTER_SRC_ANALYSIS_AUDIT_SCOPE_H_

@@ -1,0 +1,344 @@
+#include "src/analysis/invariant_auditor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/core/scatter_node.h"
+#include "src/membership/group_state_machine.h"
+#include "src/paxos/log.h"
+#include "src/paxos/replica.h"
+#include "src/txn/group_op_driver.h"
+
+namespace scatter::analysis {
+namespace {
+
+std::string GroupTag(GroupId group) { return "g" + std::to_string(group); }
+std::string NodeTag(NodeId node) { return "n" + std::to_string(node); }
+
+// ---------------------------------------------------------------------------
+// Paxos safety
+// ---------------------------------------------------------------------------
+
+class PaxosSafetyChecker : public Checker {
+ public:
+  const char* name() const override { return "paxos"; }
+
+  void Check(core::Cluster& cluster,
+             std::vector<std::string>* problems) override {
+    std::map<GroupId, std::vector<std::pair<NodeId, const paxos::Replica*>>>
+        groups;
+    for (NodeId id : cluster.live_node_ids()) {
+      core::ScatterNode* node = cluster.node(id);
+      for (const auto* sm : node->ServingGroups()) {
+        const paxos::Replica* replica = node->GroupReplica(sm->id());
+        if (replica != nullptr) {
+          groups[sm->id()].emplace_back(id, replica);
+        }
+      }
+    }
+
+    std::set<std::pair<GroupId, NodeId>> observed;
+    for (const auto& [gid, replicas] : groups) {
+      size_t lease_leaders = 0;
+      uint64_t min_first = ~uint64_t{0};
+      std::map<uint64_t, paxos::CommandPtr>& committed = committed_[gid];
+      for (const auto& [nid, replica] : replicas) {
+        observed.insert({gid, nid});
+        CheckReplica(gid, nid, *replica, committed, problems);
+        if (replica->is_leader() && replica->HasLease()) {
+          lease_leaders++;
+        }
+        min_first = std::min(min_first, replica->log().first_index());
+      }
+      if (lease_leaders > 1) {
+        problems->push_back(GroupTag(gid) + ": " +
+                            std::to_string(lease_leaders) +
+                            " replicas hold a leader lease simultaneously");
+      }
+      // Slots below every replica's log are sealed in snapshots and can
+      // never be re-observed; drop them to bound memory.
+      committed.erase(committed.begin(), committed.lower_bound(min_first));
+    }
+
+    // Forget state for groups/replicas that disappeared (retired groups,
+    // crashed nodes); node and group ids are never reused.
+    std::erase_if(seen_, [&observed](const auto& kv) {
+      return observed.count(kv.first) == 0;
+    });
+    std::erase_if(committed_, [&groups](const auto& kv) {
+      return groups.count(kv.first) == 0;
+    });
+  }
+
+ private:
+  struct SeenReplica {
+    Ballot promised;
+    uint64_t commit_index = 0;
+  };
+
+  void CheckReplica(GroupId gid, NodeId nid, const paxos::Replica& replica,
+                    std::map<uint64_t, paxos::CommandPtr>& committed,
+                    std::vector<std::string>* problems) {
+    const std::string tag = GroupTag(gid) + "/" + NodeTag(nid);
+    if (replica.applied_index() > replica.commit_index()) {
+      problems->push_back(tag + ": applied index " +
+                          std::to_string(replica.applied_index()) +
+                          " ahead of commit index " +
+                          std::to_string(replica.commit_index()));
+    }
+    if (replica.commit_index() > replica.last_log_index()) {
+      problems->push_back(tag + ": commit index " +
+                          std::to_string(replica.commit_index()) +
+                          " beyond last log index " +
+                          std::to_string(replica.last_log_index()));
+    }
+
+    SeenReplica& seen = seen_[{gid, nid}];
+    if (replica.promised() < seen.promised) {
+      problems->push_back(tag + ": promised ballot regressed from " +
+                          seen.promised.ToString() + " to " +
+                          replica.promised().ToString());
+    }
+    if (replica.commit_index() < seen.commit_index) {
+      problems->push_back(tag + ": commit index regressed from " +
+                          std::to_string(seen.commit_index) + " to " +
+                          std::to_string(replica.commit_index()));
+    }
+    seen.promised = std::max(seen.promised, replica.promised());
+    seen.commit_index = std::max(seen.commit_index, replica.commit_index());
+
+    // Committed-slot agreement: all replicas of a group must hold the same
+    // chosen command at every committed slot. Commands are shared in-memory
+    // objects (the simulator stands in for serialization), so identity
+    // comparison is value comparison.
+    const paxos::Log& log = replica.log();
+    const uint64_t hi = std::min(replica.commit_index(), log.last_index());
+    for (uint64_t slot = log.first_index(); slot <= hi; ++slot) {
+      const paxos::LogEntry* entry = log.At(slot);
+      if (entry == nullptr || !entry->valid()) {
+        continue;
+      }
+      auto [it, inserted] = committed.emplace(slot, entry->command);
+      if (!inserted && it->second.get() != entry->command.get()) {
+        problems->push_back(tag + ": committed slot " + std::to_string(slot) +
+                            " diverges from the value another replica " +
+                            "committed at that slot");
+      }
+    }
+  }
+
+  std::map<std::pair<GroupId, NodeId>, SeenReplica> seen_;
+  // Per group: the first command observed committed at each slot.
+  std::map<GroupId, std::map<uint64_t, paxos::CommandPtr>> committed_;
+};
+
+// ---------------------------------------------------------------------------
+// Ring safety
+// ---------------------------------------------------------------------------
+
+class RingSafetyChecker : public Checker {
+ public:
+  const char* name() const override { return "ring"; }
+
+  void Check(core::Cluster& cluster,
+             std::vector<std::string>* problems) override {
+    // Every group a node both serves and believes it leads. This
+    // generalizes verify::CheckNoOverlappingLeaders to run mid-churn on
+    // every audit tick rather than when a test happens to sample it.
+    struct Led {
+      ring::GroupInfo info;
+      NodeId node;
+      const paxos::Replica* replica;
+    };
+    std::vector<Led> led;
+    for (NodeId id : cluster.live_node_ids()) {
+      core::ScatterNode* node = cluster.node(id);
+      for (const ring::GroupInfo& info : node->ServingInfos()) {
+        if (info.leader == id) {
+          led.push_back({info, id, node->GroupReplica(info.id)});
+        }
+      }
+    }
+    for (size_t i = 0; i < led.size(); ++i) {
+      for (size_t j = i + 1; j < led.size(); ++j) {
+        const Led& a = led[i];
+        const Led& b = led[j];
+        if (a.info.id == b.info.id) {
+          // Two claimants of the same group happen transiently while a
+          // deposed leader catches up; split-brain requires both to hold a
+          // serving lease over the same epoch of the range.
+          if (a.info.epoch == b.info.epoch && a.replica != nullptr &&
+              b.replica != nullptr && a.replica->HasLease() &&
+              b.replica->HasLease()) {
+            problems->push_back("two leaseholding leaders of " +
+                                a.info.ToString() + ": " + NodeTag(a.node) +
+                                " and " + NodeTag(b.node));
+          }
+          continue;
+        }
+        if (a.info.range.Overlaps(b.info.range)) {
+          problems->push_back("leader-led overlap: " + a.info.ToString() +
+                              " (" + NodeTag(a.node) + ") vs " +
+                              b.info.ToString() + " (" + NodeTag(b.node) +
+                              ")");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Group-op (2PC) legality
+// ---------------------------------------------------------------------------
+
+class GroupOpChecker : public Checker {
+ public:
+  const char* name() const override { return "groupop"; }
+
+  void Check(core::Cluster& cluster,
+             std::vector<std::string>* problems) override {
+    for (NodeId id : cluster.live_node_ids()) {
+      core::ScatterNode* node = cluster.node(id);
+      for (const auto* sm : node->ServingGroups()) {
+        const std::string tag = GroupTag(sm->id()) + "/" + NodeTag(id);
+        const txn::GroupOpDriver* driver = node->GroupDriver(sm->id());
+        if (driver != nullptr &&
+            driver->phase() != txn::GroupOpDriver::Phase::kIdle &&
+            !driver->active_txn_id().has_value()) {
+          problems->push_back(
+              tag + ": 2PC driver in phase " +
+              txn::GroupOpDriver::PhaseName(driver->phase()) +
+              " with no active transaction");
+        }
+        if (sm->IsFrozen()) {
+          const membership::ActiveTxn& active = *sm->state().active;
+          const GroupId expected = active.is_coordinator
+                                       ? active.txn.coord_group
+                                       : active.txn.part_group;
+          if (expected != sm->id()) {
+            problems->push_back(
+                tag + ": frozen by txn " + std::to_string(active.txn.id) +
+                " whose " +
+                (active.is_coordinator ? "coordinator" : "participant") +
+                " is " + GroupTag(expected) + ", not this group");
+          }
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Store containment
+// ---------------------------------------------------------------------------
+
+class StoreContainmentChecker : public Checker {
+ public:
+  const char* name() const override { return "store"; }
+
+  void Check(core::Cluster& cluster,
+             std::vector<std::string>* problems) override {
+    for (NodeId id : cluster.live_node_ids()) {
+      core::ScatterNode* node = cluster.node(id);
+      for (const auto* sm : node->ServingGroups()) {
+        const std::optional<Key> stray =
+            sm->state().data.FirstKeyOutside(sm->range());
+        if (stray.has_value()) {
+          problems->push_back(GroupTag(sm->id()) + "/" + NodeTag(id) +
+                              ": stored key " + std::to_string(*stray) +
+                              " outside claimed range " +
+                              sm->range().ToString());
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Checker> MakePaxosSafetyChecker() {
+  return std::make_unique<PaxosSafetyChecker>();
+}
+std::unique_ptr<Checker> MakeRingSafetyChecker() {
+  return std::make_unique<RingSafetyChecker>();
+}
+std::unique_ptr<Checker> MakeGroupOpChecker() {
+  return std::make_unique<GroupOpChecker>();
+}
+std::unique_ptr<Checker> MakeStoreContainmentChecker() {
+  return std::make_unique<StoreContainmentChecker>();
+}
+
+InvariantAuditor::InvariantAuditor(core::Cluster* cluster,
+                                   AuditorOptions options)
+    : cluster_(cluster), opts_(std::move(options)) {
+  RegisterChecker(MakePaxosSafetyChecker());
+  RegisterChecker(MakeRingSafetyChecker());
+  RegisterChecker(MakeGroupOpChecker());
+  RegisterChecker(MakeStoreContainmentChecker());
+  cluster_->sim().SetTraceCapacity(opts_.trace_capacity);
+  cluster_->sim().SetAuditHook(opts_.every_n_events, [this]() { RunOnce(); });
+}
+
+InvariantAuditor::~InvariantAuditor() {
+  cluster_->sim().ClearAuditHook();
+  cluster_->sim().SetTraceCapacity(0);
+}
+
+void InvariantAuditor::RegisterChecker(std::unique_ptr<Checker> checker) {
+  checkers_.push_back(std::move(checker));
+}
+
+void InvariantAuditor::RunOnce() {
+  audits_run_++;
+  sim::Simulator& sim = cluster_->sim();
+  bool fresh = false;
+  for (const auto& checker : checkers_) {
+    std::vector<std::string> problems;
+    checker->Check(*cluster_, &problems);
+    for (std::string& problem : problems) {
+      SCATTER_ERROR() << "invariant violation [" << checker->name() << "] "
+                      << problem;
+      violations_.push_back(Violation{checker->name(), std::move(problem),
+                                      sim.now(), sim.events_processed()});
+      fresh = true;
+    }
+  }
+  if (fresh && opts_.abort_on_violation) {
+    DumpArtifact();
+    SCATTER_ERROR() << "audit trace artifact written to "
+                    << opts_.artifact_path << "; aborting";
+    SCATTER_CHECK(false && "invariant auditor detected a protocol violation");
+  }
+}
+
+void InvariantAuditor::DumpArtifact() const {
+  sim::Simulator& sim = cluster_->sim();
+  std::ofstream out(opts_.artifact_path);
+  if (!out) {
+    SCATTER_ERROR() << "cannot write audit artifact to "
+                    << opts_.artifact_path;
+    return;
+  }
+  out << "# scatter invariant-audit trace\n";
+  out << "# replay: the run is bit-for-bit deterministic from this seed\n";
+  out << "seed " << sim.seed() << "\n";
+  out << "virtual_time_us " << sim.now() << "\n";
+  out << "events_processed " << sim.events_processed() << "\n";
+  out << "\n[violations]\n";
+  for (const Violation& v : violations_) {
+    out << "t=" << v.at << " events=" << v.events_processed << " ["
+        << v.checker << "] " << v.detail << "\n";
+  }
+  out << "\n[last_events]\n";
+  for (const sim::Simulator::TraceEntry& entry : sim.TraceSnapshot()) {
+    out << "t=" << entry.at << " seq=" << entry.seq << " " << entry.label
+        << "\n";
+  }
+}
+
+}  // namespace scatter::analysis

@@ -91,7 +91,10 @@ class StatusOr {
   }
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
-  bool ok() const { return status_.ok(); }
+  // Engagement of value_ is the source of truth (the constructors keep it in
+  // lockstep with status_). Deriving ok() from it also lets the compiler see
+  // that an ok() guard proves the optional is engaged at a later *value_.
+  bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {

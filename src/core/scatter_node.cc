@@ -373,15 +373,16 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
     h->replica->LinearizableRead([this, message, gid,
                                   key = req.key](Status status) {
       auto reply = std::make_shared<ClientReplyMsg>();
-      Hosted* h = FindHosted(gid);
-      if (h == nullptr || h->sm->IsRetired() || !h->sm->range().Contains(key)) {
+      Hosted* cur = FindHosted(gid);
+      if (cur == nullptr || cur->sm->IsRetired() ||
+          !cur->sm->range().Contains(key)) {
         reply->code = StatusCode::kWrongGroup;
         AddRoutingHints(key, &reply->ring_updates);
       } else if (!status.ok()) {
         reply->code = status.code();
-        reply->ring_updates.push_back(SelfInfo(*h));
+        reply->ring_updates.push_back(SelfInfo(*cur));
       } else {
-        auto value = h->sm->state().data.Get(key);
+        auto value = cur->sm->state().data.Get(key);
         reply->code = StatusCode::kOk;
         reply->found = value.has_value();
         if (value.has_value()) {
@@ -415,23 +416,23 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
       cmd, [this, message, gid, client = req.client_id,
             seq = req.client_seq](StatusOr<uint64_t> result) {
         auto reply = std::make_shared<ClientReplyMsg>();
-        Hosted* h = FindHosted(gid);
+        Hosted* cur = FindHosted(gid);
         if (!result.ok()) {
           reply->code = result.status().code();
-        } else if (h == nullptr) {
+        } else if (cur == nullptr) {
           reply->code = StatusCode::kUnavailable;
         } else {
           reply->code =
-              h->sm->ResultFor(client, seq).value_or(StatusCode::kInternal);
+              cur->sm->ResultFor(client, seq).value_or(StatusCode::kInternal);
           stats_.client_ops_served++;
         }
-        if (h != nullptr) {
-          if (h->sm->IsRetired()) {
-            for (const GroupInfo& fwd : h->sm->state().forward) {
+        if (cur != nullptr) {
+          if (cur->sm->IsRetired()) {
+            for (const GroupInfo& fwd : cur->sm->state().forward) {
               reply->ring_updates.push_back(fwd);
             }
           } else {
-            reply->ring_updates.push_back(SelfInfo(*h));
+            reply->ring_updates.push_back(SelfInfo(*cur));
           }
         }
         Reply(*message, std::move(reply));
@@ -543,22 +544,22 @@ void ScatterNode::HandleJoinRequest(const MessagePtr& message) {
   best_hosted->replica->ProposeConfigChange(
       paxos::ConfigCommand::Op::kAddMember, joiner,
       [this, message, gid](StatusOr<uint64_t> result) {
-        auto reply = std::make_shared<JoinReplyMsg>();
-        Hosted* h = FindHosted(gid);
-        if (!result.ok() || h == nullptr) {
-          reply->code = result.ok() ? StatusCode::kUnavailable
-                                    : result.status().code();
+        auto join_reply = std::make_shared<JoinReplyMsg>();
+        Hosted* cur = FindHosted(gid);
+        if (!result.ok() || cur == nullptr) {
+          join_reply->code = result.ok() ? StatusCode::kUnavailable
+                                         : result.status().code();
         } else {
-          reply->code = StatusCode::kOk;
-          reply->group = SelfInfo(*h);
+          join_reply->code = StatusCode::kOk;
+          join_reply->group = SelfInfo(*cur);
           for (const GroupInfo& info : ring_.All()) {
-            if (reply->seed_ring.size() >= kSeedRingLimit) {
+            if (join_reply->seed_ring.size() >= kSeedRingLimit) {
               break;
             }
-            reply->seed_ring.push_back(info);
+            join_reply->seed_ring.push_back(info);
           }
         }
-        Reply(*message, std::move(reply));
+        Reply(*message, std::move(join_reply));
       });
 }
 
@@ -1314,6 +1315,26 @@ const GroupStateMachine* ScatterNode::GroupSm(GroupId id) const {
 const paxos::Replica* ScatterNode::GroupReplica(GroupId id) const {
   auto it = hosted_.find(id);
   return it == hosted_.end() ? nullptr : it->second.replica.get();
+}
+
+const txn::GroupOpDriver* ScatterNode::GroupDriver(GroupId id) const {
+  auto it = hosted_.find(id);
+  return it == hosted_.end() ? nullptr : it->second.driver.get();
+}
+
+paxos::Replica* ScatterNode::MutableGroupReplicaForTest(GroupId id) {
+  Hosted* hosted = FindHosted(id);
+  return hosted == nullptr ? nullptr : hosted->replica.get();
+}
+
+membership::GroupStateMachine* ScatterNode::MutableGroupSmForTest(GroupId id) {
+  Hosted* hosted = FindHosted(id);
+  return hosted == nullptr ? nullptr : hosted->sm.get();
+}
+
+txn::GroupOpDriver* ScatterNode::MutableGroupDriverForTest(GroupId id) {
+  Hosted* hosted = FindHosted(id);
+  return hosted == nullptr ? nullptr : hosted->driver.get();
 }
 
 bool ScatterNode::HostsAnyGroup() const {

@@ -68,8 +68,16 @@ class ScatterNode : public rpc::RpcNode,
   std::vector<ring::GroupInfo> ServingInfos() const;
   const membership::GroupStateMachine* GroupSm(GroupId id) const;
   const paxos::Replica* GroupReplica(GroupId id) const;
+  // The structural-op driver of a hosted group (auditor introspection).
+  const txn::GroupOpDriver* GroupDriver(GroupId id) const;
   const ring::RingMap& ring_cache() const { return ring_; }
   bool HostsAnyGroup() const;
+
+  // Mutable access to hosted subsystems for mutation tests that seed
+  // invariant violations. Never used by protocol code.
+  paxos::Replica* MutableGroupReplicaForTest(GroupId id);
+  membership::GroupStateMachine* MutableGroupSmForTest(GroupId id);
+  txn::GroupOpDriver* MutableGroupDriverForTest(GroupId id);
 
   struct NodeStats {
     uint64_t client_ops_served = 0;
@@ -109,12 +117,13 @@ class ScatterNode : public rpc::RpcNode,
 
  private:
   struct Hosted {
-    // Destruction order matters: driver, then replica, then state machine
-    // (reverse of declaration) — replica teardown callbacks may touch the
-    // state machine.
+    // Destruction order matters (reverse of declaration): the replica goes
+    // first — its teardown fails pending proposals, and those callbacks
+    // (including the driver's own) may touch both the driver and the state
+    // machine — then the driver, then the state machine.
     std::unique_ptr<membership::GroupStateMachine> sm;
-    std::unique_ptr<paxos::Replica> replica;
     std::unique_ptr<txn::GroupOpDriver> driver;
+    std::unique_ptr<paxos::Replica> replica;
     bool teardown_scheduled = false;
     TimeMicros last_neighbor_refresh = 0;
     // Load tracking for the policy engine (leader only): ops served in the

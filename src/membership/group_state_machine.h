@@ -121,6 +121,17 @@ class GroupStateMachine : public paxos::StateMachine {
   // nullopt if undecided/unknown.
   std::optional<bool> OutcomeOf(uint64_t txn_id) const;
 
+  // --- Mutation-testing hooks ---------------------------------------------
+  // These deliberately break invariants (bypassing all apply-time
+  // validation) so auditor tests can prove each violation class is caught.
+  // Never called by protocol code.
+  void OverrideRangeForTest(const ring::KeyRange& range) {
+    state_.range = range;
+  }
+  void InjectKeyForTest(Key key, Value value) {
+    state_.data.Put(key, std::move(value));
+  }
+
   struct Stats {
     uint64_t puts_applied = 0;
     uint64_t puts_rejected_frozen = 0;

@@ -55,6 +55,13 @@ Replica::~Replica() {
   pending_reads_.clear();
 }
 
+void Replica::CorruptCommittedEntryForTest(uint64_t index) {
+  const LogEntry* entry = log_.At(index);
+  SCATTER_CHECK(entry != nullptr);
+  SCATTER_CHECK(index <= commit_index_);
+  log_.Set(index, entry->ballot, std::make_shared<NoOpCommand>());
+}
+
 // ---------------------------------------------------------------------------
 // Role transitions
 // ---------------------------------------------------------------------------
@@ -634,8 +641,11 @@ void Replica::OnHeartbeatTimer() {
     return;
   }
   BroadcastAppends();
-  // Failure detector: flag members that have gone silent.
-  for (NodeId member : config_) {
+  // Failure detector: flag members that have gone silent. OnMemberSuspected
+  // may synchronously propose a removal, which reassigns config_ — walk a
+  // snapshot so the iteration survives.
+  const std::vector<NodeId> members = config_;
+  for (NodeId member : members) {
     if (member == self_) {
       continue;
     }

@@ -128,6 +128,9 @@ class Replica {
   uint64_t commit_index() const { return commit_index_; }
   uint64_t applied_index() const { return applied_index_; }
   uint64_t last_log_index() const { return log_.last_index(); }
+  // The raw accepted log (read-only; the invariant auditor compares
+  // committed slots across replicas through this).
+  const Log& log() const { return log_; }
   Ballot promised() const { return promised_; }
   bool has_started() const { return started_; }
   // True while the leader's lease covers local reads right now.
@@ -148,6 +151,12 @@ class Replica {
   // Leader only: each member's self-reported centrality (0 if unknown);
   // includes self. Input to the placement policy.
   std::vector<std::pair<NodeId, TimeMicros>> MemberCentralities() const;
+
+  // Mutation-testing hook: overwrites the committed entry at `index` with a
+  // fresh no-op, silently diverging this replica from its peers. Exists so
+  // auditor tests can prove the continuous Paxos checker detects committed
+  // -slot divergence; never called by protocol code.
+  void CorruptCommittedEntryForTest(uint64_t index);
 
   struct Stats {
     uint64_t elections_started = 0;

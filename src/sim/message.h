@@ -71,6 +71,9 @@ enum class MessageType : uint16_t {
   kChordPong,
 };
 
+// Human-readable tag name, for trace artifacts and diagnostics.
+const char* MessageTypeName(MessageType type);
+
 struct Message {
   explicit Message(MessageType t) : type(t) {}
   virtual ~Message() = default;

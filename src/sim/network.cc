@@ -143,6 +143,11 @@ void Network::Deliver(const MessagePtr& message) {
     return;
   }
   delivered_++;
+  if (sim_->trace_enabled()) {
+    sim_->Trace(std::string(MessageTypeName(message->type)) + " " +
+                std::to_string(message->from) + "->" +
+                std::to_string(message->to));
+  }
   it->second->HandleMessage(message);
 }
 

@@ -14,7 +14,7 @@ int64_t SimClock(void* arg) {
 
 }  // namespace
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {
+Simulator::Simulator(uint64_t seed) : seed_(seed), rng_(seed) {
   SetLogClock(&SimClock, this);
 }
 
@@ -52,11 +52,44 @@ bool Simulator::Step() {
     callbacks_.erase(it);
     SCATTER_CHECK(ev.at >= now_);
     now_ = ev.at;
+    current_seq_ = ev.seq;
     events_processed_++;
     fn();
+    if (audit_hook_ && events_processed_ % audit_every_ == 0) {
+      audit_hook_();
+    }
     return true;
   }
   return false;
+}
+
+void Simulator::SetAuditHook(uint64_t every_n_events, AuditHook hook) {
+  SCATTER_CHECK(every_n_events > 0);
+  SCATTER_CHECK(!audit_hook_);  // one auditor per simulator
+  audit_every_ = every_n_events;
+  audit_hook_ = std::move(hook);
+}
+
+void Simulator::ClearAuditHook() {
+  audit_every_ = 0;
+  audit_hook_ = nullptr;
+}
+
+void Simulator::SetTraceCapacity(size_t capacity) {
+  trace_capacity_ = capacity;
+  while (trace_.size() > trace_capacity_) {
+    trace_.pop_front();
+  }
+}
+
+void Simulator::Trace(std::string label) {
+  if (trace_capacity_ == 0) {
+    return;
+  }
+  trace_.push_back(TraceEntry{now_, current_seq_, std::move(label)});
+  if (trace_.size() > trace_capacity_) {
+    trace_.pop_front();
+  }
 }
 
 void Simulator::Run() {

@@ -9,8 +9,10 @@
 #define SCATTER_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -63,6 +65,35 @@ class Simulator {
 
   uint64_t events_processed() const { return events_processed_; }
   size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  uint64_t seed() const { return seed_; }
+
+  // --- Continuous auditing -------------------------------------------------
+  // Installs `hook` to run after every `every_n_events` processed events,
+  // between event callbacks (never reentrantly inside one). At most one hook
+  // may be installed; the invariant auditor uses this to check protocol
+  // invariants continuously instead of only at quiescence.
+  using AuditHook = std::function<void()>;
+  void SetAuditHook(uint64_t every_n_events, AuditHook hook);
+  void ClearAuditHook();
+
+  // --- Event tracing -------------------------------------------------------
+  // A bounded ring of annotated events. Components (e.g. the network) label
+  // interesting occurrences via Trace(); when an invariant trips, the last
+  // `capacity` annotations are dumped as a replay aid — together with the
+  // seed they pin down the exact deterministic run. Capacity 0 (default)
+  // disables tracing entirely, keeping the hot loop annotation-free.
+  struct TraceEntry {
+    TimeMicros at = 0;
+    uint64_t seq = 0;  // insertion sequence of the event being annotated
+    std::string label;
+  };
+  void SetTraceCapacity(size_t capacity);
+  bool trace_enabled() const { return trace_capacity_ > 0; }
+  // Annotates the currently-firing event. No-op while tracing is disabled.
+  void Trace(std::string label);
+  std::vector<TraceEntry> TraceSnapshot() const {
+    return {trace_.begin(), trace_.end()};
+  }
 
  private:
   struct Event {
@@ -79,13 +110,20 @@ class Simulator {
   };
 
   TimeMicros now_ = 0;
+  uint64_t seed_ = 0;
   Rng rng_;
   uint64_t next_seq_ = 1;
   TimerId next_id_ = 1;
   uint64_t events_processed_ = 0;
+  uint64_t current_seq_ = 0;  // seq of the event currently firing
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::unordered_map<TimerId, std::function<void()>> callbacks_;
   std::unordered_set<TimerId> cancelled_;
+
+  uint64_t audit_every_ = 0;
+  AuditHook audit_hook_;
+  size_t trace_capacity_ = 0;
+  std::deque<TraceEntry> trace_;
 };
 
 // RAII owner of timers: cancels everything it scheduled when destroyed.

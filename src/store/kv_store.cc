@@ -89,6 +89,30 @@ size_t KvStore::CountRange(const ring::KeyRange& range) const {
   return n;
 }
 
+std::optional<Key> KvStore::FirstKeyOutside(const ring::KeyRange& range) const {
+  if (range.IsFull() || entries_.empty()) {
+    return std::nullopt;
+  }
+  // Offending keys lie on the complement arc [end, begin).
+  if (range.begin < range.end) {
+    // Complement wraps: [end, max] then [0, begin).
+    auto it = entries_.lower_bound(range.end);
+    if (it != entries_.end()) {
+      return it->first;
+    }
+    if (entries_.begin()->first < range.begin) {
+      return entries_.begin()->first;
+    }
+    return std::nullopt;
+  }
+  // Range wraps, complement is the plain arc [end, begin).
+  auto it = entries_.lower_bound(range.end);
+  if (it != entries_.end() && it->first < range.begin) {
+    return it->first;
+  }
+  return std::nullopt;
+}
+
 void KvStore::MergeFrom(const KvStore& other) {
   for (const auto& [k, v] : other.entries_) {
     InsertRaw(k, v);

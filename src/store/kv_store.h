@@ -41,6 +41,11 @@ class KvStore {
   // Number of keys in `range`.
   size_t CountRange(const ring::KeyRange& range) const;
 
+  // Some stored key NOT contained in `range`, or nullopt when every key is.
+  // O(log n): only the complement arc's boundaries are probed, so the
+  // invariant auditor can assert store/range containment continuously.
+  std::optional<Key> FirstKeyOutside(const ring::KeyRange& range) const;
+
   // Copies every entry of `other` into this store (overwriting duplicates;
   // group ops only merge disjoint ranges, so overwrites indicate a bug
   // upstream but are harmless here).

@@ -14,6 +14,48 @@ using membership::PrepareCommand;
 using membership::RingTxn;
 using membership::SplitCommand;
 
+const char* GroupOpDriver::PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kIdle:
+      return "Idle";
+    case Phase::kStarting:
+      return "Starting";
+    case Phase::kPreparing:
+      return "Preparing";
+    case Phase::kDeciding:
+      return "Deciding";
+    case Phase::kNotifying:
+      return "Notifying";
+  }
+  return "Unknown";
+}
+
+bool GroupOpDriver::LegalPhaseTransition(Phase from, Phase to) {
+  if (to == Phase::kIdle) {
+    return true;  // Finish resigns from any phase.
+  }
+  switch (from) {
+    case Phase::kIdle:
+      // kPreparing directly when inheriting an in-flight coordinated
+      // transaction after a leader change.
+      return to == Phase::kStarting || to == Phase::kPreparing;
+    case Phase::kStarting:
+      return to == Phase::kPreparing;
+    case Phase::kPreparing:
+      return to == Phase::kDeciding;
+    case Phase::kDeciding:
+      return to == Phase::kNotifying;
+    case Phase::kNotifying:
+      return false;  // Only Finish leaves kNotifying.
+  }
+  return false;
+}
+
+void GroupOpDriver::TransitionTo(Phase to) {
+  SCATTER_CHECK(LegalPhaseTransition(phase_, to));
+  phase_ = to;
+}
+
 GroupOpDriver::GroupOpDriver(sim::Simulator* sim, DriverHost* host,
                              paxos::Replica* replica,
                              membership::GroupStateMachine* state_machine,
@@ -57,7 +99,7 @@ void GroupOpDriver::Poke() {
       phase_ == Phase::kIdle) {
     // We inherited an in-flight coordinated transaction (leader change).
     txn_ = sm_->state().active->txn;
-    phase_ = Phase::kPreparing;
+    TransitionTo(Phase::kPreparing);
     phase_started_ = sim_->now();
     SendPrepare();
     return;
@@ -163,7 +205,7 @@ void GroupOpDriver::StartTxn(RingTxn txn, DoneCallback done) {
   stats_.txns_started++;
   txn_ = txn;
   done_ = std::move(done);
-  phase_ = Phase::kStarting;
+  TransitionTo(Phase::kStarting);
   phase_started_ = sim_->now();
   auto cmd = std::make_shared<CoordStartCommand>();
   cmd->txn = std::move(txn);
@@ -179,7 +221,7 @@ void GroupOpDriver::StartTxn(RingTxn txn, DoneCallback done) {
       Finish(AbortedError("coordinator start rejected at apply"));
       return;
     }
-    phase_ = Phase::kPreparing;
+    TransitionTo(Phase::kPreparing);
     phase_started_ = sim_->now();
     SendPrepare();
   });
@@ -237,7 +279,7 @@ void GroupOpDriver::OnPrepareReply(const TxnPrepareReplyMsg& m) {
 
 void GroupOpDriver::Decide(bool commit) {
   SCATTER_CHECK(txn_.has_value());
-  phase_ = Phase::kDeciding;
+  TransitionTo(Phase::kDeciding);
   auto cmd = std::make_shared<CoordDecideCommand>();
   cmd->txn_id = txn_->id;
   cmd->commit = commit;
@@ -264,7 +306,7 @@ void GroupOpDriver::Decide(bool commit) {
         } else {
           stats_.txns_aborted++;
         }
-        phase_ = Phase::kNotifying;
+        TransitionTo(Phase::kNotifying);
         SendDecision();
       });
 }
@@ -303,7 +345,7 @@ void GroupOpDriver::OnDecisionAck(const TxnDecisionAckMsg& m) {
 }
 
 void GroupOpDriver::Finish(Status status) {
-  phase_ = Phase::kIdle;
+  TransitionTo(Phase::kIdle);
   txn_.reset();
   prepare_reply_.reset();
   if (done_) {

@@ -90,7 +90,8 @@ class GroupOpDriver {
   };
   const Stats& stats() const { return stats_; }
 
- private:
+  // Coordinator-side 2PC progress. Public so the invariant auditor can
+  // validate the driver against the legal transition lattice.
   enum class Phase {
     kIdle,
     kStarting,    // CoordStart proposed, not yet applied
@@ -98,8 +99,30 @@ class GroupOpDriver {
     kDeciding,    // CoordDecide proposed, not yet applied
     kNotifying,   // decision committed locally, awaiting participant ack
   };
+  static const char* PhaseName(Phase phase);
 
+  // The legal prepare/commit/abort lattice. Finish (-> kIdle) is reachable
+  // from anywhere; forward progress is strictly kIdle -> kStarting ->
+  // kPreparing -> kDeciding -> kNotifying, except that a successor leader
+  // rebuilding its agenda from the state machine enters at kPreparing.
+  static bool LegalPhaseTransition(Phase from, Phase to);
+
+  Phase phase() const { return phase_; }
+  // Id of the transaction the coordinator side is driving (nullopt when
+  // idle).
+  std::optional<uint64_t> active_txn_id() const {
+    return txn_ ? std::optional<uint64_t>(txn_->id) : std::nullopt;
+  }
+
+  // Mutation-testing hook: forces the raw phase without going through the
+  // transition lattice, so auditor tests can prove illegal states are
+  // detected. Never called by protocol code.
+  void ForcePhaseForTest(Phase phase) { phase_ = phase; }
+
+ private:
   void StartTxn(membership::RingTxn txn, DoneCallback done);
+  // Moves phase_ along the lattice, checking legality.
+  void TransitionTo(Phase to);
   void SendPrepare();
   void Decide(bool commit);
   void SendDecision();

@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/common/histogram.h"
 #include "src/common/random.h"
 #include "src/core/cluster.h"
@@ -118,9 +119,14 @@ void BM_HistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecord);
 
-// One full replicated commit: client-visible put against a 5-replica group
-// on a simulated LAN (measures the whole stack: rpc, paxos, state machine).
+// Full replicated commits: client-visible puts against a 5-replica group on
+// a simulated LAN (measures the whole stack: rpc, paxos, state machine).
+// Arg = number of concurrent in-flight proposals (closed loop); each
+// benchmark iteration is one committed op, so items_per_second is
+// committed-ops/sec. Higher concurrency exercises the leader's group-commit
+// batching and pipelining.
 void BM_PaxosCommit(benchmark::State& state) {
+  const uint64_t concurrency = static_cast<uint64_t>(state.range(0));
   core::ClusterConfig cfg;
   cfg.seed = 77;
   cfg.initial_nodes = 5;
@@ -128,17 +134,36 @@ void BM_PaxosCommit(benchmark::State& state) {
   core::Cluster cluster(cfg);
   cluster.RunFor(Seconds(2));
   core::Client* client = cluster.AddClient();
-  uint64_t i = 0;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
   for (auto _ : state) {
-    bool done = false;
-    client->Put(i++, "v", [&done](Status) { done = true; });
-    while (!done) {
+    while (issued - completed < concurrency) {
+      client->Put(issued++, "v", [&completed](Status) { completed++; });
+    }
+    const uint64_t want = completed + 1;
+    while (completed < want) {
       cluster.sim().Step();
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  // Commit-path efficiency: average Accept batch size and protocol messages
+  // per committed op, aggregated over the single group's replicas.
+  bench::CommitPathSummary summary;
+  uint64_t group_committed = 0;
+  for (NodeId id : cluster.live_node_ids()) {
+    const core::ScatterNode* node = cluster.node(id);
+    for (const auto* sm : node->ServingGroups()) {
+      const paxos::Replica* rep = node->GroupReplica(sm->id());
+      summary.AbsorbReplica(rep->stats());
+      group_committed = std::max(group_committed,
+                                 rep->stats().entries_committed);
+    }
+  }
+  summary.AddCommittedOps(group_committed);
+  state.counters["avg_batch"] = summary.AvgBatch();
+  state.counters["msgs_per_op"] = summary.MsgsPerCommittedOp();
 }
-BENCHMARK(BM_PaxosCommit);
+BENCHMARK(BM_PaxosCommit)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_LeaseRead(benchmark::State& state) {
   const bool lease = state.range(0) != 0;

@@ -8,6 +8,9 @@
 // latency stay roughly flat.
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/cluster.h"
@@ -17,12 +20,13 @@ namespace scatter {
 namespace {
 
 constexpr TimeMicros kWarmup = Seconds(3);
-constexpr TimeMicros kMeasure = Seconds(30);
+TimeMicros g_measure = Seconds(30);
 
 struct Result {
   uint64_t ops = 0;
   double throughput = 0;  // ops per simulated second
   workload::WorkloadStats stats;
+  bench::CommitPathSummary commit_path;
 };
 
 Result RunOne(size_t nodes, uint64_t seed) {
@@ -45,31 +49,56 @@ Result RunOne(size_t nodes, uint64_t seed) {
   }
   workload::WorkloadDriver driver(&cluster.sim(), clients, wcfg);
   driver.Start();
-  cluster.RunFor(kMeasure);
+  cluster.RunFor(g_measure);
   driver.Stop();
   cluster.RunFor(Seconds(2));
 
   Result out;
+  // Commit-path efficiency: message counters from every replica, committed
+  // ops once per group (the group's max over its replicas).
+  std::map<GroupId, uint64_t> committed_per_group;
+  for (NodeId id : cluster.live_node_ids()) {
+    const core::ScatterNode* node = cluster.node(id);
+    for (const auto* sm : node->ServingGroups()) {
+      const paxos::Replica* rep = node->GroupReplica(sm->id());
+      out.commit_path.AbsorbReplica(rep->stats());
+      uint64_t& committed = committed_per_group[sm->id()];
+      committed = std::max(committed, rep->stats().entries_committed);
+    }
+  }
+  for (const auto& [gid, committed] : committed_per_group) {
+    out.commit_path.AddCommittedOps(committed);
+  }
   out.stats = driver.stats();
   out.ops = out.stats.ops_ok();
   out.throughput =
       static_cast<double>(out.ops) /
-      (static_cast<double>(kMeasure) / static_cast<double>(Seconds(1)));
+      (static_cast<double>(g_measure) / static_cast<double>(Seconds(1)));
   return out;
 }
 
 }  // namespace
 }  // namespace scatter
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scatter;
+  // --quick: CI smoke — two small clusters, short measurement window.
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  if (quick) {
+    g_measure = Seconds(5);
+  }
   bench::Banner("E6", "throughput scale-out with cluster size");
 
   bench::Table table("scale-out (fixed per-node offered load)",
                      {"nodes", "groups", "clients", "ops_ok", "ops_per_s",
-                      "ops_per_node_s", "avail", "rd_ms", "wr_ms"});
+                      "ops_per_node_s", "avail", "rd_ms", "wr_ms",
+                      "avg_batch", "msgs_per_op"});
   double base_per_node = 0;
-  for (size_t nodes : {12, 24, 48, 96, 192, 384}) {
+  std::vector<size_t> sweep = {12, 24, 48, 96, 192, 384};
+  if (quick) {
+    sweep = {12, 24};
+  }
+  for (size_t nodes : sweep) {
     const Result r = RunOne(nodes, 9000 + nodes);
     const double per_node = r.throughput / static_cast<double>(nodes);
     if (base_per_node == 0) {
@@ -85,6 +114,8 @@ int main() {
         bench::FmtPct(r.stats.availability()),
         bench::FmtMs(static_cast<TimeMicros>(r.stats.read_latency.mean())),
         bench::FmtMs(static_cast<TimeMicros>(r.stats.write_latency.mean())),
+        bench::Fmt(r.commit_path.AvgBatch()),
+        bench::Fmt(r.commit_path.MsgsPerCommittedOp()),
     });
   }
   table.Print();

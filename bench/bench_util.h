@@ -73,6 +73,54 @@ inline std::string FmtMs(TimeMicros us, int precision = 2) {
   return Fmt(static_cast<double>(us) / 1000.0, precision);
 }
 
+// Aggregated commit-path counters (from paxos::Replica::Stats) so batching
+// and pipelining wins show up in every bench report. Message counters are
+// absorbed from every replica; committed ops are added once per group (the
+// group's max over its replicas) so messages-per-committed-op counts each
+// client op exactly once.
+struct CommitPathSummary {
+  uint64_t accept_broadcasts = 0;
+  uint64_t accepts_sent = 0;
+  uint64_t accept_entries_sent = 0;
+  uint64_t acks_sent = 0;
+  uint64_t acks_coalesced = 0;
+  uint64_t messages_sent = 0;
+  uint64_t committed_ops = 0;
+
+  template <typename ReplicaStats>
+  void AbsorbReplica(const ReplicaStats& s) {
+    accept_broadcasts += s.accept_broadcasts;
+    accepts_sent += s.accepts_sent;
+    accept_entries_sent += s.accept_entries_sent;
+    acks_sent += s.acks_sent;
+    acks_coalesced += s.acks_coalesced;
+    messages_sent += s.messages_sent;
+  }
+  void AddCommittedOps(uint64_t n) { committed_ops += n; }
+
+  double AvgBatch() const {
+    return accepts_sent == 0
+               ? 0.0
+               : static_cast<double>(accept_entries_sent) /
+                     static_cast<double>(accepts_sent);
+  }
+  double MsgsPerCommittedOp() const {
+    return committed_ops == 0
+               ? 0.0
+               : static_cast<double>(messages_sent) /
+                     static_cast<double>(committed_ops);
+  }
+
+  void Print(const std::string& title) const {
+    Table t(title, {"committed", "accepts", "avg_batch", "acks",
+                    "acks_coalesced", "msgs", "msgs_per_op"});
+    t.AddRow({FmtInt(committed_ops), FmtInt(accepts_sent), Fmt(AvgBatch()),
+              FmtInt(acks_sent), FmtInt(acks_coalesced), FmtInt(messages_sent),
+              Fmt(MsgsPerCommittedOp())});
+    t.Print();
+  }
+};
+
 inline void Banner(const char* id, const char* what) {
   std::printf("\n##############################################################\n");
   std::printf("## %s — %s\n", id, what);

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Records the repo's performance baseline: runs the microbenchmarks and
+# writes their JSON report to BENCH_micro.json at the repo root (committed,
+# so perf regressions show up as diffs), then smoke-runs bench_scale so the
+# commit-path counters stay exercised.
+#
+#   scripts/bench_snapshot.sh              # full run (default build tree)
+#   BUILD_DIR=build-foo scripts/bench_snapshot.sh
+#
+# The pinned google-benchmark takes --benchmark_min_time as a plain number
+# of seconds (no 's' suffix).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+MIN_TIME="${MIN_TIME:-0.5}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_micro" ]]; then
+  echo "bench_micro not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+echo "=== bench_micro -> BENCH_micro.json (min_time=${MIN_TIME}s) ==="
+"$BUILD_DIR/bench/bench_micro" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json > BENCH_micro.json
+# Human-readable echo of the headline numbers.
+grep -E '"(name|items_per_second|avg_batch|msgs_per_op)"' BENCH_micro.json |
+  sed 's/^ *//' || true
+
+echo "=== bench_scale smoke ==="
+"$BUILD_DIR/bench/bench_scale" --quick
+
+echo "=== baseline recorded in BENCH_micro.json ==="

@@ -7,6 +7,7 @@
 #   scripts/ci.sh address         # just the ASan leg
 #   scripts/ci.sh undefined       # just the UBSan leg
 #   scripts/ci.sh lint            # just clang-tidy on changed files
+#   scripts/ci.sh bench           # just the benchmark smoke (plain build)
 #
 # Build trees go to build-asan/ and build-ubsan/ so they never disturb the
 # developer's plain build/.
@@ -28,6 +29,21 @@ run_sanitized() {
   ( cd "$dir" && ctest --output-on-failure -j "$JOBS" )
 }
 
+run_bench_smoke() {
+  # Benchmarks must keep building and running; this is a smoke, not a
+  # measurement (use scripts/bench_snapshot.sh to record the baseline).
+  # Note: the pinned google-benchmark wants --benchmark_min_time as a plain
+  # number of seconds, no 's' suffix.
+  local bdir="${BUILD_DIR:-build}"
+  echo "=== bench smoke ($bdir) ==="
+  if [[ ! -x "$bdir/bench/bench_micro" ]]; then
+    cmake -B "$bdir" -S .
+    cmake --build "$bdir" -j "$JOBS"
+  fi
+  "$bdir/bench/bench_micro" --benchmark_min_time=0.01
+  "$bdir/bench/bench_scale" --quick
+}
+
 run_lint() {
   echo "=== clang-tidy (changed files) ==="
   # Lint against the ASan tree if present (it has compile_commands.json),
@@ -40,14 +56,16 @@ run_lint() {
 case "${1:-all}" in
   address|undefined|thread) run_sanitized "$1" ;;
   lint) run_lint ;;
+  bench) run_bench_smoke ;;
   all)
     run_sanitized address
     run_sanitized undefined
+    run_bench_smoke
     run_lint
-    echo "=== CI green: ASan + UBSan suites clean, lint done ==="
+    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, lint done ==="
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|lint|all]" >&2
+    echo "usage: $0 [address|undefined|thread|lint|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -297,7 +297,18 @@ void ScatterNode::OnRequest(const MessagePtr& message) {
     case MessageType::kPaxosPing:
     case MessageType::kPaxosPong: {
       auto pm = std::static_pointer_cast<paxos::PaxosMessage>(message);
-      if (Hosted* h = FindHosted(pm->group); h != nullptr) {
+      Hosted* h = FindHosted(pm->group);
+      if (h == nullptr && message->type == MessageType::kPaxosSnapshot &&
+          sim::As<paxos::SnapshotMsg>(message).bootstrap) {
+        // The leader added us to this group but the join reply that would
+        // have created our replica raced with the config-change commit (or
+        // was lost); host a joiner replica for the snapshot to land in.
+        GroupState initial;
+        initial.id = pm->group;
+        CreateHosted(pm->group, std::move(initial), /*founding_members=*/{});
+        h = FindHosted(pm->group);
+      }
+      if (h != nullptr) {
         h->replica->OnMessage(pm);
       }
       return;

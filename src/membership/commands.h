@@ -21,16 +21,33 @@
 
 namespace scatter::membership {
 
-// Per-client exactly-once bookkeeping: highest applied sequence number and
-// the recorded outcome of that operation, so retries return the original
-// result instead of re-executing. Shipped alongside data whenever a key
-// range changes owner, preserving exactly-once across splits, merges and
-// repartitions.
+// Per-client exactly-once bookkeeping: outcomes of recently applied
+// sequence numbers, so retries return the original result instead of
+// re-executing. A bounded window of results (rather than just a high-water
+// mark) lets one client session keep several ops in flight: under
+// commit-path batching and pipelining, concurrently issued ops can reach
+// the log out of sequence order, and a lone high-water mark would silently
+// drop the stragglers while acknowledging them as applied. Shipped
+// alongside data whenever a key range changes owner, preserving
+// exactly-once across splits, merges and repartitions.
 struct DedupEntry {
-  uint64_t seq = 0;
-  uint8_t code = 0;  // StatusCode of the applied op
+  uint64_t max_seq = 0;                 // highest sequence ever recorded
+  std::map<uint64_t, uint8_t> results;  // seq -> StatusCode, recent window
 };
 using DedupTable = std::map<uint64_t, DedupEntry>;  // client id -> entry
+
+// Results further than this below max_seq are pruned; a straggler arriving
+// below the horizon is treated as an already-applied duplicate. Must exceed
+// any client's in-flight op budget.
+inline constexpr uint64_t kDedupWindow = 128;
+
+inline size_t DedupByteSize(const DedupTable& table) {
+  size_t bytes = 0;
+  for (const auto& [client, entry] : table) {
+    bytes += 24 + 16 * entry.results.size();
+  }
+  return bytes;
+}
 
 enum class GroupCmdKind : uint8_t {
   kPut,
@@ -113,7 +130,7 @@ struct CoordStartCommand : GroupCommand {
 struct CoordDecideCommand : GroupCommand {
   CoordDecideCommand() : GroupCommand(GroupCmdKind::kCoordDecide) {}
   size_t ByteSize() const override {
-    return 96 + part_data.byte_size() + 24 * part_dedup.size() +
+    return 96 + part_data.byte_size() + DedupByteSize(part_dedup) +
            8 * part_members.size();
   }
   uint64_t txn_id = 0;
@@ -131,7 +148,7 @@ struct CoordDecideCommand : GroupCommand {
 struct PrepareCommand : GroupCommand {
   PrepareCommand() : GroupCommand(GroupCmdKind::kPrepare) {}
   size_t ByteSize() const override {
-    return 160 + coord_data.byte_size() + 24 * coord_dedup.size() +
+    return 160 + coord_data.byte_size() + DedupByteSize(coord_dedup) +
            8 * coord_members.size();
   }
   RingTxn txn;

@@ -61,12 +61,18 @@ bool GroupStateMachine::RecordClientOp(const paxos::AppCommand& cmd,
   if (cmd.client_id == 0) {
     return true;
   }
-  auto it = state_.dedup.find(cmd.client_id);
-  if (it != state_.dedup.end() && it->second.seq >= cmd.client_seq) {
+  DedupEntry& entry = state_.dedup[cmd.client_id];
+  const bool below_horizon = entry.max_seq >= kDedupWindow &&
+                             cmd.client_seq <= entry.max_seq - kDedupWindow;
+  if (below_horizon || entry.results.count(cmd.client_seq) != 0) {
     return false;  // Retry of an already-applied op; keep the original.
   }
-  state_.dedup[cmd.client_id] =
-      DedupEntry{cmd.client_seq, static_cast<uint8_t>(code)};
+  entry.results[cmd.client_seq] = static_cast<uint8_t>(code);
+  entry.max_seq = std::max(entry.max_seq, cmd.client_seq);
+  while (entry.max_seq >= kDedupWindow && !entry.results.empty() &&
+         entry.results.begin()->first <= entry.max_seq - kDedupWindow) {
+    entry.results.erase(entry.results.begin());
+  }
   return true;
 }
 
@@ -80,9 +86,14 @@ void GroupStateMachine::ApplyWrite(const GroupCommand& cmd) {
     stats_.puts_rejected_range++;
   } else if (state_.active.has_value()) {
     // Frozen for a structural transaction: the store must not change until
-    // the decision, or the shipped contribution would go stale.
-    code = StatusCode::kConflict;
+    // the decision, or the shipped contribution would go stale. The write
+    // had no effect, so do NOT record the rejection under (client, seq) —
+    // a recorded rejection would answer every retry of the same seq
+    // forever, and the op could never succeed once the freeze lifts. This
+    // races more readily under group-commit batching, where a write can
+    // ride the same broadcast as the freeze command that rejects it.
     stats_.puts_rejected_frozen++;
+    return;
   }
   if (!RecordClientOp(cmd, code)) {
     return;
@@ -342,16 +353,22 @@ void GroupStateMachine::ApplyUpdateNeighbor(const UpdateNeighborCommand& cmd) {
 std::optional<StatusCode> GroupStateMachine::ResultFor(uint64_t client_id,
                                                        uint64_t seq) const {
   auto it = state_.dedup.find(client_id);
-  if (it == state_.dedup.end() || it->second.seq < seq) {
+  if (it == state_.dedup.end()) {
     return std::nullopt;
   }
-  if (it->second.seq > seq) {
-    // A later op from the same client superseded this one; the original
-    // result is gone. Treat as applied-OK (clients issue ops sequentially,
-    // so this arises only for stale duplicate deliveries).
+  const DedupEntry& entry = it->second;
+  auto res = entry.results.find(seq);
+  if (res != entry.results.end()) {
+    return static_cast<StatusCode>(res->second);
+  }
+  if (entry.max_seq >= kDedupWindow && seq <= entry.max_seq - kDedupWindow) {
+    // Pruned below the window horizon: the original result is gone. Treat
+    // as applied-OK (only a very stale duplicate delivery can land here).
     return StatusCode::kOk;
   }
-  return static_cast<StatusCode>(it->second.code);
+  // In-window but unrecorded: not applied yet (possibly still in flight —
+  // concurrent ops from one session can commit out of seq order).
+  return std::nullopt;
 }
 
 std::optional<bool> GroupStateMachine::OutcomeOf(uint64_t txn_id) const {
@@ -369,9 +386,14 @@ std::vector<NodeId> GroupStateMachine::CurrentMembers() const {
 
 void GroupStateMachine::MergeDedup(DedupTable& into, const DedupTable& from) {
   for (const auto& [client, entry] : from) {
-    auto it = into.find(client);
-    if (it == into.end() || it->second.seq < entry.seq) {
-      into[client] = entry;
+    DedupEntry& dst = into[client];
+    dst.max_seq = std::max(dst.max_seq, entry.max_seq);
+    for (const auto& [seq, code] : entry.results) {
+      dst.results.emplace(seq, code);  // an op applies in exactly one group
+    }
+    while (dst.max_seq >= kDedupWindow && !dst.results.empty() &&
+           dst.results.begin()->first <= dst.max_seq - kDedupWindow) {
+      dst.results.erase(dst.results.begin());
     }
   }
 }

@@ -146,7 +146,7 @@ class GroupStateMachine : public paxos::StateMachine {
  private:
   struct Snapshot : paxos::SnapshotData {
     size_t ByteSize() const override {
-      return 256 + state.data.byte_size() + 24 * state.dedup.size() +
+      return 256 + state.data.byte_size() + DedupByteSize(state.dedup) +
              32 * state.txn_outcomes.size();
     }
     GroupState state;

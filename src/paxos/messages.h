@@ -58,11 +58,19 @@ struct PromiseMsg : PaxosMessage {
 };
 
 // Phase 2a (append). Carries zero or more consecutive entries starting at
-// prev_index + 1; an empty entry list is a heartbeat. Piggybacks the
-// leader's commit index and send timestamp (for lease accounting).
+// prev_index + 1; an empty entry list doubles as heartbeat and as a
+// commit-index notification. Piggybacks the leader's commit index and send
+// timestamp (for lease accounting). Under group-commit batching one Accept
+// routinely carries many client proposals, and the leader streams several
+// rounds back-to-back (pipelining) without waiting for acks; followers must
+// therefore tolerate out-of-order and duplicate rounds, which the
+// (prev_index, prev_ballot) anchor plus idempotent same-ballot appends
+// already guarantee.
 struct AcceptMsg : PaxosMessage {
   explicit AcceptMsg(GroupId g)
       : PaxosMessage(sim::MessageType::kPaxosAccept, g) {}
+  // Charges every carried entry (header + command payload) so the network
+  // byte histograms stay honest under batching.
   size_t ByteSize() const override {
     size_t bytes = 96;
     for (const LogEntry& e : entries) {
@@ -78,10 +86,15 @@ struct AcceptMsg : PaxosMessage {
   TimeMicros sent_at = 0;
 };
 
-// Phase 2b (append ack).
+// Phase 2b (append ack). One ack may answer several pipelined Accept rounds
+// at once: followers coalesce same-ballot acks within
+// PaxosConfig::ack_flush_window, reporting the highest match_index and the
+// latest leader send timestamp, which is safe because both are monotone
+// under one ballot (the lease grant derived from sent_at only grows).
 struct AcceptedMsg : PaxosMessage {
   explicit AcceptedMsg(GroupId g)
       : PaxosMessage(sim::MessageType::kPaxosAccepted, g) {}
+  size_t ByteSize() const override { return 96; }
   Ballot ballot;
   bool ok = false;
   Ballot promised;           // on ballot rejection: the blocking promise
@@ -112,6 +125,11 @@ struct SnapshotMsg : PaxosMessage {
   uint64_t config_index = 0;   // log index of that membership's entry
   SnapshotPtr data;
   TimeMicros sent_at = 0;
+  // Receiver is a joiner that may not host a replica for this group yet;
+  // its host should create one to install this snapshot into (the join
+  // reply that normally triggers that races with the config-change commit
+  // and can be lost).
+  bool bootstrap = false;
 };
 
 // Leadership transfer: the current leader tells `to` to campaign

@@ -9,9 +9,6 @@
 namespace scatter::paxos {
 namespace {
 
-// Entries shipped per AcceptMsg during catch-up.
-constexpr uint64_t kMaxBatch = 64;
-
 // A snapshot install is retransmitted if unacknowledged for this long.
 constexpr TimeMicros kSnapshotResend = Seconds(2);
 
@@ -90,6 +87,11 @@ void Replica::StepDown(Ballot seen) {
   heartbeat_timer_ = sim::kInvalidTimer;
   timers_.Cancel(fd_timer_);
   fd_timer_ = sim::kInvalidTimer;
+  timers_.Cancel(flush_timer_);
+  flush_timer_ = sim::kInvalidTimer;
+  flush_deadline_ = 0;
+  flush_ends_.clear();
+  last_flush_end_ = 0;
   votes_.clear();
   peers_.clear();
   term_barrier_index_ = 0;
@@ -132,7 +134,7 @@ void Replica::StartElection() {
     m->last_log_index = last_log_index();
     m->last_log_ballot = LastLogBallot();
     m->bypass_lease = transfer_election_;
-    host_->SendPaxos(peer, std::move(m));
+    Send(peer, std::move(m));
   }
   if (transfer_election_) {
     stats_.transfer_elections++;
@@ -160,6 +162,8 @@ void Replica::BecomeLeader() {
   // A config entry appended by a predecessor may still be uncommitted;
   // block further changes until it resolves.
   pending_config_index_ = config_index_ > commit_index_ ? config_index_ : 0;
+  flush_ends_.clear();
+  last_flush_end_ = 0;
   NoteLeader(self_);
   host_->OnRoleChanged(group_, /*is_leader=*/true);
   // Barrier no-op: commits everything inherited from prior ballots and
@@ -222,7 +226,7 @@ void Replica::HandlePrepare(const PrepareMsg& m) {
   if (m.ballot <= promised_) {
     reply->granted = false;
     reply->promised = promised_;
-    host_->SendPaxos(m.from, std::move(reply));
+    Send(m.from, std::move(reply));
     return;
   }
 
@@ -236,7 +240,7 @@ void Replica::HandlePrepare(const PrepareMsg& m) {
     reply->granted = false;
     reply->promised = promised_;
     reply->lease_wait = lease_until_ - now;
-    host_->SendPaxos(m.from, std::move(reply));
+    Send(m.from, std::move(reply));
     return;
   }
 
@@ -249,7 +253,7 @@ void Replica::HandlePrepare(const PrepareMsg& m) {
     }
     reply->granted = false;
     reply->promised = promised_;
-    host_->SendPaxos(m.from, std::move(reply));
+    Send(m.from, std::move(reply));
     return;
   }
 
@@ -261,7 +265,7 @@ void Replica::HandlePrepare(const PrepareMsg& m) {
   }
   reply->granted = true;
   reply->promised = promised_;
-  host_->SendPaxos(m.from, std::move(reply));
+  Send(m.from, std::move(reply));
 }
 
 void Replica::HandlePromise(const PromiseMsg& m) {
@@ -302,7 +306,8 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
   if (m.ballot < promised_) {
     reply->ok = false;
     reply->promised = promised_;
-    host_->SendPaxos(m.from, std::move(reply));
+    stats_.acks_sent++;
+    Send(m.from, std::move(reply));
     return;
   }
 
@@ -321,7 +326,8 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
     reply->ok = false;
     reply->need_from = 0;
     reply->promised = promised_;
-    host_->SendPaxos(m.from, std::move(reply));
+    stats_.acks_sent++;
+    Send(m.from, std::move(reply));
     return;
   }
 
@@ -340,10 +346,15 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
   }
 
   if (prev_index > last_log_index()) {
+    // Pipelined rounds can arrive out of order; nack so the leader backs up
+    // and resends, and flush any pending ack first so it cannot arrive
+    // after (and be masked by) this nack's resend.
+    FlushAck();
     reply->ok = false;
     reply->need_from = last_log_index() + 1;
     reply->promised = promised_;
-    host_->SendPaxos(m.from, std::move(reply));
+    stats_.acks_sent++;
+    Send(m.from, std::move(reply));
     return;
   }
   if (prev_index == m.prev_index && BallotAt(prev_index) != m.prev_ballot) {
@@ -352,10 +363,12 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
     SCATTER_CHECK(prev_index > commit_index_);
     log_.TruncateSuffix(prev_index);
     RecomputeVotingConfig();
+    FlushAck();
     reply->ok = false;
     reply->need_from = prev_index;
     reply->promised = promised_;
-    host_->SendPaxos(m.from, std::move(reply));
+    stats_.acks_sent++;
+    Send(m.from, std::move(reply));
     return;
   }
 
@@ -387,11 +400,51 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
     ApplyCommitted();
   }
 
+  QueueAck(m.from, m.ballot, m.prev_index + m.entries.size(), m.sent_at);
+}
+
+void Replica::QueueAck(NodeId to, Ballot ballot, uint64_t match_index,
+                       TimeMicros leader_sent_at) {
+  if (pending_ack_to_ != kInvalidNode &&
+      (pending_ack_to_ != to || pending_ack_ballot_ != ballot)) {
+    FlushAck();  // Never merge acks across leaders or ballots.
+  }
+  if (pending_ack_to_ == kInvalidNode) {
+    pending_ack_to_ = to;
+    pending_ack_ballot_ = ballot;
+    pending_ack_match_ = match_index;
+    pending_ack_sent_at_ = leader_sent_at;
+    ack_timer_ =
+        timers_.Schedule(cfg_.ack_flush_window, [this]() { FlushAck(); });
+    return;
+  }
+  // Merging keeps the highest match and the latest leader send timestamp;
+  // both are monotone under one ballot, so the merged ack is exactly what
+  // a fresh ack for the latest round would say.
+  stats_.acks_coalesced++;
+  pending_ack_match_ = std::max(pending_ack_match_, match_index);
+  pending_ack_sent_at_ = std::max(pending_ack_sent_at_, leader_sent_at);
+}
+
+void Replica::FlushAck() {
+  timers_.Cancel(ack_timer_);
+  ack_timer_ = sim::kInvalidTimer;
+  if (pending_ack_to_ == kInvalidNode) {
+    return;
+  }
+  auto reply = std::make_shared<AcceptedMsg>(group_);
+  reply->ballot = pending_ack_ballot_;
   reply->ok = true;
-  reply->match_index = m.prev_index + m.entries.size();
+  reply->match_index = pending_ack_match_;
   reply->applied_index = applied_index_;
+  reply->leader_sent_at = pending_ack_sent_at_;
   reply->centrality = Centrality();
-  host_->SendPaxos(m.from, std::move(reply));
+  const NodeId to = pending_ack_to_;
+  pending_ack_to_ = kInvalidNode;
+  pending_ack_match_ = 0;
+  pending_ack_sent_at_ = 0;
+  stats_.acks_sent++;
+  Send(to, std::move(reply));
 }
 
 void Replica::HandleAccepted(const AcceptedMsg& m) {
@@ -433,8 +486,11 @@ void Replica::HandleAccepted(const AcceptedMsg& m) {
       return;
     }
     MaybeAdvanceCommit();
-    if (peer.next_index <= last_log_index()) {
-      ReplicateTo(m.from);  // Keep catch-up flowing.
+    if (peer.next_index <= last_log_index() ||
+        peer.last_sent_commit < commit_index_) {
+      // The freed window may admit more rounds, and this ack's commit
+      // advance should reach the peer promptly.
+      ReplicateTo(m.from, /*allow_empty=*/false);
     }
     return;
   }
@@ -474,7 +530,7 @@ void Replica::HandleSnapshot(const SnapshotMsg& m) {
 
   if (started_ && m.last_included_index <= applied_index_) {
     reply->last_included_index = applied_index_;
-    host_->SendPaxos(m.from, std::move(reply));
+    Send(m.from, std::move(reply));
     return;
   }
 
@@ -496,7 +552,7 @@ void Replica::HandleSnapshot(const SnapshotMsg& m) {
                   << " installed snapshot at " << m.last_included_index;
 
   reply->last_included_index = m.last_included_index;
-  host_->SendPaxos(m.from, std::move(reply));
+  Send(m.from, std::move(reply));
 }
 
 void Replica::HandleSnapshotAck(const SnapshotAckMsg& m) {
@@ -511,6 +567,7 @@ void Replica::HandleSnapshotAck(const SnapshotAckMsg& m) {
   peer.last_ack = sim_->now();
   peer.suspected = false;
   peer.snapshot_inflight = false;
+  peer.bootstrap = false;
   if (m.leader_sent_at > 0) {
     peer.grant_until =
         m.leader_sent_at + cfg_.lease_duration - cfg_.clock_skew_bound;
@@ -538,7 +595,7 @@ uint64_t Replica::AppendLocal(CommandPtr command) {
   return index;
 }
 
-void Replica::ReplicateTo(NodeId peer_id) {
+void Replica::ReplicateTo(NodeId peer_id, bool allow_empty) {
   SCATTER_CHECK(role_ == Role::kLeader);
   auto it = peers_
                 .try_emplace(peer_id, Peer{.next_index = last_log_index() + 1,
@@ -561,33 +618,79 @@ void Replica::ReplicateTo(NodeId peer_id) {
     snap->config_index = applied_config_index_;
     snap->data = sm_->TakeSnapshot();
     snap->sent_at = sim_->now();
+    snap->bootstrap = peer.bootstrap;
     peer.snapshot_inflight = true;
     peer.snapshot_sent_at = sim_->now();
     stats_.snapshots_sent++;
-    host_->SendPaxos(peer_id, std::move(snap));
+    Send(peer_id, std::move(snap));
     return;
   }
 
+  // Stream rounds up to the pipeline window past the acked match index,
+  // advancing next_index optimistically. A round lost or reordered in
+  // flight comes back as a need_from nack (backstopped by the heartbeat's
+  // empty probe), which rewinds next_index for a resend.
+  const uint64_t window_end =
+      peer.match_index + cfg_.pipeline_depth * cfg_.max_batch_entries;
+  bool sent = false;
+  while (peer.next_index <= last_log_index() &&
+         peer.next_index <= window_end) {
+    auto m = std::make_shared<AcceptMsg>(group_);
+    m->ballot = promised_;
+    m->prev_index = peer.next_index - 1;
+    m->prev_ballot = BallotAt(m->prev_index);
+    const uint64_t last =
+        std::min({last_log_index(),
+                  peer.next_index + cfg_.max_batch_entries - 1, window_end});
+    for (uint64_t i = peer.next_index; i <= last; ++i) {
+      const LogEntry* e = log_.At(i);
+      SCATTER_CHECK(e != nullptr);
+      m->entries.push_back(*e);
+    }
+    m->commit_index = commit_index_;
+    m->sent_at = sim_->now();
+    stats_.accepts_sent++;
+    stats_.accept_entries_sent += m->entries.size();
+    peer.next_index = last + 1;
+    peer.last_sent_commit = commit_index_;
+    Send(peer_id, std::move(m));
+    sent = true;
+  }
+  if (sent || (!allow_empty && peer.last_sent_commit >= commit_index_)) {
+    return;
+  }
+  // Empty Accept: heartbeat, window probe, or commit notification.
   auto m = std::make_shared<AcceptMsg>(group_);
   m->ballot = promised_;
   m->prev_index = peer.next_index - 1;
   m->prev_ballot = BallotAt(m->prev_index);
-  const uint64_t last = std::min(last_log_index(),
-                                 peer.next_index + kMaxBatch - 1);
-  for (uint64_t i = peer.next_index; i <= last; ++i) {
-    const LogEntry* e = log_.At(i);
-    SCATTER_CHECK(e != nullptr);
-    m->entries.push_back(*e);
-  }
   m->commit_index = commit_index_;
   m->sent_at = sim_->now();
-  host_->SendPaxos(peer_id, std::move(m));
+  stats_.accepts_sent++;
+  peer.last_sent_commit = commit_index_;
+  Send(peer_id, std::move(m));
 }
 
-void Replica::BroadcastAppends() {
+void Replica::BootstrapJoiner(NodeId node) {
+  Peer& peer =
+      peers_.try_emplace(node, Peer{.next_index = 0, .last_ack = sim_->now()})
+          .first->second;
+  peer.leaving_at = 0;  // Re-added before it learned of a prior removal.
+  if (peer.match_index == 0) {
+    // Never heard from it: it may not host a replica for this group at all
+    // (the join reply that creates one races with the config-change
+    // commit). A bootstrap-flagged snapshot tells its host to create one.
+    peer.next_index = 0;
+    peer.bootstrap = true;
+  }
+  ReplicateTo(node);
+}
+
+void Replica::FlushAppends(bool force_empty) {
+  stats_.accept_broadcasts++;
   for (NodeId peer : config_) {
     if (peer != self_) {
-      ReplicateTo(peer);
+      ReplicateTo(peer, force_empty);
     }
   }
   // Departing peers stay on the list until they learn of their removal.
@@ -598,41 +701,105 @@ void Replica::BroadcastAppends() {
     }
   }
   for (NodeId id : leaving) {
-    ReplicateTo(id);
+    ReplicateTo(id, force_empty);
   }
+  if (last_flush_end_ < last_log_index()) {
+    last_flush_end_ = last_log_index();
+    flush_ends_.push_back(last_flush_end_);
+  }
+}
+
+void Replica::BroadcastAppends() { FlushAppends(/*force_empty=*/true); }
+
+void Replica::RequestFlush() {
+  if (role_ != Role::kLeader || last_flush_end_ >= last_log_index()) {
+    return;
+  }
+  if (cfg_.accept_flush_window > 0) {
+    ScheduleFlush(cfg_.accept_flush_window);
+  } else if (flush_ends_.empty()) {
+    // Nothing in flight: send immediately, so a lone sequential proposer
+    // pays no extra event-loop turn of latency.
+    Flush();
+  } else if (flush_ends_.size() < cfg_.pipeline_depth) {
+    // Flush on the next event-loop turn: everything else proposed in this
+    // turn rides one broadcast.
+    ScheduleFlush(0);
+  }
+  // Else the pipeline is full: the flush happens when a round commits
+  // (MaybeAdvanceCommit) or at the latest on the next heartbeat.
+}
+
+void Replica::ScheduleFlush(TimeMicros delay) {
+  const TimeMicros deadline = sim_->now() + delay;
+  if (flush_timer_ != sim::kInvalidTimer) {
+    if (flush_deadline_ <= deadline) {
+      return;  // An earlier (or equal) flush is already on its way.
+    }
+    timers_.Cancel(flush_timer_);
+  }
+  flush_deadline_ = deadline;
+  flush_timer_ = timers_.Schedule(delay, [this]() { Flush(); });
+}
+
+void Replica::Flush() {
+  flush_timer_ = sim::kInvalidTimer;
+  flush_deadline_ = 0;
+  if (role_ != Role::kLeader) {
+    return;
+  }
+  FlushAppends(/*force_empty=*/false);
 }
 
 void Replica::MaybeAdvanceCommit() {
   if (role_ != Role::kLeader) {
     return;
   }
+  // The quorum match: the QuorumSize()-th largest replicated index across
+  // the voting config (our own log always matches itself).
+  std::vector<uint64_t> matches;
+  matches.reserve(config_.size());
+  for (NodeId member : config_) {
+    if (member == self_) {
+      matches.push_back(last_log_index());
+      continue;
+    }
+    auto it = peers_.find(member);
+    matches.push_back(it == peers_.end() ? 0 : it->second.match_index);
+  }
+  std::sort(matches.begin(), matches.end(), std::greater<>());
+  const uint64_t quorum_match = matches[QuorumSize() - 1];
+  // Scan down for the highest quorum-replicated entry carrying our own
+  // ballot: it commits by counting, everything below it transitively.
   uint64_t best = commit_index_;
-  for (uint64_t n = commit_index_ + 1; n <= last_log_index(); ++n) {
-    size_t count = 0;
-    for (NodeId member : config_) {
-      if (member == self_) {
-        count++;  // Our own log always matches itself.
-        continue;
-      }
-      auto it = peers_.find(member);
-      if (it != peers_.end() && it->second.match_index >= n) {
-        count++;
-      }
-    }
-    if (count < QuorumSize()) {
-      break;  // Higher indexes can only have fewer acks.
-    }
-    // Only entries carrying our own ballot commit by counting; earlier
-    // entries commit transitively.
+  for (uint64_t n = quorum_match; n > commit_index_; --n) {
     if (BallotAt(n) == promised_) {
       best = n;
+      break;
     }
   }
-  if (best > commit_index_) {
-    stats_.entries_committed += best - commit_index_;
-    commit_index_ = best;
-    ApplyCommitted();
-    ServePendingReads();
+  if (best <= commit_index_) {
+    return;
+  }
+  stats_.entries_committed += best - commit_index_;
+  commit_index_ = best;
+  ApplyCommitted();
+  ServePendingReads();
+  // Close the broadcast rounds the commit passed. That frees pipeline
+  // slots, so release any deferred flush; otherwise make sure followers
+  // hear about the new commit index well before the next heartbeat.
+  while (!flush_ends_.empty() && flush_ends_.front() <= commit_index_) {
+    flush_ends_.pop_front();
+  }
+  if (last_flush_end_ < last_log_index()) {
+    RequestFlush();
+  } else {
+    for (const auto& [id, peer] : peers_) {
+      if (peer.last_sent_commit < commit_index_) {
+        ScheduleFlush(cfg_.commit_notify_interval);
+        break;
+      }
+    }
   }
 }
 
@@ -738,7 +905,7 @@ bool Replica::TransferLeadership(NodeId target) {
   stats_.transfers_initiated++;
   auto m = std::make_shared<TimeoutNowMsg>(group_);
   m->ballot = promised_;
-  host_->SendPaxos(target, std::move(m));
+  Send(target, std::move(m));
   return true;
 }
 
@@ -763,13 +930,13 @@ void Replica::ProbePeers() {
   }
   auto m = std::make_shared<PingMsg>(group_);
   m->sent_at = sim_->now();
-  host_->SendPaxos(target, std::move(m));
+  Send(target, std::move(m));
 }
 
 void Replica::HandlePing(const PingMsg& m) {
   auto reply = std::make_shared<PongMsg>(group_);
   reply->ping_sent_at = m.sent_at;
-  host_->SendPaxos(m.from, std::move(reply));
+  Send(m.from, std::move(reply));
 }
 
 void Replica::HandlePong(const PongMsg& m) {
@@ -866,7 +1033,9 @@ void Replica::Propose(CommandPtr command, CommitCallback callback) {
   }
   const uint64_t index = AppendLocal(std::move(command));
   pending_proposals_.emplace(index, std::move(callback));
-  BroadcastAppends();
+  // Group commit: the entry is in the log; the broadcast goes out on the
+  // next flush, coalescing every proposal that lands before it.
+  RequestFlush();
   MaybeAdvanceCommit();  // Single-node groups commit synchronously.
 }
 
@@ -898,7 +1067,13 @@ void Replica::ProposeConfigChange(ConfigCommand::Op op, NodeId node,
       AppendLocal(std::make_shared<ConfigCommand>(op, node));
   pending_config_index_ = index;
   pending_proposals_.emplace(index, std::move(callback));
-  BroadcastAppends();
+  if (op == ConfigCommand::Op::kAddMember) {
+    // The appended entry already counts `node` toward its own quorum
+    // (config takes effect at append), so start its catch-up now rather
+    // than after commit — with a bare-quorum config the commit needs it.
+    BootstrapJoiner(node);
+  }
+  RequestFlush();
   MaybeAdvanceCommit();
 }
 
@@ -924,13 +1099,18 @@ void Replica::LinearizableRead(ReadCallback callback) {
       index, [cb = std::move(callback)](StatusOr<uint64_t> result) {
         cb(result.ok() ? Status::Ok() : result.status());
       });
-  BroadcastAppends();
+  RequestFlush();
   MaybeAdvanceCommit();
 }
 
 // ---------------------------------------------------------------------------
 // Shared machinery
 // ---------------------------------------------------------------------------
+
+void Replica::Send(NodeId to, std::shared_ptr<PaxosMessage> message) {
+  stats_.messages_sent++;
+  host_->SendPaxos(to, std::move(message));
+}
 
 void Replica::ApplyCommitted() {
   while (applied_index_ < commit_index_) {
@@ -968,7 +1148,10 @@ void Replica::ApplyConfig(const ConfigCommand& cmd, uint64_t index) {
       pending_config_index_ = 0;
     }
     if (cmd.op == ConfigCommand::Op::kAddMember) {
-      ReplicateTo(cmd.node);  // Kicks off snapshot/catch-up for the joiner.
+      // Kicks off snapshot/catch-up for the joiner. Normally already under
+      // way since propose time; a new leader that inherited this entry
+      // starts it here.
+      BootstrapJoiner(cmd.node);
     } else if (auto it = peers_.find(cmd.node); it != peers_.end()) {
       // Keep the departing peer on the replication list until it holds the
       // entry that removed it, so it learns to stand down.

@@ -25,6 +25,7 @@
 #ifndef SCATTER_SRC_PAXOS_REPLICA_H_
 #define SCATTER_SRC_PAXOS_REPLICA_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <utility>
@@ -169,6 +170,15 @@ class Replica {
     uint64_t lease_reads = 0;
     uint64_t barrier_reads = 0;
     uint64_t proposals_failed = 0;
+    // Commit-path batching/pipelining visibility (bench reports derive
+    // avg batch = accept_entries_sent / accepts_sent and
+    // messages-per-committed-op = messages_sent / entries_committed).
+    uint64_t accept_broadcasts = 0;    // flush sweeps over all peers
+    uint64_t accepts_sent = 0;         // AcceptMsgs sent (incl. empty)
+    uint64_t accept_entries_sent = 0;  // log entries carried by them
+    uint64_t acks_sent = 0;            // AcceptedMsgs actually sent
+    uint64_t acks_coalesced = 0;       // acks merged into a pending one
+    uint64_t messages_sent = 0;        // every outgoing protocol message
   };
   const Stats& stats() const { return stats_; }
 
@@ -188,10 +198,17 @@ class Replica {
     bool snapshot_inflight = false;
     TimeMicros snapshot_sent_at = 0;
     bool suspected = false;
+    // Commit index carried by our last Accept to this peer; when it lags
+    // commit_index_ the peer is owed a commit notification.
+    uint64_t last_sent_commit = 0;
     // Nonzero: index of the config entry that removed this peer. We keep
     // replicating until the peer has that entry (so it learns it was
     // removed), then drop it.
     uint64_t leaving_at = 0;
+    // Fresh joiner that may not host a replica for this group yet; our
+    // snapshots to it carry the bootstrap flag so its host creates one.
+    // Cleared by the first snapshot ack.
+    bool bootstrap = false;
   };
 
   // --- Role transitions ---------------------------------------------
@@ -215,9 +232,28 @@ class Replica {
   // --- Leader machinery ----------------------------------------------
   // Appends a command to the local log at the next index with our ballot.
   uint64_t AppendLocal(CommandPtr command);
-  // Sends entries (or a snapshot) to one follower from its next_index.
-  void ReplicateTo(NodeId peer);
+  // Streams entry rounds (or a snapshot) to one follower from its
+  // next_index, up to the pipeline window past its match index, advancing
+  // next_index optimistically. With nothing to send, an empty Accept goes
+  // out if `allow_empty` (heartbeat) or the peer lags commit_index_
+  // (commit notification).
+  void ReplicateTo(NodeId peer, bool allow_empty = true);
+  // Starts catch-up for a member added by a config entry. A joiner we have
+  // never heard from gets a bootstrap snapshot immediately — before the
+  // entry commits — because the entry's own quorum already counts it: with
+  // a bare-quorum config the change can only commit once the joiner acks,
+  // and the joiner may not even host a replica until a snapshot tells its
+  // host to create one.
+  void BootstrapJoiner(NodeId node);
+  // One flush sweep over all peers. force_empty sends heartbeats to
+  // up-to-date peers too (heartbeat timer, new leader).
+  void FlushAppends(bool force_empty);
   void BroadcastAppends();
+  // Group-commit scheduling: proposals request a flush; rounds gate on
+  // pipeline_depth flushed-but-uncommitted broadcasts.
+  void RequestFlush();
+  void ScheduleFlush(TimeMicros delay);
+  void Flush();
   void MaybeAdvanceCommit();
   void OnHeartbeatTimer();
   void CheckQuorumConnectivity();
@@ -225,7 +261,17 @@ class Replica {
   void ServePendingReads();
   void FailPendingProposals(const Status& status);
 
+  // --- Follower machinery ---------------------------------------------
+  // Coalesces a positive append ack into the pending reply for (to,
+  // ballot); a pending ack for a different leader or ballot is flushed
+  // first. Nacks bypass the queue (the leader must react immediately).
+  void QueueAck(NodeId to, Ballot ballot, uint64_t match_index,
+                TimeMicros leader_sent_at);
+  void FlushAck();
+
   // --- Shared machinery ----------------------------------------------
+  // All outgoing protocol traffic funnels through here (message counting).
+  void Send(NodeId to, std::shared_ptr<PaxosMessage> message);
   void ApplyCommitted();
   void ApplyConfig(const ConfigCommand& cmd, uint64_t index);
   // Updates the voting config when a config entry is appended/truncated.
@@ -275,6 +321,18 @@ class Replica {
   uint64_t pending_config_index_ = 0;  // uncommitted config entry, 0 if none
   std::map<uint64_t, CommitCallback> pending_proposals_;  // by log index
   std::vector<std::pair<uint64_t, ReadCallback>> pending_reads_;
+  // Group-commit state: last log index covered by a flush, and the end
+  // index of each flushed-but-uncommitted broadcast round (front is pruned
+  // as the commit index passes it).
+  uint64_t last_flush_end_ = 0;
+  std::deque<uint64_t> flush_ends_;
+  TimeMicros flush_deadline_ = 0;
+
+  // Follower ack coalescing: the merged positive ack not yet sent.
+  NodeId pending_ack_to_ = kInvalidNode;
+  Ballot pending_ack_ballot_;
+  uint64_t pending_ack_match_ = 0;
+  TimeMicros pending_ack_sent_at_ = 0;
 
   // Candidate state.
   std::set<NodeId> votes_;
@@ -299,6 +357,8 @@ class Replica {
   sim::TimerId election_timer_ = sim::kInvalidTimer;
   sim::TimerId heartbeat_timer_ = sim::kInvalidTimer;
   sim::TimerId fd_timer_ = sim::kInvalidTimer;
+  sim::TimerId flush_timer_ = sim::kInvalidTimer;
+  sim::TimerId ack_timer_ = sim::kInvalidTimer;
   // Declared last: cancels all timers before other members are destroyed.
   sim::TimerOwner timers_;
 };

@@ -1,6 +1,5 @@
 #include "src/sim/simulator.h"
 
-#include <memory>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -20,41 +19,76 @@ Simulator::Simulator(uint64_t seed) : seed_(seed), rng_(seed) {
 
 Simulator::~Simulator() { SetLogClock(nullptr, nullptr); }
 
-TimerId Simulator::Schedule(TimeMicros delay, std::function<void()> fn) {
+uint32_t Simulator::AcquireSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  SCATTER_CHECK(slots_.size() < kNoSlot);
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.gen++;
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+TimerId Simulator::Schedule(TimeMicros delay, EventFn fn) {
   SCATTER_CHECK(delay >= 0);
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-TimerId Simulator::ScheduleAt(TimeMicros when, std::function<void()> fn) {
+TimerId Simulator::ScheduleAt(TimeMicros when, EventFn fn) {
   SCATTER_CHECK(when >= now_);
-  const TimerId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  const uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  queue_.push(Event{when, next_seq_++, slot, s.gen});
+  return EncodeId(slot, s.gen);
 }
 
 void Simulator::Cancel(TimerId id) {
-  if (callbacks_.erase(id) > 0) {
-    cancelled_.insert(id);
+  if (id == kInvalidTimer) {
+    return;
   }
+  const uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu) - 1;
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen || !slots_[slot].live) {
+    return;  // already fired or cancelled
+  }
+  slots_[slot].fn.Reset();
+  ReleaseSlot(slot);
+  stale_entries_++;  // its heap entry is still queued; Step/RunUntil skip it
 }
 
 bool Simulator::Step() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const Event ev = queue_.top();
     queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) {
+    Slot& s = slots_[ev.slot];
+    if (s.gen != ev.gen) {
+      stale_entries_--;
       continue;
     }
-    auto it = callbacks_.find(ev.id);
-    SCATTER_CHECK(it != callbacks_.end());
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
+    // Move the callback out and recycle the slot *before* firing, so the
+    // callback can freely schedule new events (possibly reusing this slot
+    // under a fresh generation).
+    EventFn fn = std::move(s.fn);
+    s.fn.Reset();
+    ReleaseSlot(ev.slot);
     SCATTER_CHECK(ev.at >= now_);
     now_ = ev.at;
     current_seq_ = ev.seq;
+    current_timer_ = EncodeId(ev.slot, ev.gen);
     events_processed_++;
     fn();
+    current_timer_ = kInvalidTimer;
     if (audit_hook_ && events_processed_ % audit_every_ == 0) {
       audit_hook_();
     }
@@ -101,8 +135,8 @@ void Simulator::RunUntil(TimeMicros t) {
   SCATTER_CHECK(t >= now_);
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
+    if (slots_[top.slot].gen != top.gen) {
+      stale_entries_--;
       queue_.pop();
       continue;
     }
@@ -114,17 +148,14 @@ void Simulator::RunUntil(TimeMicros t) {
   now_ = t;
 }
 
-TimerId TimerOwner::Schedule(TimeMicros delay, std::function<void()> fn) {
+TimerId TimerOwner::Schedule(TimeMicros delay, EventFn fn) {
   // The wrapper drops its own id from live_ when the event fires so live_
-  // only tracks genuinely pending events. The id is not known until the
-  // simulator assigns it, hence the shared slot.
-  auto slot = std::make_shared<TimerId>(kInvalidTimer);
-  const TimerId id =
-      sim_->Schedule(delay, [this, slot, fn = std::move(fn)]() {
-        live_.erase(*slot);
-        fn();
-      });
-  *slot = id;
+  // only tracks genuinely pending events; current_timer() identifies the
+  // firing event without any per-timer shared state.
+  const TimerId id = sim_->Schedule(delay, [this, fn = std::move(fn)]() mutable {
+    live_.erase(sim_->current_timer());
+    fn();
+  });
   live_.insert(id);
   return id;
 }

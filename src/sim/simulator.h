@@ -4,6 +4,14 @@
 // (fire time, insertion sequence). All protocol code runs inside event
 // callbacks; wall-clock time never appears anywhere in the system. A run is
 // bit-for-bit reproducible from the Simulator seed.
+//
+// Event storage is slot/generation based: callbacks live in a flat slot
+// vector recycled through a free list, and a TimerId encodes
+// (slot, generation) so cancellation is an O(1) array probe — no hash map
+// rendezvous or node allocation per event. Cancelled events are skipped
+// lazily when their heap entry surfaces (the generation no longer matches).
+// Callbacks are move-only EventFns with inline storage, so the steady-state
+// schedule/fire cycle performs no heap allocation at all.
 
 #ifndef SCATTER_SRC_SIM_SIMULATOR_H_
 #define SCATTER_SRC_SIM_SIMULATOR_H_
@@ -13,15 +21,17 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/common/types.h"
+#include "src/sim/event_fn.h"
 
 namespace scatter::sim {
 
+// Encodes (slot index + 1) in the low 32 bits and the slot's generation in
+// the high 32 bits. 0 is never a valid id.
 using TimerId = uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
@@ -42,13 +52,14 @@ class Simulator {
 
   // Schedules fn to run at now() + delay (delay >= 0). Returns an id that
   // can cancel the event before it fires.
-  TimerId Schedule(TimeMicros delay, std::function<void()> fn);
+  TimerId Schedule(TimeMicros delay, EventFn fn);
 
   // Schedules fn at an absolute virtual time (>= now()).
-  TimerId ScheduleAt(TimeMicros when, std::function<void()> fn);
+  TimerId ScheduleAt(TimeMicros when, EventFn fn);
 
   // Cancels a pending event. Harmless if the event already fired or was
-  // cancelled (ids are never reused).
+  // cancelled (ids are never reused: a recycled slot carries a fresh
+  // generation).
   void Cancel(TimerId id);
 
   // Runs the earliest pending event. Returns false when the queue is empty.
@@ -64,8 +75,13 @@ class Simulator {
   void RunFor(TimeMicros d) { RunUntil(now_ + d); }
 
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  size_t pending_events() const { return queue_.size() - stale_entries_; }
   uint64_t seed() const { return seed_; }
+
+  // Id of the event currently firing (kInvalidTimer outside a callback).
+  // Lets wrappers (TimerOwner) identify themselves without a per-event
+  // shared-state rendezvous.
+  TimerId current_timer() const { return current_timer_; }
 
   // --- Continuous auditing -------------------------------------------------
   // Installs `hook` to run after every `every_n_events` processed events,
@@ -96,10 +112,13 @@ class Simulator {
   }
 
  private:
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
   struct Event {
     TimeMicros at;
     uint64_t seq;
-    TimerId id;
+    uint32_t slot;
+    uint32_t gen;
     // Ordered for a min-heap via std::greater.
     friend bool operator>(const Event& a, const Event& b) {
       if (a.at != b.at) {
@@ -109,16 +128,34 @@ class Simulator {
     }
   };
 
+  struct Slot {
+    EventFn fn;
+    uint32_t gen = 1;  // bumped on every release; stale heap entries mismatch
+    uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
+  static TimerId EncodeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(gen) << 32) |
+           (static_cast<uint64_t>(slot) + 1);
+  }
+
+  uint32_t AcquireSlot();
+  // Bumps the generation and returns the slot to the free list. The slot's
+  // callback must already be moved out or reset.
+  void ReleaseSlot(uint32_t slot);
+
   TimeMicros now_ = 0;
   uint64_t seed_ = 0;
   Rng rng_;
   uint64_t next_seq_ = 1;
-  TimerId next_id_ = 1;
   uint64_t events_processed_ = 0;
   uint64_t current_seq_ = 0;  // seq of the event currently firing
+  TimerId current_timer_ = kInvalidTimer;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::unordered_map<TimerId, std::function<void()>> callbacks_;
-  std::unordered_set<TimerId> cancelled_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
+  size_t stale_entries_ = 0;  // heap entries whose event was cancelled
 
   uint64_t audit_every_ = 0;
   AuditHook audit_hook_;
@@ -140,7 +177,7 @@ class TimerOwner {
 
   // Schedules fn after delay; the pending event is auto-cancelled if this
   // owner is destroyed first.
-  TimerId Schedule(TimeMicros delay, std::function<void()> fn);
+  TimerId Schedule(TimeMicros delay, EventFn fn);
 
   void Cancel(TimerId id);
   void CancelAll();

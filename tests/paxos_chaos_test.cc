@@ -2,10 +2,15 @@
 // with injected clock skew, and log-truncation interplay with elections.
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/analysis/audit_scope.h"
+#include "src/core/cluster.h"
+#include "src/verify/linearizability.h"
+#include "src/workload/workload.h"
 #include "tests/paxos_harness.h"
 
 namespace scatter::paxos {
@@ -13,6 +18,7 @@ namespace {
 
 using testing::PaxosCluster;
 using testing::PaxosTestNode;
+using testing::SeqCommand;
 
 // --- Membership chaos: repeated add/remove under loss ----------------------
 
@@ -311,6 +317,110 @@ TEST(TruncationTest, ElectionsWorkAcrossTruncatedLogs) {
     expected.push_back(v);
   }
   EXPECT_TRUE(cluster.AllApplied(expected));
+}
+
+// --- Batching / pipelining under churn ---------------------------------------
+
+// Leaders fail mid-batch (proposals stuffed into one event-loop turn, crash
+// while the batched Accept rounds are in flight). Pending proposals must fail
+// cleanly: every acknowledged value survives exactly once, nothing is
+// duplicated, and replicas never diverge.
+TEST(BatchChurnTest, MidBatchLeaderCrashKeepsExactlyOnce) {
+  PaxosCluster cluster(5, /*seed=*/77);
+  std::map<uint64_t, int> acked;
+  uint64_t next_value = 1;
+  Rng chaos(1234);
+  int crashes = 0;
+
+  for (int round = 0; round < 6; ++round) {
+    PaxosTestNode* l = cluster.WaitForLeader(Seconds(30));
+    ASSERT_NE(l, nullptr);
+    // Stuff a batch into the leader in one event-loop turn.
+    for (int i = 0; i < 16; ++i) {
+      const uint64_t v = next_value++;
+      l->replica().Propose(std::make_shared<SeqCommand>(v),
+                           [&acked, v](StatusOr<uint64_t> r) {
+                             if (r.ok()) {
+                               acked[v]++;
+                             }
+                           });
+    }
+    // Let the batch get partway out, then (usually) kill the leader with
+    // the pipelined rounds still in flight.
+    cluster.sim().RunFor(chaos.Below(2000));
+    if (crashes < 2 && chaos.Bernoulli(0.7)) {
+      cluster.Crash(l->id());
+      crashes++;
+    }
+    cluster.sim().RunFor(Seconds(2));
+    ASSERT_TRUE(cluster.PrefixConsistent());
+  }
+
+  cluster.sim().RunFor(Seconds(5));
+  ASSERT_TRUE(cluster.PrefixConsistent());
+  PaxosTestNode* l = cluster.WaitForLeader(Seconds(30));
+  ASSERT_NE(l, nullptr);
+  std::map<uint64_t, int> counts;
+  for (uint64_t v : l->sm().values()) {
+    counts[v]++;
+  }
+  for (const auto& [v, n] : counts) {
+    EXPECT_EQ(n, 1) << "value " << v << " applied " << n << " times";
+  }
+  for (const auto& [v, n] : acked) {
+    EXPECT_EQ(counts.count(v), 1u) << "acknowledged value " << v << " lost";
+    EXPECT_EQ(n, 1) << "value " << v << " acknowledged " << n << " times";
+  }
+}
+
+// Full-stack variant with the invariant auditor attached: concurrent client
+// load (exercising the batched commit path) while group leaders crash; the
+// recorded history must stay linearizable and no subsystem invariant may
+// trip.
+TEST(BatchChurnTest, AuditedClusterSurvivesLeaderCrashesUnderLoad) {
+  core::ClusterConfig cfg;
+  cfg.seed = 4242;
+  cfg.initial_nodes = 15;
+  cfg.initial_groups = 2;
+  core::Cluster c(cfg);
+  analysis::ScopedAudit audit(&c);
+  c.RunFor(Seconds(2));
+
+  workload::WorkloadConfig wcfg;
+  wcfg.num_clients = 6;
+  wcfg.write_fraction = 0.6;
+  wcfg.key_space = 200;
+  std::vector<workload::KvClient*> kv_clients;
+  for (size_t i = 0; i < wcfg.num_clients; ++i) {
+    kv_clients.push_back(c.AddClient());
+  }
+  workload::WorkloadDriver driver(&c.sim(), kv_clients, wcfg);
+  driver.Start();
+
+  for (int i = 0; i < 3; ++i) {
+    c.RunFor(Seconds(5));
+    NodeId leader = kInvalidNode;
+    for (const auto& info : c.AuthoritativeRing()) {
+      if (info.leader != kInvalidNode) {
+        leader = info.leader;
+        break;
+      }
+    }
+    if (leader != kInvalidNode) {
+      c.CrashNode(leader);
+      c.RefreshSeeds();
+    }
+  }
+  c.RunFor(Seconds(10));
+  driver.Stop();
+  c.RunFor(Seconds(5));
+  driver.history().Close(c.sim().now());
+
+  EXPECT_GT(driver.stats().ops_ok(), 100u);
+  verify::LinearizabilityChecker checker;
+  auto result = checker.CheckAll(driver.history().PerKeyHistories());
+  EXPECT_TRUE(result.linearizable) << result.Summary();
+  EXPECT_TRUE(result.inconclusive.empty()) << result.Summary();
 }
 
 }  // namespace

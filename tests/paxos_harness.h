@@ -94,6 +94,16 @@ class PaxosTestNode : public rpc::RpcNode, public ReplicaHost {
 
   // RpcNode:
   void OnRequest(const sim::MessagePtr& m) override {
+    if (unhosted) {
+      // Mimic a ScatterNode that does not host a replica for this group:
+      // all traffic is dropped until a bootstrap-flagged snapshot arrives
+      // (which is what makes the real host create one).
+      if (m->type != sim::MessageType::kPaxosSnapshot ||
+          !static_cast<const SnapshotMsg&>(*m).bootstrap) {
+        return;
+      }
+      unhosted = false;
+    }
     replica_->OnMessage(std::static_pointer_cast<PaxosMessage>(m));
   }
 
@@ -101,6 +111,10 @@ class PaxosTestNode : public rpc::RpcNode, public ReplicaHost {
   const RecordingStateMachine& sm() const { return sm_; }
 
   bool self_removed = false;
+  // When true, drops every message except a bootstrap-flagged snapshot
+  // (see OnRequest). Set on spawned joiners to model the window where the
+  // node does not yet host a replica for the group.
+  bool unhosted = false;
   std::vector<NodeId> suspected;
 
  private:

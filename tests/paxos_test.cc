@@ -315,6 +315,39 @@ TEST(PaxosMembershipTest, RemovedDeadMemberRestoresCommit) {
   ASSERT_TRUE(cluster.ProposeAndWait(3));
 }
 
+// Regression: adding a member counts it toward the new quorum immediately
+// (config is effective on append), so at bare quorum the entry can only
+// commit with the joiner's ack. If the joiner does not host a replica yet
+// (the join reply that creates one is the *commit* callback) it drops all
+// traffic and the group wedges forever. The leader must start catch-up at
+// propose time with a bootstrap-flagged snapshot that makes the host
+// create a replica.
+TEST(PaxosMembershipTest, AddMemberAtBareQuorumBootstrapsJoiner) {
+  PaxosCluster cluster(5);
+  ASSERT_TRUE(cluster.ProposeAndWait(1));
+  PaxosTestNode* l = cluster.leader();
+  // Crash two followers: bare quorum, 3 live of 5.
+  int crashed = 0;
+  for (PaxosTestNode* n : cluster.live_nodes()) {
+    if (n->id() != l->id() && crashed < 2) {
+      cluster.Crash(n->id());
+      ++crashed;
+    }
+  }
+  ASSERT_TRUE(cluster.ProposeAndWait(2));
+  // A fresh node that does not host a replica for the group: everything
+  // except a bootstrap snapshot is dropped on the floor.
+  cluster.Spawn(10)->unhosted = true;
+  // New config is 6 members, quorum 4 — needs the joiner's ack to commit.
+  ASSERT_TRUE(cluster.AddMemberAndWait(10));
+  ASSERT_TRUE(cluster.ProposeAndWait(3));
+  cluster.sim().RunFor(Seconds(3));
+  PaxosTestNode* joiner = cluster.node(10);
+  EXPECT_FALSE(joiner->unhosted);  // The bootstrap snapshot arrived.
+  EXPECT_TRUE(joiner->replica().has_started());
+  EXPECT_TRUE(cluster.PrefixConsistent());
+}
+
 TEST(PaxosMembershipTest, FailureDetectorFlagsSilentMember) {
   PaxosConfig cfg;
   cfg.member_fail_timeout = Seconds(2);
@@ -550,6 +583,171 @@ TEST(PaxosTransferTest, FailedTransferRecovers) {
     cluster.sim().RunFor(Millis(5));
   }
   EXPECT_TRUE(read_ok);
+}
+
+// --- Batching & pipelining ----------------------------------------------------
+
+// All proposals issued in one event-loop turn ride a single batched Accept
+// round per peer instead of one broadcast per Propose.
+TEST(PaxosBatchingTest, SameTurnProposalsShareOneBroadcast) {
+  PaxosCluster cluster(5, 21);
+  PaxosTestNode* l = cluster.WaitForLeader();
+  ASSERT_NE(l, nullptr);
+  cluster.sim().RunFor(Millis(200));  // quiesce election traffic
+
+  const Replica::Stats before = l->replica().stats();
+  constexpr int kOps = 32;
+  int committed = 0;
+  for (int i = 0; i < kOps; ++i) {
+    l->replica().Propose(std::make_shared<SeqCommand>(100 + i),
+                         [&committed](StatusOr<uint64_t> r) {
+                           if (r.ok()) {
+                             committed++;
+                           }
+                         });
+  }
+  const TimeMicros deadline = cluster.sim().now() + Seconds(5);
+  while (committed < kOps && cluster.sim().now() < deadline) {
+    cluster.sim().RunFor(Millis(1));
+  }
+  ASSERT_EQ(committed, kOps);
+  const Replica::Stats after = l->replica().stats();
+  const uint64_t accepts = after.accepts_sent - before.accepts_sent;
+  const uint64_t entries =
+      after.accept_entries_sent - before.accept_entries_sent;
+  // Each of the 4 peers received all 32 entries: the first proposal goes
+  // out immediately, the other 31 coalesce into batched rounds, plus at
+  // most commit notifications and a stray heartbeat — nowhere near the 32
+  // broadcasts (128 Accepts) an unbatched leader would send.
+  EXPECT_GE(entries, 4u * kOps);
+  EXPECT_LE(accepts, 24u);
+}
+
+// A follower cut off while hundreds of entries commit catches up quickly via
+// pipelined multi-entry rounds once the partition heals.
+TEST(PaxosBatchingTest, PipelinedCatchUpAfterPartitionHeals) {
+  PaxosCluster cluster(5, 22);
+  PaxosTestNode* l = cluster.WaitForLeader();
+  ASSERT_NE(l, nullptr);
+  ASSERT_TRUE(cluster.ProposeAndWait(1));
+
+  PaxosTestNode* lagger = nullptr;
+  std::vector<NodeId> majority;
+  for (PaxosTestNode* n : cluster.live_nodes()) {
+    if (lagger == nullptr && n != l) {
+      lagger = n;
+    } else {
+      majority.push_back(n->id());
+    }
+  }
+  ASSERT_NE(lagger, nullptr);
+  cluster.net().Partition({majority, {lagger->id()}});
+
+  std::vector<uint64_t> expected = {1};
+  constexpr int kOps = 300;
+  int committed = 0;
+  for (int i = 0; i < kOps; ++i) {
+    expected.push_back(1000 + i);
+    l->replica().Propose(std::make_shared<SeqCommand>(1000 + i),
+                         [&committed](StatusOr<uint64_t> r) {
+                           if (r.ok()) {
+                             committed++;
+                           }
+                         });
+    if (i % 50 == 49) {
+      cluster.sim().RunFor(Millis(10));
+    }
+  }
+  const TimeMicros deadline = cluster.sim().now() + Seconds(10);
+  while (committed < kOps && cluster.sim().now() < deadline) {
+    cluster.sim().RunFor(Millis(5));
+  }
+  ASSERT_EQ(committed, kOps);
+  EXPECT_TRUE(lagger->sm().values().size() <= 1);
+
+  cluster.net().HealPartition();
+  cluster.sim().RunFor(Seconds(2));
+  EXPECT_EQ(lagger->sm().values(), expected);
+  EXPECT_TRUE(cluster.AllApplied(expected));
+}
+
+// Followers learn the advanced commit index from a prompt commit
+// notification, not the next 50ms heartbeat.
+TEST(PaxosBatchingTest, CommitNotifyBeatsHeartbeat) {
+  PaxosCluster cluster(5, 23);
+  PaxosTestNode* l = cluster.WaitForLeader();
+  ASSERT_NE(l, nullptr);
+  cluster.sim().RunFor(Millis(200));
+
+  bool committed = false;
+  l->replica().Propose(std::make_shared<SeqCommand>(7),
+                       [&committed](StatusOr<uint64_t> r) {
+                         committed = r.ok();
+                       });
+  const TimeMicros start = cluster.sim().now();
+  const std::vector<uint64_t> expected = {7};
+  while (!cluster.AllApplied(expected) &&
+         cluster.sim().now() < start + Seconds(1)) {
+    cluster.sim().RunFor(Millis(1));
+  }
+  EXPECT_TRUE(committed);
+  EXPECT_TRUE(cluster.AllApplied(expected));
+  // Round trip + commit_notify_interval (1ms) is well under the 50ms
+  // heartbeat the seed needed to spread the commit index.
+  EXPECT_LT(cluster.sim().now() - start, Millis(20));
+}
+
+// A leader partitioned away mid-batch fails every pending proposal cleanly
+// when it steps down; none of the batch leaks into the surviving history.
+TEST(PaxosBatchingTest, LeaderPartitionMidBatchFailsPendingCleanly) {
+  PaxosCluster cluster(5, 24);
+  PaxosTestNode* l = cluster.WaitForLeader();
+  ASSERT_NE(l, nullptr);
+  ASSERT_TRUE(cluster.ProposeAndWait(1));
+  cluster.sim().RunFor(Millis(100));
+
+  std::vector<NodeId> others;
+  for (PaxosTestNode* n : cluster.live_nodes()) {
+    if (n != l) {
+      others.push_back(n->id());
+    }
+  }
+  cluster.net().Partition({others, {l->id()}});
+
+  constexpr int kBatch = 10;
+  int ok = 0;
+  int failed = 0;
+  for (int i = 0; i < kBatch; ++i) {
+    l->replica().Propose(std::make_shared<SeqCommand>(5000 + i),
+                         [&ok, &failed](StatusOr<uint64_t> r) {
+                           if (r.ok()) {
+                             ok++;
+                           } else {
+                             failed++;
+                           }
+                         });
+  }
+  const TimeMicros deadline = cluster.sim().now() + Seconds(30);
+  while (ok + failed < kBatch && cluster.sim().now() < deadline) {
+    cluster.sim().RunFor(Millis(10));
+  }
+  // The cut-off leader cannot commit; stepping down fails the whole batch.
+  EXPECT_EQ(ok, 0);
+  EXPECT_EQ(failed, kBatch);
+
+  cluster.net().HealPartition();
+  ASSERT_TRUE(cluster.ProposeAndWait(2));
+  cluster.sim().RunFor(Seconds(2));
+  EXPECT_TRUE(cluster.PrefixConsistent());
+  // The failed batch must not surface anywhere after the old leader rejoins
+  // and truncates its uncommitted suffix.
+  for (PaxosTestNode* n : cluster.live_nodes()) {
+    for (uint64_t v : n->sm().values()) {
+      EXPECT_LT(v, 5000u) << "failed proposal leaked into node "
+                          << n->id();
+    }
+  }
+  EXPECT_TRUE(cluster.AllApplied({1, 2}));
 }
 
 // --- Randomized safety sweep --------------------------------------------------

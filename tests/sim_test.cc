@@ -81,6 +81,124 @@ TEST(SimulatorTest, EventsCanScheduleEvents) {
   EXPECT_EQ(sim.now(), Millis(99));
 }
 
+// The slot/generation event store recycles slots aggressively; a stale
+// TimerId whose slot was reused must never cancel the new occupant.
+TEST(SimulatorTest, StaleCancelAfterSlotReuseIsHarmless) {
+  Simulator sim(1);
+  int fires = 0;
+  TimerId old_id = sim.Schedule(Millis(1), [&] { fires++; });
+  sim.Step();  // fires and frees the slot
+  EXPECT_EQ(fires, 1);
+  // The freed slot is recycled with a bumped generation.
+  TimerId new_id = sim.Schedule(Millis(1), [&] { fires += 10; });
+  EXPECT_NE(old_id, new_id);
+  sim.Cancel(old_id);  // stale id: must not touch the new event
+  sim.Run();
+  EXPECT_EQ(fires, 11);
+}
+
+TEST(SimulatorTest, DoubleCancelIsHarmless) {
+  Simulator sim(1);
+  int fires = 0;
+  TimerId id = sim.Schedule(Millis(1), [&] { fires++; });
+  TimerId other = sim.Schedule(Millis(2), [&] { fires += 10; });
+  sim.Cancel(id);
+  sim.Cancel(id);  // second cancel hits a freed (possibly reused) slot
+  sim.Run();
+  EXPECT_EQ(fires, 10);
+  (void)other;
+}
+
+// EventFn is move-only: callbacks may own resources (no copyable
+// std::function requirement).
+TEST(SimulatorTest, MoveOnlyCallbacksSupported) {
+  Simulator sim(1);
+  int observed = 0;
+  auto payload = std::make_unique<int>(42);
+  sim.Schedule(Millis(1), [&observed, p = std::move(payload)]() {
+    observed = *p;
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 42);
+}
+
+// Callbacks larger than the inline buffer take the heap path transparently.
+TEST(SimulatorTest, LargeCallbacksSupported) {
+  Simulator sim(1);
+  struct Big {
+    char pad[256] = {};
+  };
+  Big big;
+  big.pad[200] = 7;
+  int observed = 0;
+  sim.Schedule(Millis(1), [&observed, big]() { observed = big.pad[200]; });
+  sim.Run();
+  EXPECT_EQ(observed, 7);
+}
+
+// pending_events() must discount cancelled (stale) heap entries.
+TEST(SimulatorTest, PendingEventsTracksCancellations) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  std::vector<TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.Schedule(Millis(i + 1), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 100u);
+  for (int i = 0; i < 100; i += 2) {
+    sim.Cancel(ids[i]);
+  }
+  EXPECT_EQ(sim.pending_events(), 50u);
+  sim.Step();
+  EXPECT_EQ(sim.pending_events(), 49u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// Stress slot reuse: interleaved schedule/cancel/fire with recycled slots
+// must fire exactly the never-cancelled callbacks, each exactly once.
+TEST(SimulatorTest, SlotReuseStress) {
+  enum : int { kPending = 0, kFired = 1, kCancelled = 2 };
+  Simulator sim(7);
+  std::vector<int> status;
+  std::vector<std::pair<size_t, TimerId>> live;
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 2000; ++round) {
+    const uint64_t r = next();
+    if (r % 4 != 0 || live.empty()) {
+      const size_t idx = status.size();
+      status.push_back(kPending);
+      TimerId id = sim.Schedule(1 + r % 50, [&status, idx] {
+        EXPECT_EQ(status[idx], kPending) << "double fire or fired after "
+                                            "cancel at " << idx;
+        status[idx] = kFired;
+      });
+      live.push_back({idx, id});
+    } else if (r % 8 == 0) {
+      const size_t pick = next() % live.size();
+      auto [idx, id] = live[pick];
+      sim.Cancel(id);  // harmless if it already fired
+      if (status[idx] == kPending) {
+        status[idx] = kCancelled;
+      }
+      live.erase(live.begin() + pick);
+    } else {
+      sim.Step();  // fire a few along the way so slots get recycled
+    }
+  }
+  sim.Run();
+  for (size_t i = 0; i < status.size(); ++i) {
+    EXPECT_NE(status[i], kPending) << "timer " << i << " never resolved";
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 TEST(TimerOwnerTest, DestructionCancelsPending) {
   Simulator sim(1);
   bool fired = false;

@@ -155,8 +155,8 @@ void BM_PaxosCommit(benchmark::State& state) {
     for (const auto* sm : node->ServingGroups()) {
       const paxos::Replica* rep = node->GroupReplica(sm->id());
       summary.AbsorbReplica(rep->stats());
-      group_committed = std::max(group_committed,
-                                 rep->stats().entries_committed);
+      group_committed = std::max<uint64_t>(group_committed,
+                                           rep->stats().entries_committed);
     }
   }
   summary.AddCommittedOps(group_committed);

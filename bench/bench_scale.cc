@@ -63,13 +63,14 @@ Result RunOne(size_t nodes, uint64_t seed) {
       const paxos::Replica* rep = node->GroupReplica(sm->id());
       out.commit_path.AbsorbReplica(rep->stats());
       uint64_t& committed = committed_per_group[sm->id()];
-      committed = std::max(committed, rep->stats().entries_committed);
+      committed = std::max<uint64_t>(committed, rep->stats().entries_committed);
     }
   }
   for (const auto& [gid, committed] : committed_per_group) {
     out.commit_path.AddCommittedOps(committed);
   }
   out.stats = driver.stats();
+  bench::ExportObservability(cluster.sim());
   out.ops = out.stats.ops_ok();
   out.throughput =
       static_cast<double>(out.ops) /

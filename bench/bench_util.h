@@ -7,10 +7,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
 
 namespace scatter::bench {
 
@@ -120,6 +125,35 @@ struct CommitPathSummary {
     t.Print();
   }
 };
+
+// Flight-recorder export hooks, driven by environment variables so every
+// bench binary gets them without per-bench flag plumbing:
+//   SCATTER_METRICS_JSON=<path>  append the sim's metrics registry snapshot
+//   SCATTER_TRACE_JSON=<path>    write the recorded causal trace (only if
+//                                the bench enabled tracing on the sim)
+// Call after the measured run, before tearing the simulator down.
+inline void ExportObservability(sim::Simulator& sim) {
+  if (const char* path = std::getenv("SCATTER_METRICS_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream out(path, std::ios::app);
+    if (out) {
+      out << sim.metrics().ToJson() << "\n";
+    } else {
+      std::fprintf(stderr, "bench: cannot write metrics json to %s\n", path);
+    }
+  }
+  if (const char* path = std::getenv("SCATTER_TRACE_JSON");
+      path != nullptr && *path != '\0') {
+    if (obs::TraceRecorder* tracer = sim.tracer()) {
+      std::ofstream out(path);
+      if (out) {
+        out << tracer->ToChromeJson();
+      } else {
+        std::fprintf(stderr, "bench: cannot write trace json to %s\n", path);
+      }
+    }
+  }
+}
 
 inline void Banner(const char* id, const char* what) {
   std::printf("\n##############################################################\n");

@@ -28,7 +28,11 @@ echo "=== bench_micro -> BENCH_micro.json (min_time=${MIN_TIME}s) ==="
 grep -E '"(name|items_per_second|avg_batch|msgs_per_op)"' BENCH_micro.json |
   sed 's/^ *//' || true
 
-echo "=== bench_scale smoke ==="
-"$BUILD_DIR/bench/bench_scale" --quick
+echo "=== bench_scale smoke -> BENCH_metrics.json ==="
+# The metrics registry snapshot rides along with the perf baseline: counter
+# regressions (e.g. a batching change blowing up accepts_sent) show up as
+# diffs the same way timing regressions do.
+rm -f BENCH_metrics.json
+SCATTER_METRICS_JSON=BENCH_metrics.json "$BUILD_DIR/bench/bench_scale" --quick
 
-echo "=== baseline recorded in BENCH_micro.json ==="
+echo "=== baseline recorded in BENCH_micro.json + BENCH_metrics.json ==="

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validates the flight recorder's exported JSON against its stable schemas.
+
+Usage: check_obs_json.py TRACE_JSON METRICS_JSON
+
+Checks (stdlib only, no third-party deps):
+  trace   - Chrome trace-event shape (traceEvents list, ph/ts/pid/tid
+            fields), schema tag scatter.trace.v1, span ids unique, every
+            parent_span_id resolves within the same trace, child spans
+            start at or after their parent (simulated time), and at least
+            one multi-group transaction (txn.coordinate) whose span tree is
+            a single connected tree spanning >= 2 distinct groups.
+  metrics - schema tag scatter.metrics.v1, counters/gauges/histograms
+            arrays with stable cell shape, histogram summaries carry the
+            full quantile set, and the core paxos/txn counters are present
+            and non-zero for a run that committed operations.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("otherData", {}).get("schema") != "scatter.trace.v1":
+        fail("trace: missing schema tag scatter.trace.v1")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace: traceEvents missing or empty")
+
+    spans = {}  # span_id -> event
+    for ev in events:
+        for key in ("name", "ph", "ts", "pid", "tid", "args"):
+            if key not in ev:
+                fail(f"trace: event missing {key!r}: {ev}")
+        if ev["ph"] == "X":
+            if "dur" not in ev or ev["dur"] < 1:
+                fail(f"trace: complete event with bad dur: {ev}")
+            sid = ev["args"]["span_id"]
+            if sid in spans:
+                fail(f"trace: duplicate span_id {sid}")
+            spans[sid] = ev
+        elif ev["ph"] == "i":
+            if ev.get("s") != "t":
+                fail(f"trace: instant without thread scope: {ev}")
+        else:
+            fail(f"trace: unexpected phase {ev['ph']!r}")
+
+    if not spans:
+        fail("trace: no complete (ph=X) spans")
+
+    # Parent links resolve within the same trace, and children never start
+    # before their parents (simulated clock is the only time source).
+    for sid, ev in spans.items():
+        parent = ev["args"]["parent_span_id"]
+        if parent == 0:
+            continue
+        if parent not in spans:
+            fail(f"trace: span {sid} parent {parent} not exported")
+        pev = spans[parent]
+        if pev["args"]["trace_id"] != ev["args"]["trace_id"]:
+            fail(f"trace: span {sid} crosses traces to parent {parent}")
+        if ev["ts"] < pev["ts"]:
+            fail(f"trace: span {sid} starts before its parent {parent}")
+
+    # The multi-group transaction criterion: some txn.coordinate span whose
+    # tree (all spans of its trace reachable from it) covers >= 2 groups.
+    ok_txn = False
+    coords = [e for e in spans.values() if e["name"] == "txn.coordinate"]
+    if not coords:
+        fail("trace: no txn.coordinate span recorded")
+    children = {}
+    for sid, ev in spans.items():
+        children.setdefault(ev["args"]["parent_span_id"], []).append(sid)
+    for coord in coords:
+        groups = set()
+        stack = [coord["args"]["span_id"]]
+        while stack:
+            sid = stack.pop()
+            groups.add(spans[sid]["args"]["group"])
+            stack.extend(children.get(sid, []))
+        if len(groups) >= 2:
+            ok_txn = True
+            break
+    if not ok_txn:
+        fail("trace: no txn.coordinate tree spans >= 2 groups")
+
+    print(f"check_obs_json: trace ok ({len(spans)} spans, "
+          f"{len(events) - len(spans)} instants, "
+          f"{len(coords)} coordinated txns)")
+
+
+def check_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        # bench_util appends one snapshot per line; validate the last one.
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        fail("metrics: file empty")
+    doc = json.loads(lines[-1])
+    if doc.get("schema") != "scatter.metrics.v1":
+        fail("metrics: missing schema tag scatter.metrics.v1")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), list):
+            fail(f"metrics: {section} missing")
+    for cell in doc["counters"] + doc["gauges"]:
+        for key in ("name", "node", "group", "value"):
+            if key not in cell:
+                fail(f"metrics: cell missing {key!r}: {cell}")
+    for cell in doc["histograms"]:
+        for key in ("name", "node", "group", "hist"):
+            if key not in cell:
+                fail(f"metrics: histogram cell missing {key!r}: {cell}")
+        for key in ("count", "min", "max", "mean", "p50", "p90", "p99",
+                    "p100"):
+            if key not in cell["hist"]:
+                fail(f"metrics: histogram summary missing {key!r}: {cell}")
+
+    def total(name):
+        return sum(c["value"] for c in doc["counters"] if c["name"] == name)
+
+    if total("paxos.entries_committed") == 0:
+        fail("metrics: paxos.entries_committed is zero")
+    if total("txn.txns_committed") == 0:
+        fail("metrics: txn.txns_committed is zero")
+    print(f"check_obs_json: metrics ok ({len(doc['counters'])} counter cells, "
+          f"{len(doc['gauges'])} gauge cells, "
+          f"{len(doc['histograms'])} histogram cells)")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+    print("check_obs_json: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

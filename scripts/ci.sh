@@ -8,6 +8,7 @@
 #   scripts/ci.sh undefined       # just the UBSan leg
 #   scripts/ci.sh lint            # just clang-tidy on changed files
 #   scripts/ci.sh bench           # just the benchmark smoke (plain build)
+#   scripts/ci.sh obs             # traced sim + trace/metrics JSON schema check
 #
 # Build trees go to build-asan/ and build-ubsan/ so they never disturb the
 # developer's plain build/.
@@ -44,6 +45,23 @@ run_bench_smoke() {
   "$bdir/bench/bench_scale" --quick
 }
 
+run_obs_check() {
+  # Flight-recorder gate: run a short traced sim (two-group cluster, client
+  # ops, a cross-group merge) and validate the exported Chrome trace-event
+  # JSON and metrics JSON against their stable schemas.
+  local bdir="${BUILD_DIR:-build}"
+  echo "=== obs check ($bdir) ==="
+  if [[ ! -x "$bdir/examples/trace_demo" ]]; then
+    cmake -B "$bdir" -S .
+    cmake --build "$bdir" -j "$JOBS"
+  fi
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' RETURN
+  "$bdir/examples/trace_demo" "$tmp/trace.json" "$tmp/metrics.json"
+  python3 scripts/check_obs_json.py "$tmp/trace.json" "$tmp/metrics.json"
+}
+
 run_lint() {
   echo "=== clang-tidy (changed files) ==="
   # Lint against the ASan tree if present (it has compile_commands.json),
@@ -57,15 +75,17 @@ case "${1:-all}" in
   address|undefined|thread) run_sanitized "$1" ;;
   lint) run_lint ;;
   bench) run_bench_smoke ;;
+  obs) run_obs_check ;;
   all)
     run_sanitized address
     run_sanitized undefined
     run_bench_smoke
+    run_obs_check
     run_lint
-    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, lint done ==="
+    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, lint done ==="
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|lint|bench|all]" >&2
+    echo "usage: $0 [address|undefined|thread|lint|bench|obs|all]" >&2
     exit 2
     ;;
 esac

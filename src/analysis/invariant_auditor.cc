@@ -8,6 +8,7 @@
 
 #include "src/common/logging.h"
 #include "src/core/scatter_node.h"
+#include "src/obs/trace.h"
 #include "src/membership/group_state_machine.h"
 #include "src/paxos/log.h"
 #include "src/paxos/replica.h"
@@ -338,6 +339,16 @@ void InvariantAuditor::DumpArtifact() const {
   for (const sim::Simulator::TraceEntry& entry : sim.TraceSnapshot()) {
     out << "t=" << entry.at << " seq=" << entry.seq << " " << entry.label
         << "\n";
+  }
+  // When causal tracing is active, dump the span forest too: it shows
+  // which logical operations were mid-flight when the invariant broke.
+  if (obs::TraceRecorder* tracer = sim.tracer();
+      tracer != nullptr && !opts_.trace_json_path.empty()) {
+    std::ofstream trace_out(opts_.trace_json_path);
+    if (trace_out) {
+      trace_out << tracer->ToChromeJson();
+      out << "\n[causal_trace]\n" << opts_.trace_json_path << "\n";
+    }
   }
 }
 

@@ -50,6 +50,9 @@ struct AuditorOptions {
   bool abort_on_violation = true;
   // Where the trace artifact is written (relative to the working directory).
   std::string artifact_path = "scatter_audit_trace.log";
+  // If the simulator has causal tracing enabled, the recorded spans are
+  // dumped here as Chrome trace-event JSON alongside the artifact.
+  std::string trace_json_path = "scatter_audit_trace.json";
 };
 
 struct Violation {

@@ -4,13 +4,24 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/sim/simulator.h"
 
 namespace scatter::baseline {
+
+ChordClient::Stats::Stats(obs::MetricsRegistry& registry, NodeId node)
+    : ops_ok(registry.GetCounter("chord.ops_ok", node)),
+      ops_failed(registry.GetCounter("chord.ops_failed", node)),
+      lookups(registry.GetCounter("chord.lookups", node)),
+      lookup_failures(registry.GetCounter("chord.lookup_failures", node)),
+      lookup_hops(registry.GetHistogram("chord.lookup_hops", node)) {}
 
 ChordClient::ChordClient(NodeId id, sim::Network* network,
                          std::vector<NodeId> seeds,
                          const ChordClientConfig& config)
-    : RpcNode(id, network), cfg_(config), seeds_(std::move(seeds)) {}
+    : RpcNode(id, network),
+      cfg_(config),
+      seeds_(std::move(seeds)),
+      stats_(network->simulator()->metrics(), id) {}
 
 void ChordClient::OnRequest(const sim::MessagePtr& message) {}
 

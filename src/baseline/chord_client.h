@@ -13,6 +13,7 @@
 #include "src/common/histogram.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/rpc_node.h"
 #include "src/workload/kv_client.h"
 
@@ -49,13 +50,17 @@ class ChordClient : public rpc::RpcNode, public workload::KvClient {
 
   void SetSeeds(std::vector<NodeId> seeds) { seeds_ = std::move(seeds); }
 
+  // Thin view over registry-backed cells ("chord.*", keyed by client id).
   struct Stats {
-    uint64_t ops_ok = 0;
-    uint64_t ops_failed = 0;
-    uint64_t lookups = 0;
-    uint64_t lookup_failures = 0;
+    Stats(obs::MetricsRegistry& registry, NodeId node);
+    Stats(const Stats&) = delete;  // a copy would alias the live cells
+    Stats& operator=(const Stats&) = delete;
+    Counter& ops_ok;
+    Counter& ops_failed;
+    Counter& lookups;
+    Counter& lookup_failures;
     // Overlay hops per successful lookup (gateway query counts as hop 1).
-    Histogram lookup_hops;
+    Histogram& lookup_hops;
   };
   const Stats& stats() const { return stats_; }
 

@@ -113,4 +113,19 @@ std::string Histogram::Summary() const {
   return buf;
 }
 
+std::string Histogram::ToJson() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"min\":%lld,\"max\":%lld,\"mean\":%.3f,"
+      "\"p50\":%lld,\"p90\":%lld,\"p99\":%lld,\"p100\":%lld}",
+      static_cast<unsigned long long>(count_), static_cast<long long>(min()),
+      static_cast<long long>(max()), mean(),
+      static_cast<long long>(Percentile(50)),
+      static_cast<long long>(Percentile(90)),
+      static_cast<long long>(Percentile(99)),
+      static_cast<long long>(Percentile(100)));
+  return buf;
+}
+
 }  // namespace scatter

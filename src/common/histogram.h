@@ -33,6 +33,11 @@ class Histogram {
   // "count=... mean=... p50=... p99=... max=..." summary line.
   std::string Summary() const;
 
+  // Stable-schema JSON object used by the metrics registry exporter:
+  //   {"count":N,"min":...,"max":...,"mean":...,"p50":...,"p90":...,
+  //    "p99":...,"p100":...}
+  std::string ToJson() const;
+
  private:
   static size_t BucketFor(int64_t sample);
   static int64_t BucketUpperBound(size_t bucket);
@@ -44,10 +49,23 @@ class Histogram {
   int64_t max_ = 0;
 };
 
-// A monotonically increasing named counter.
+// A monotonically increasing named counter. Supports the increment idioms of
+// a plain uint64_t so registry-backed counters can stand in for struct
+// members (stats_.foo++, stats_.foo += n, uint64_t v = stats_.foo).
 struct Counter {
   uint64_t value = 0;
   void Add(uint64_t n = 1) { value += n; }
+
+  operator uint64_t() const { return value; }  // NOLINT(google-explicit-constructor)
+  Counter& operator++() {
+    ++value;
+    return *this;
+  }
+  uint64_t operator++(int) { return value++; }
+  Counter& operator+=(uint64_t n) {
+    value += n;
+    return *this;
+  }
 };
 
 }  // namespace scatter

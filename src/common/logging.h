@@ -32,9 +32,22 @@ LogLevel GetLogLevel();
 using ClockFn = int64_t (*)(void*);
 void SetLogClock(ClockFn fn, void* arg);
 
+// Optional secondary consumer of every formatted log line (e.g. the trace
+// recorder turning kTrace lines into instant events). While a sink is
+// installed, lines below the stderr level are still formatted and handed to
+// the sink; stderr output itself remains gated on SetLogLevel. Pass nullptr
+// to uninstall.
+using LogSinkFn = void (*)(void* arg, LogLevel level, const char* file,
+                           int line, const std::string& msg);
+void SetLogSink(LogSinkFn fn, void* arg);
+
 namespace internal {
 
 void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+// The cheapest level that must still be formatted: the stderr level, or
+// kTrace while a sink is installed. SCATTER_LOG gates on this.
+LogLevel EmitFloor();
 
 class LogLine {
  public:
@@ -59,7 +72,7 @@ class LogLine {
 }  // namespace scatter
 
 #define SCATTER_LOG(level)                                               \
-  if (::scatter::LogLevel::level < ::scatter::GetLogLevel()) {           \
+  if (::scatter::LogLevel::level < ::scatter::internal::EmitFloor()) {   \
   } else                                                                 \
     ::scatter::internal::LogLine(::scatter::LogLevel::level, __FILE__, __LINE__)
 

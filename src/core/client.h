@@ -15,6 +15,7 @@
 #include "src/common/histogram.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/obs/trace.h"
 #include "src/core/messages.h"
 #include "src/ring/ring_map.h"
 #include "src/rpc/rpc_node.h"
@@ -98,6 +99,9 @@ class Client : public rpc::RpcNode, public workload::KvClient {
     size_t redirect_streak = 0;
     GetCallback get_cb;
     WriteCallback write_cb;
+    // Span covering the whole logical operation (all attempts); every
+    // request the op sends is stamped with it.
+    obs::TraceContext span;
   };
 
   void StartOp(std::shared_ptr<Op> op);

@@ -7,6 +7,8 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/membership/commands.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace scatter::core {
 
@@ -64,6 +66,7 @@ ScatterNode::Hosted* ScatterNode::CreateHosted(
   h.driver = std::make_unique<txn::GroupOpDriver>(
       simulator(), this, h.replica.get(), h.sm.get(), cfg_.txn);
   last_hosted_at_ = now();
+  simulator()->metrics().GetGauge("core.hosted_groups", id()).Add(1);
   return &h;
 }
 
@@ -87,7 +90,11 @@ void ScatterNode::ScheduleTeardown(GroupId group, TimeMicros delay) {
     return;
   }
   it->second.teardown_scheduled = true;
-  timers().Schedule(delay, [this, group]() { hosted_.erase(group); });
+  timers().Schedule(delay, [this, group]() {
+    if (hosted_.erase(group) > 0) {
+      simulator()->metrics().GetGauge("core.hosted_groups", id()).Add(-1);
+    }
+  });
 }
 
 ScatterNode::Hosted* ScatterNode::FindHosted(GroupId group) {
@@ -380,8 +387,19 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
 
   const GroupId gid = h->sm->id();
   h->window_ops++;
+  // Node-side span: child of the client op's span (restored from the
+  // delivered request), parent of the paxos spans the read/write produces.
+  obs::TraceRecorder* tr = simulator()->tracer();
+  obs::TraceContext node_span;
+  if (tr != nullptr) {
+    const char* name = req.op == ClientOp::kGet   ? "node.get"
+                       : req.op == ClientOp::kPut ? "node.put"
+                                                  : "node.delete";
+    node_span = tr->StartSpan(name, id(), gid);
+  }
+  obs::ScopedContext trace_scope(node_span.valid() ? tr : nullptr, node_span);
   if (req.op == ClientOp::kGet) {
-    h->replica->LinearizableRead([this, message, gid,
+    h->replica->LinearizableRead([this, message, gid, node_span,
                                   key = req.key](Status status) {
       auto reply = std::make_shared<ClientReplyMsg>();
       Hosted* cur = FindHosted(gid);
@@ -401,7 +419,13 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
         }
         stats_.client_ops_served++;
       }
+      obs::TraceRecorder* tr2 = simulator()->tracer();
+      obs::ScopedContext reply_scope(node_span.valid() ? tr2 : nullptr,
+                                     node_span);
       Reply(*message, std::move(reply));
+      if (tr2 != nullptr) {
+        tr2->EndSpan(node_span);
+      }
     });
     return;
   }
@@ -413,6 +437,9 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
     reply->ring_updates.push_back(SelfInfo(*h));
     stats_.client_ops_rejected++;
     Reply(*message, std::move(reply));
+    if (tr != nullptr) {
+      tr->EndSpan(node_span);
+    }
     return;
   }
   std::shared_ptr<membership::GroupCommand> cmd;
@@ -424,7 +451,7 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
   cmd->client_id = req.client_id;
   cmd->client_seq = req.client_seq;
   h->replica->Propose(
-      cmd, [this, message, gid, client = req.client_id,
+      cmd, [this, message, gid, node_span, client = req.client_id,
             seq = req.client_seq](StatusOr<uint64_t> result) {
         auto reply = std::make_shared<ClientReplyMsg>();
         Hosted* cur = FindHosted(gid);
@@ -446,7 +473,13 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
             reply->ring_updates.push_back(SelfInfo(*cur));
           }
         }
+        obs::TraceRecorder* tr2 = simulator()->tracer();
+        obs::ScopedContext reply_scope(node_span.valid() ? tr2 : nullptr,
+                                       node_span);
         Reply(*message, std::move(reply));
+        if (tr2 != nullptr) {
+          tr2->EndSpan(node_span);
+        }
       });
 }
 

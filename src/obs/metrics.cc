@@ -1,0 +1,117 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace scatter::obs {
+namespace {
+
+// JSON string escaping for metric names (names are plain dotted identifiers
+// in practice, but the exporter must not emit malformed JSON regardless).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string CellPrefix(const std::string& name, NodeId node, GroupId group) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"node\":%" PRIu64 ",\"group\":%" PRIu64,
+                static_cast<uint64_t>(node), static_cast<uint64_t>(group));
+  return "{\"name\":\"" + EscapeJson(name) + "\"" + buf;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, NodeId node,
+                                     GroupId group) {
+  auto [it, inserted] = counters_.try_emplace(Key(name, node, group), nullptr);
+  if (inserted) it->second = &counter_arena_.emplace_back();
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, NodeId node,
+                                 GroupId group) {
+  auto [it, inserted] = gauges_.try_emplace(Key(name, node, group), nullptr);
+  if (inserted) it->second = &gauge_arena_.emplace_back();
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, NodeId node,
+                                         GroupId group) {
+  return histograms_[Key(name, node, group)];
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [key, counter] : other.counters_) {
+    GetCounter(std::get<0>(key), std::get<1>(key), std::get<2>(key)).value +=
+        counter->value;
+  }
+  for (const auto& [key, gauge] : other.gauges_) {
+    GetGauge(std::get<0>(key), std::get<1>(key), std::get<2>(key)).value +=
+        gauge->value;
+  }
+  for (const auto& [key, hist] : other.histograms_) {
+    histograms_[key].Merge(hist);
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"schema\":\"scatter.metrics.v1\",\"counters\":[";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"value\":%" PRIu64 "}", counter->value);
+    out += CellPrefix(std::get<0>(key), std::get<1>(key), std::get<2>(key));
+    out += buf;
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ",\"value\":%" PRId64 "}", gauge->value);
+    out += CellPrefix(std::get<0>(key), std::get<1>(key), std::get<2>(key));
+    out += buf;
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += CellPrefix(std::get<0>(key), std::get<1>(key), std::get<2>(key));
+    out += ",\"hist\":" + hist.ToJson() + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace scatter::obs

@@ -1,0 +1,196 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace scatter::obs {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendU64(std::string* out, const char* key, uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, v);
+  *out += buf;
+}
+
+void AppendI64(std::string* out, const char* key, int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64, key, v);
+  *out += buf;
+}
+
+}  // namespace
+
+TraceContext TraceRecorder::StartSpan(const std::string& name, NodeId node,
+                                      GroupId group) {
+  return StartSpanWithParent(name, current_, node, group);
+}
+
+TraceContext TraceRecorder::StartSpanWithParent(const std::string& name,
+                                                TraceContext parent,
+                                                NodeId node, GroupId group) {
+  Span span;
+  span.trace_id = parent.valid() ? parent.trace_id : next_trace_id_++;
+  span.span_id = next_span_id_++;
+  span.parent_span_id = parent.valid() ? parent.span_id : 0;
+  span.name = name;
+  span.node = node;
+  span.group = group;
+  span.start_us = NowUs();
+  span.end_us = span.start_us;
+  spans_.push_back(std::move(span));
+  return TraceContext{spans_.back().trace_id, spans_.back().span_id};
+}
+
+void TraceRecorder::EndSpan(TraceContext ctx) {
+  if (!ctx.valid() || ctx.span_id == 0 || ctx.span_id > spans_.size()) {
+    return;
+  }
+  Span& span = spans_[ctx.span_id - 1];
+  if (!span.open) {
+    return;
+  }
+  span.end_us = NowUs();
+  span.open = false;
+}
+
+void TraceRecorder::Annotate(TraceContext ctx, const std::string& key,
+                             const std::string& value) {
+  if (!ctx.valid() || ctx.span_id == 0 || ctx.span_id > spans_.size()) {
+    return;
+  }
+  spans_[ctx.span_id - 1].args.emplace_back(key, value);
+}
+
+void TraceRecorder::AddInstant(const std::string& name, NodeId node,
+                               GroupId group) {
+  if (!current_.valid()) {
+    return;
+  }
+  Instant inst;
+  inst.trace_id = current_.trace_id;
+  inst.parent_span_id = current_.span_id;
+  inst.name = name;
+  inst.node = node;
+  inst.group = group;
+  inst.ts_us = NowUs();
+  instants_.push_back(std::move(inst));
+}
+
+const TraceRecorder::Span* TraceRecorder::FindSpan(uint64_t span_id) const {
+  if (span_id == 0 || span_id > spans_.size()) {
+    return nullptr;
+  }
+  return &spans_[span_id - 1];
+}
+
+void TraceRecorder::LogSinkThunk(void* arg, LogLevel level, const char* file,
+                                 int line, const std::string& msg) {
+  if (level != LogLevel::kTrace) {
+    return;
+  }
+  auto* recorder = static_cast<TraceRecorder*>(arg);
+  // Attribute the instant to the ambient span's node/group; the file:line
+  // origin rides in the event name.
+  NodeId node = 0;
+  GroupId group = 0;
+  if (const Span* span = recorder->FindSpan(recorder->current().span_id)) {
+    node = span->node;
+    group = span->group;
+  }
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  char origin[96];
+  std::snprintf(origin, sizeof(origin), " [%s:%d]", base, line);
+  recorder->AddInstant(msg + origin, node, group);
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(span.name) + "\",\"ph\":\"X\",";
+    AppendI64(&out, "ts", span.start_us);
+    out += ",";
+    // Perfetto treats dur<=0 complete events poorly; clamp to 1us so every
+    // span stays visible. The exact times remain in ts and args.
+    const int64_t dur =
+        span.end_us > span.start_us ? span.end_us - span.start_us : 1;
+    AppendI64(&out, "dur", dur);
+    out += ",";
+    AppendU64(&out, "pid", span.node);
+    out += ",";
+    AppendU64(&out, "tid", span.group);
+    out += ",\"args\":{";
+    AppendU64(&out, "trace_id", span.trace_id);
+    out += ",";
+    AppendU64(&out, "span_id", span.span_id);
+    out += ",";
+    AppendU64(&out, "parent_span_id", span.parent_span_id);
+    out += ",";
+    AppendU64(&out, "node", span.node);
+    out += ",";
+    AppendU64(&out, "group", span.group);
+    if (span.open) {
+      out += ",\"open\":true";
+    }
+    for (const auto& [key, value] : span.args) {
+      out += ",\"" + EscapeJson(key) + "\":\"" + EscapeJson(value) + "\"";
+    }
+    out += "}}";
+  }
+  for (const Instant& inst : instants_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(inst.name) +
+           "\",\"ph\":\"i\",\"s\":\"t\",";
+    AppendI64(&out, "ts", inst.ts_us);
+    out += ",";
+    AppendU64(&out, "pid", inst.node);
+    out += ",";
+    AppendU64(&out, "tid", inst.group);
+    out += ",\"args\":{";
+    AppendU64(&out, "trace_id", inst.trace_id);
+    out += ",";
+    AppendU64(&out, "parent_span_id", inst.parent_span_id);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\","
+         "\"otherData\":{\"schema\":\"scatter.trace.v1\"}}";
+  return out;
+}
+
+}  // namespace scatter::obs

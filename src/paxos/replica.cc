@@ -14,6 +14,33 @@ constexpr TimeMicros kSnapshotResend = Seconds(2);
 
 }  // namespace
 
+Replica::Stats::Stats(obs::MetricsRegistry& registry, NodeId node,
+                      GroupId group)
+    : elections_started(
+          registry.GetCounter("paxos.elections_started", node, group)),
+      transfers_initiated(
+          registry.GetCounter("paxos.transfers_initiated", node, group)),
+      transfer_elections(
+          registry.GetCounter("paxos.transfer_elections", node, group)),
+      times_elected(registry.GetCounter("paxos.times_elected", node, group)),
+      entries_committed(
+          registry.GetCounter("paxos.entries_committed", node, group)),
+      snapshots_sent(registry.GetCounter("paxos.snapshots_sent", node, group)),
+      snapshots_installed(
+          registry.GetCounter("paxos.snapshots_installed", node, group)),
+      lease_reads(registry.GetCounter("paxos.lease_reads", node, group)),
+      barrier_reads(registry.GetCounter("paxos.barrier_reads", node, group)),
+      proposals_failed(
+          registry.GetCounter("paxos.proposals_failed", node, group)),
+      accept_broadcasts(
+          registry.GetCounter("paxos.accept_broadcasts", node, group)),
+      accepts_sent(registry.GetCounter("paxos.accepts_sent", node, group)),
+      accept_entries_sent(
+          registry.GetCounter("paxos.accept_entries_sent", node, group)),
+      acks_sent(registry.GetCounter("paxos.acks_sent", node, group)),
+      acks_coalesced(registry.GetCounter("paxos.acks_coalesced", node, group)),
+      messages_sent(registry.GetCounter("paxos.messages_sent", node, group)) {}
+
 Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
                  StateMachine* state_machine, const PaxosConfig& config,
                  GroupId group, NodeId self,
@@ -25,6 +52,7 @@ Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
       group_(group),
       self_(self),
       rng_(sim->rng().Fork()),
+      stats_(sim->metrics(), self, group),
       timers_(sim) {
   SCATTER_CHECK(cfg_.lease_duration <= cfg_.election_timeout_min);
   if (!initial_members.empty()) {
@@ -409,6 +437,11 @@ void Replica::QueueAck(NodeId to, Ballot ballot, uint64_t match_index,
       (pending_ack_to_ != to || pending_ack_ballot_ != ballot)) {
     FlushAck();  // Never merge acks across leaders or ballots.
   }
+  // The coalesced ack goes out from a timer; remember the context of the
+  // latest append folded into it as the ack's causal parent.
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    pending_ack_ctx_ = tr->current();
+  }
   if (pending_ack_to_ == kInvalidNode) {
     pending_ack_to_ = to;
     pending_ack_ballot_ = ballot;
@@ -444,6 +477,9 @@ void Replica::FlushAck() {
   pending_ack_match_ = 0;
   pending_ack_sent_at_ = 0;
   stats_.acks_sent++;
+  obs::ScopedContext trace_scope(
+      pending_ack_ctx_.valid() ? sim_->tracer() : nullptr, pending_ack_ctx_);
+  pending_ack_ctx_ = obs::TraceContext{};
   Send(to, std::move(reply));
 }
 
@@ -688,6 +724,18 @@ void Replica::BootstrapJoiner(NodeId node) {
 
 void Replica::FlushAppends(bool force_empty) {
   stats_.accept_broadcasts++;
+  // The flush may fire from a timer, outside the context of any proposal;
+  // parent it to the last proposal that requested it so the Accept
+  // broadcast below stays causally linked to client work.
+  obs::TraceRecorder* tr = sim_->tracer();
+  obs::TraceContext flush_span;
+  if (tr != nullptr && flush_ctx_.valid()) {
+    flush_span =
+        tr->StartSpanWithParent("paxos.flush", flush_ctx_, self_, group_);
+    flush_ctx_ = obs::TraceContext{};
+  }
+  obs::ScopedContext trace_scope(flush_span.valid() ? tr : nullptr,
+                                 flush_span);
   for (NodeId peer : config_) {
     if (peer != self_) {
       ReplicateTo(peer, force_empty);
@@ -706,6 +754,9 @@ void Replica::FlushAppends(bool force_empty) {
   if (last_flush_end_ < last_log_index()) {
     last_flush_end_ = last_log_index();
     flush_ends_.push_back(last_flush_end_);
+  }
+  if (flush_span.valid()) {
+    tr->EndSpan(flush_span);
   }
 }
 
@@ -780,6 +831,14 @@ void Replica::MaybeAdvanceCommit() {
   }
   if (best <= commit_index_) {
     return;
+  }
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    // Mark the quorum-commit moment on each proposal that just committed.
+    for (auto it = proposal_ctx_.upper_bound(commit_index_);
+         it != proposal_ctx_.end() && it->first <= best; ++it) {
+      obs::ScopedContext scope(tr, it->second);
+      tr->AddInstant("paxos.quorum_commit", self_, group_);
+    }
   }
   stats_.entries_committed += best - commit_index_;
   commit_index_ = best;
@@ -1015,6 +1074,13 @@ void Replica::FailPendingProposals(const Status& status) {
   auto pending = std::move(pending_proposals_);
   pending_proposals_.clear();
   stats_.proposals_failed += pending.size();
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    for (auto& [index, ctx] : proposal_ctx_) {
+      tr->Annotate(ctx, "failed", status.message());
+      tr->EndSpan(ctx);
+    }
+    proposal_ctx_.clear();
+  }
   for (auto& [index, cb] : pending) {
     cb(status);
   }
@@ -1032,6 +1098,15 @@ void Replica::Propose(CommandPtr command, CommitCallback callback) {
     return;
   }
   const uint64_t index = AppendLocal(std::move(command));
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    // Span closes when the entry applies (or the proposal fails). Also
+    // becomes the exemplar parent of the flush that carries it out.
+    const obs::TraceContext span =
+        tr->StartSpan("paxos.propose", self_, group_);
+    tr->Annotate(span, "index", std::to_string(index));
+    proposal_ctx_[index] = span;
+    flush_ctx_ = span;
+  }
   pending_proposals_.emplace(index, std::move(callback));
   // Group commit: the entry is in the log; the broadcast goes out on the
   // next flush, coalescing every proposal that lands before it.
@@ -1065,6 +1140,13 @@ void Replica::ProposeConfigChange(ConfigCommand::Op op, NodeId node,
   }
   const uint64_t index =
       AppendLocal(std::make_shared<ConfigCommand>(op, node));
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    const obs::TraceContext span =
+        tr->StartSpan("paxos.propose_config", self_, group_);
+    tr->Annotate(span, "index", std::to_string(index));
+    proposal_ctx_[index] = span;
+    flush_ctx_ = span;
+  }
   pending_config_index_ = index;
   pending_proposals_.emplace(index, std::move(callback));
   if (op == ConfigCommand::Op::kAddMember) {
@@ -1095,6 +1177,12 @@ void Replica::LinearizableRead(ReadCallback callback) {
   // Slow path: a no-op barrier through the log.
   stats_.barrier_reads++;
   const uint64_t index = AppendLocal(std::make_shared<NoOpCommand>());
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    const obs::TraceContext span =
+        tr->StartSpan("paxos.barrier", self_, group_);
+    proposal_ctx_[index] = span;
+    flush_ctx_ = span;
+  }
   pending_proposals_.emplace(
       index, [cb = std::move(callback)](StatusOr<uint64_t> result) {
         cb(result.ok() ? Status::Ok() : result.status());
@@ -1113,27 +1201,50 @@ void Replica::Send(NodeId to, std::shared_ptr<PaxosMessage> message) {
 }
 
 void Replica::ApplyCommitted() {
+  obs::TraceRecorder* tr = sim_->tracer();
   while (applied_index_ < commit_index_) {
     const uint64_t index = applied_index_ + 1;
     const LogEntry* entry = log_.At(index);
     SCATTER_CHECK(entry != nullptr);
     const CommandPtr command = entry->command;  // Keep alive across apply.
     applied_index_ = index;
-    switch (command->kind) {
-      case Command::Kind::kNoOp:
-        break;
-      case Command::Kind::kConfig:
-        ApplyConfig(static_cast<const ConfigCommand&>(*command), index);
-        break;
-      case Command::Kind::kApp:
-        sm_->Apply(index, *command);
-        break;
+    // Leader side, the apply span parents to the proposal's span; follower
+    // side there is none, so it parents to the delivered Accept's context.
+    obs::TraceContext apply_span;
+    if (tr != nullptr) {
+      auto pit = proposal_ctx_.find(index);
+      const obs::TraceContext parent =
+          pit != proposal_ctx_.end() ? pit->second : tr->current();
+      apply_span =
+          tr->StartSpanWithParent("paxos.apply", parent, self_, group_);
+      tr->Annotate(apply_span, "index", std::to_string(index));
     }
-    auto it = pending_proposals_.find(index);
-    if (it != pending_proposals_.end()) {
-      CommitCallback cb = std::move(it->second);
-      pending_proposals_.erase(it);
-      cb(index);
+    {
+      obs::ScopedContext trace_scope(apply_span.valid() ? tr : nullptr,
+                                     apply_span);
+      switch (command->kind) {
+        case Command::Kind::kNoOp:
+          break;
+        case Command::Kind::kConfig:
+          ApplyConfig(static_cast<const ConfigCommand&>(*command), index);
+          break;
+        case Command::Kind::kApp:
+          sm_->Apply(index, *command);
+          break;
+      }
+      auto it = pending_proposals_.find(index);
+      if (it != pending_proposals_.end()) {
+        CommitCallback cb = std::move(it->second);
+        pending_proposals_.erase(it);
+        cb(index);
+      }
+    }
+    if (tr != nullptr) {
+      tr->EndSpan(apply_span);
+      if (auto pit = proposal_ctx_.find(index); pit != proposal_ctx_.end()) {
+        tr->EndSpan(pit->second);
+        proposal_ctx_.erase(pit);
+      }
     }
   }
   MaybeTruncateLog();

@@ -37,6 +37,8 @@
 #include "src/common/random.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/paxos/command.h"
 #include "src/paxos/config.h"
 #include "src/paxos/log.h"
@@ -159,26 +161,38 @@ class Replica {
   // -slot divergence; never called by protocol code.
   void CorruptCommittedEntryForTest(uint64_t index);
 
+  // Thin view over this replica's cells in the simulation's MetricsRegistry
+  // ("paxos.<field>" scoped to (self, group)). Registry cells outlive the
+  // replica, so counters are cumulative across restarts on the same
+  // (node, group); bench math (avg_batch, msgs_per_op) reads through the
+  // references exactly as it read the old plain struct.
   struct Stats {
-    uint64_t elections_started = 0;
-    uint64_t transfers_initiated = 0;
-    uint64_t transfer_elections = 0;
-    uint64_t times_elected = 0;
-    uint64_t entries_committed = 0;
-    uint64_t snapshots_sent = 0;
-    uint64_t snapshots_installed = 0;
-    uint64_t lease_reads = 0;
-    uint64_t barrier_reads = 0;
-    uint64_t proposals_failed = 0;
+    Stats(obs::MetricsRegistry& registry, NodeId node, GroupId group);
+    // View over registry cells: a copy would alias the live counters (and
+    // silently break before/after delta patterns), so forbid it. Snapshot
+    // individual fields as plain integers instead.
+    Stats(const Stats&) = delete;
+    Stats& operator=(const Stats&) = delete;
+
+    Counter& elections_started;
+    Counter& transfers_initiated;
+    Counter& transfer_elections;
+    Counter& times_elected;
+    Counter& entries_committed;
+    Counter& snapshots_sent;
+    Counter& snapshots_installed;
+    Counter& lease_reads;
+    Counter& barrier_reads;
+    Counter& proposals_failed;
     // Commit-path batching/pipelining visibility (bench reports derive
     // avg batch = accept_entries_sent / accepts_sent and
     // messages-per-committed-op = messages_sent / entries_committed).
-    uint64_t accept_broadcasts = 0;    // flush sweeps over all peers
-    uint64_t accepts_sent = 0;         // AcceptMsgs sent (incl. empty)
-    uint64_t accept_entries_sent = 0;  // log entries carried by them
-    uint64_t acks_sent = 0;            // AcceptedMsgs actually sent
-    uint64_t acks_coalesced = 0;       // acks merged into a pending one
-    uint64_t messages_sent = 0;        // every outgoing protocol message
+    Counter& accept_broadcasts;    // flush sweeps over all peers
+    Counter& accepts_sent;         // AcceptMsgs sent (incl. empty)
+    Counter& accept_entries_sent;  // log entries carried by them
+    Counter& acks_sent;            // AcceptedMsgs actually sent
+    Counter& acks_coalesced;       // acks merged into a pending one
+    Counter& messages_sent;        // every outgoing protocol message
   };
   const Stats& stats() const { return stats_; }
 
@@ -333,6 +347,15 @@ class Replica {
   Ballot pending_ack_ballot_;
   uint64_t pending_ack_match_ = 0;
   TimeMicros pending_ack_sent_at_ = 0;
+
+  // Causal-trace plumbing across the batching boundaries: timer-driven
+  // flushes and coalesced acks fire outside the context that caused them,
+  // so the triggering context is captured here as the exemplar parent.
+  obs::TraceContext flush_ctx_;        // last proposal that requested a flush
+  obs::TraceContext pending_ack_ctx_;  // last append folded into the ack
+  // Per-proposal span (by log index): opened in Propose, closed when the
+  // entry applies (or the proposal fails).
+  std::map<uint64_t, obs::TraceContext> proposal_ctx_;
 
   // Candidate state.
   std::set<NodeId> votes_;

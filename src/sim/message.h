@@ -90,6 +90,11 @@ struct Message {
   // id of their request.
   uint64_t rpc_id = 0;
   bool is_response = false;
+  // Piggybacked causal-trace context (obs::TraceContext wire format). Stamped
+  // by Network::Send from the ambient span and restored around delivery;
+  // both stay 0 when tracing is off.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 using MessagePtr = std::shared_ptr<Message>;

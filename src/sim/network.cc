@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace scatter::sim {
 namespace {
@@ -100,6 +101,15 @@ void Network::Send(MessagePtr message) {
   SCATTER_CHECK(message->to != kInvalidNode);
   sent_++;
 
+  // Piggyback the ambient trace context so the receive path can parent its
+  // spans causally. Senders that stamped an explicit context keep it.
+  if (obs::TraceRecorder* tracer = sim_->tracer();
+      tracer != nullptr && message->trace_id == 0) {
+    const obs::TraceContext ctx = tracer->current();
+    message->trace_id = ctx.trace_id;
+    message->span_id = ctx.span_id;
+  }
+
   if (message->from != message->to) {
     if (!LinkAllows(message->from, message->to) ||
         rng_.Bernoulli(config_.loss_rate)) {
@@ -148,6 +158,10 @@ void Network::Deliver(const MessagePtr& message) {
                 std::to_string(message->from) + "->" +
                 std::to_string(message->to));
   }
+  // Restore the sender's trace context for the duration of the handler so
+  // spans opened on the receive path parent back across the network hop.
+  obs::ScopedContext trace_scope(
+      sim_->tracer(), obs::TraceContext{message->trace_id, message->span_id});
   it->second->HandleMessage(message);
 }
 

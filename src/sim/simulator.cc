@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace scatter::sim {
 namespace {
@@ -17,7 +19,33 @@ Simulator::Simulator(uint64_t seed) : seed_(seed), rng_(seed) {
   SetLogClock(&SimClock, this);
 }
 
-Simulator::~Simulator() { SetLogClock(nullptr, nullptr); }
+Simulator::~Simulator() {
+  DisableTracing();
+  SetLogClock(nullptr, nullptr);
+}
+
+obs::MetricsRegistry& Simulator::metrics() {
+  if (metrics_ == nullptr) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  return *metrics_;
+}
+
+obs::TraceRecorder& Simulator::EnableTracing() {
+  if (tracer_ == nullptr) {
+    // Same clock hook the logger uses: spans carry simulated time.
+    tracer_ = std::make_unique<obs::TraceRecorder>(&SimClock, this);
+    SetLogSink(&obs::TraceRecorder::LogSinkThunk, tracer_.get());
+  }
+  return *tracer_;
+}
+
+void Simulator::DisableTracing() {
+  if (tracer_ != nullptr) {
+    SetLogSink(nullptr, nullptr);
+    tracer_.reset();
+  }
+}
 
 uint32_t Simulator::AcquireSlot() {
   if (free_head_ != kNoSlot) {

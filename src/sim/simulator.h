@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <unordered_set>
@@ -27,6 +28,11 @@
 #include "src/common/random.h"
 #include "src/common/types.h"
 #include "src/sim/event_fn.h"
+
+namespace scatter::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace scatter::obs
 
 namespace scatter::sim {
 
@@ -111,6 +117,24 @@ class Simulator {
     return {trace_.begin(), trace_.end()};
   }
 
+  // --- Observability -------------------------------------------------------
+  // Per-simulation metrics registry, created lazily on first use. Components
+  // reach it through their simulator pointer, so no constructor signature
+  // changes anywhere.
+  obs::MetricsRegistry& metrics();
+
+  // Causal tracer. nullptr (the default) means tracing is off and every
+  // instrumentation site reduces to this null check.
+  obs::TraceRecorder* tracer() const { return tracer_.get(); }
+
+  // Creates the trace recorder, clocked by this simulator's virtual time,
+  // and installs the log sink that turns kTrace log lines into instant
+  // events. Idempotent.
+  obs::TraceRecorder& EnableTracing();
+
+  // Destroys the recorder (and its spans) and uninstalls the log sink.
+  void DisableTracing();
+
  private:
   static constexpr uint32_t kNoSlot = 0xffffffffu;
 
@@ -161,6 +185,8 @@ class Simulator {
   AuditHook audit_hook_;
   size_t trace_capacity_ = 0;
   std::deque<TraceEntry> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceRecorder> tracer_;
 };
 
 // RAII owner of timers: cancels everything it scheduled when destroyed.

@@ -51,9 +51,44 @@ bool GroupOpDriver::LegalPhaseTransition(Phase from, Phase to) {
   return false;
 }
 
+namespace {
+
+const char* PhaseMetricName(GroupOpDriver::Phase to) {
+  switch (to) {
+    case GroupOpDriver::Phase::kIdle:
+      return "txn.phase.idle";
+    case GroupOpDriver::Phase::kStarting:
+      return "txn.phase.starting";
+    case GroupOpDriver::Phase::kPreparing:
+      return "txn.phase.preparing";
+    case GroupOpDriver::Phase::kDeciding:
+      return "txn.phase.deciding";
+    case GroupOpDriver::Phase::kNotifying:
+      return "txn.phase.notifying";
+  }
+  return "txn.phase.unknown";
+}
+
+}  // namespace
+
+GroupOpDriver::Stats::Stats(obs::MetricsRegistry& registry, NodeId node,
+                            GroupId group)
+    : txns_started(registry.GetCounter("txn.txns_started", node, group)),
+      txns_committed(registry.GetCounter("txn.txns_committed", node, group)),
+      txns_aborted(registry.GetCounter("txn.txns_aborted", node, group)),
+      status_queries_sent(
+          registry.GetCounter("txn.status_queries_sent", node, group)),
+      prepares_answered(
+          registry.GetCounter("txn.prepares_answered", node, group)) {}
+
 void GroupOpDriver::TransitionTo(Phase to) {
   SCATTER_CHECK(LegalPhaseTransition(phase_, to));
   phase_ = to;
+  // Phase transitions are rare (a handful per structural op), so the
+  // registry lookup here is off every hot path.
+  sim_->metrics()
+      .GetCounter(PhaseMetricName(to), replica_->self(), sm_->id())
+      .Add();
 }
 
 GroupOpDriver::GroupOpDriver(sim::Simulator* sim, DriverHost* host,
@@ -66,6 +101,7 @@ GroupOpDriver::GroupOpDriver(sim::Simulator* sim, DriverHost* host,
       sm_(state_machine),
       cfg_(config),
       rng_(sim->rng().Fork()),
+      stats_(sim->metrics(), replica->self(), state_machine->id()),
       timers_(sim) {
   ScheduleTick();
 }
@@ -99,6 +135,11 @@ void GroupOpDriver::Poke() {
       phase_ == Phase::kIdle) {
     // We inherited an in-flight coordinated transaction (leader change).
     txn_ = sm_->state().active->txn;
+    if (obs::TraceRecorder* tr = sim_->tracer()) {
+      op_ctx_ = tr->StartSpan("txn.coordinate", replica_->self(), sm_->id());
+      tr->Annotate(op_ctx_, "txn_id", std::to_string(txn_->id));
+      tr->Annotate(op_ctx_, "inherited", "true");
+    }
     TransitionTo(Phase::kPreparing);
     phase_started_ = sim_->now();
     SendPrepare();
@@ -146,8 +187,19 @@ void GroupOpDriver::StartSplit(Key split_key, std::vector<NodeId> left_members,
   cmd->right_members = std::move(right_members);
   cmd->left_id = left_id;
   cmd->right_id = right_id;
+  // Single-group atomic op; still worth a span so splits show up in traces.
+  obs::TraceContext span;
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    span = tr->StartSpan("txn.split", replica_->self(), sm_->id());
+    tr->Annotate(span, "split_key", std::to_string(split_key));
+  }
+  obs::ScopedContext trace_scope(span.valid() ? sim_->tracer() : nullptr,
+                                 span);
   replica_->Propose(
-      cmd, [this, done = std::move(done)](StatusOr<uint64_t> result) {
+      cmd, [this, span, done = std::move(done)](StatusOr<uint64_t> result) {
+        if (obs::TraceRecorder* tr = sim_->tracer()) {
+          tr->EndSpan(span);
+        }
         if (!result.ok()) {
           done(result.status());
           return;
@@ -203,12 +255,22 @@ void GroupOpDriver::StartTxn(RingTxn txn, DoneCallback done) {
     return;
   }
   stats_.txns_started++;
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    // One parent span for the whole multi-group operation; everything the
+    // coordinator and participant do for it parents back here.
+    op_ctx_ = tr->StartSpan("txn.coordinate", replica_->self(), sm_->id());
+    tr->Annotate(op_ctx_, "txn_id", std::to_string(txn.id));
+    tr->Annotate(op_ctx_, "kind",
+                 txn.kind == RingTxn::Kind::kMerge ? "merge" : "repartition");
+  }
   txn_ = txn;
   done_ = std::move(done);
   TransitionTo(Phase::kStarting);
   phase_started_ = sim_->now();
   auto cmd = std::make_shared<CoordStartCommand>();
   cmd->txn = std::move(txn);
+  obs::ScopedContext trace_scope(op_ctx_.valid() ? sim_->tracer() : nullptr,
+                                 op_ctx_);
   replica_->Propose(cmd, [this, id = txn_->id](StatusOr<uint64_t> result) {
     if (phase_ != Phase::kStarting || !txn_ || txn_->id != id) {
       return;  // Superseded (leadership churn).
@@ -251,6 +313,10 @@ void GroupOpDriver::SendPrepare() {
   }
   const NodeId to = members[participant_cursor_++ % members.size()];
   last_send_ = sim_->now();
+  // Stamp the prepare with the op span so the participant group's spans
+  // parent back to this operation.
+  obs::ScopedContext trace_scope(op_ctx_.valid() ? sim_->tracer() : nullptr,
+                                 op_ctx_);
   host_->SendToNode(to, std::move(m));
 }
 
@@ -290,6 +356,8 @@ void GroupOpDriver::Decide(bool commit) {
     cmd->part_dedup = prepare_reply_->part_dedup;
     cmd->part_outer_neighbor = prepare_reply_->part_outer_neighbor;
   }
+  obs::ScopedContext trace_scope(op_ctx_.valid() ? sim_->tracer() : nullptr,
+                                 op_ctx_);
   replica_->Propose(
       cmd, [this, id = txn_->id, commit](StatusOr<uint64_t> result) {
         if (phase_ != Phase::kDeciding || !txn_ || txn_->id != id) {
@@ -331,6 +399,8 @@ void GroupOpDriver::SendDecision() {
   }
   const NodeId to = targets[participant_cursor_++ % targets.size()];
   last_send_ = sim_->now();
+  obs::ScopedContext trace_scope(op_ctx_.valid() ? sim_->tracer() : nullptr,
+                                 op_ctx_);
   host_->SendToNode(to, std::move(m));
 }
 
@@ -346,6 +416,14 @@ void GroupOpDriver::OnDecisionAck(const TxnDecisionAckMsg& m) {
 
 void GroupOpDriver::Finish(Status status) {
   TransitionTo(Phase::kIdle);
+  if (op_ctx_.valid()) {
+    if (obs::TraceRecorder* tr = sim_->tracer()) {
+      tr->Annotate(op_ctx_, "status",
+                   status.ok() ? "ok" : status.message());
+      tr->EndSpan(op_ctx_);
+    }
+    op_ctx_ = obs::TraceContext{};
+  }
   txn_.reset();
   prepare_reply_.reset();
   if (done_) {
@@ -413,19 +491,35 @@ void GroupOpDriver::OnPrepare(const TxnPrepareMsg& m) {
   cmd->coord_data = m.coord_data;
   cmd->coord_dedup = m.coord_dedup;
   cmd->coord_outer_neighbor = m.coord_outer_neighbor;
-  replica_->Propose(cmd, [this, coordinator,
+  // Participant-side prepare span: opened under the delivered prepare's
+  // context (the coordinator's op span), closed once the reply goes out.
+  obs::TraceContext part_span;
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    part_span = tr->StartSpan("txn.participant_prepare", replica_->self(),
+                              sm_->id());
+    tr->Annotate(part_span, "txn_id", std::to_string(m.txn.id));
+  }
+  obs::ScopedContext trace_scope(part_span.valid() ? sim_->tracer() : nullptr,
+                                 part_span);
+  replica_->Propose(cmd, [this, coordinator, part_span,
                           id = m.txn.id](StatusOr<uint64_t> result) {
-    if (!result.ok()) {
-      return;  // Coordinator resends; the next leader answers.
+    obs::TraceRecorder* tr = sim_->tracer();
+    if (result.ok()) {
+      auto reply = std::make_shared<TxnPrepareReplyMsg>();
+      reply->txn_id = id;
+      if (sm_->IsFrozen() && sm_->state().active->txn.id == id) {
+        FillParticipantReply(reply.get());
+      } else {
+        reply->prepared = false;  // Lost an apply-time race.
+      }
+      obs::ScopedContext reply_scope(part_span.valid() ? tr : nullptr,
+                                     part_span);
+      host_->SendToNode(coordinator, std::move(reply));
     }
-    auto reply = std::make_shared<TxnPrepareReplyMsg>();
-    reply->txn_id = id;
-    if (sm_->IsFrozen() && sm_->state().active->txn.id == id) {
-      FillParticipantReply(reply.get());
-    } else {
-      reply->prepared = false;  // Lost an apply-time race.
+    // On failure the coordinator resends and the next leader answers.
+    if (tr != nullptr) {
+      tr->EndSpan(part_span);
     }
-    host_->SendToNode(coordinator, std::move(reply));
   });
 }
 
@@ -465,16 +559,31 @@ void GroupOpDriver::ProposeDecide(uint64_t txn_id, bool commit,
   auto cmd = std::make_shared<DecideCommand>();
   cmd->txn_id = txn_id;
   cmd->commit = commit;
+  // Participant-side commit/abort span, parented to the delivered decision
+  // (or status reply) and closed when the local decide entry applies.
+  obs::TraceContext part_span;
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    part_span = tr->StartSpan("txn.participant_decide", replica_->self(),
+                              sm_->id());
+    tr->Annotate(part_span, "txn_id", std::to_string(txn_id));
+    tr->Annotate(part_span, "commit", commit ? "true" : "false");
+  }
+  obs::ScopedContext trace_scope(part_span.valid() ? sim_->tracer() : nullptr,
+                                 part_span);
   replica_->Propose(
-      cmd, [this, txn_id, ack_to](StatusOr<uint64_t> result) {
+      cmd, [this, txn_id, ack_to, part_span](StatusOr<uint64_t> result) {
         decide_in_flight_ = false;
-        if (!result.ok() || ack_to == kInvalidNode) {
-          return;
-        }
-        if (sm_->OutcomeOf(txn_id).has_value()) {
+        obs::TraceRecorder* tr = sim_->tracer();
+        if (result.ok() && ack_to != kInvalidNode &&
+            sm_->OutcomeOf(txn_id).has_value()) {
           auto reply = std::make_shared<TxnDecisionAckMsg>();
           reply->txn_id = txn_id;
+          obs::ScopedContext reply_scope(part_span.valid() ? tr : nullptr,
+                                         part_span);
           host_->SendToNode(ack_to, std::move(reply));
+        }
+        if (tr != nullptr) {
+          tr->EndSpan(part_span);
         }
       });
 }

@@ -18,6 +18,8 @@
 
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/membership/commands.h"
 #include "src/membership/group_state_machine.h"
 #include "src/paxos/replica.h"
@@ -81,12 +83,18 @@ class GroupOpDriver {
   void StartRepartition(const ring::GroupInfo& successor, Key new_boundary,
                         uint64_t txn_id, DoneCallback done);
 
+  // Thin view over this driver's cells in the MetricsRegistry
+  // ("txn.<field>" scoped to (node, group)); see Replica::Stats.
   struct Stats {
-    uint64_t txns_started = 0;
-    uint64_t txns_committed = 0;
-    uint64_t txns_aborted = 0;
-    uint64_t status_queries_sent = 0;
-    uint64_t prepares_answered = 0;
+    Stats(obs::MetricsRegistry& registry, NodeId node, GroupId group);
+    Stats(const Stats&) = delete;  // a copy would alias the live cells
+    Stats& operator=(const Stats&) = delete;
+
+    Counter& txns_started;
+    Counter& txns_committed;
+    Counter& txns_aborted;
+    Counter& status_queries_sent;
+    Counter& prepares_answered;
   };
   const Stats& stats() const { return stats_; }
 
@@ -158,6 +166,11 @@ class GroupOpDriver {
   TimeMicros last_status_query_ = 0;
   size_t coord_cursor_ = 0;
   bool decide_in_flight_ = false;
+
+  // Parent span of the whole multi-group operation (coordinator side);
+  // prepare/decision sends are stamped with it so every participant span
+  // parents back to it across groups. Closed in Finish.
+  obs::TraceContext op_ctx_;
 
   Stats stats_;
   sim::TimerOwner timers_;

@@ -5,6 +5,7 @@
 #include "src/common/hash.h"
 #include "src/sim/simulator.h"
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace scatter::workload {
 
@@ -75,7 +76,14 @@ void WorkloadDriver::IssueOne(size_t client_index) {
     if (cfg_.record_history) {
       op_id = history_.RecordInvoke(verify::OpType::kWrite, key, value, start);
     }
-    auto complete = [this, op_id, start,
+    // Root span of the whole operation tree (client -> node -> paxos).
+    obs::TraceContext op_span;
+    if (obs::TraceRecorder* tr = sim_->tracer()) {
+      op_span = tr->StartSpanWithParent(
+          is_delete ? "workload.delete" : "workload.put", obs::TraceContext{},
+          client->KvClientId(), 0);
+    }
+    auto complete = [this, op_id, start, op_span,
                      next = std::move(next)](Status s) {
       const TimeMicros now = sim_->now();
       if (s.ok()) {
@@ -83,6 +91,9 @@ void WorkloadDriver::IssueOne(size_t client_index) {
         stats_.write_latency.Record(now - start);
       } else {
         stats_.writes_failed++;
+      }
+      if (obs::TraceRecorder* tr = sim_->tracer()) {
+        tr->EndSpan(op_span);
       }
       if (cfg_.record_history && op_id != 0) {
         // A timed-out write is indeterminate: it may still apply later.
@@ -93,6 +104,8 @@ void WorkloadDriver::IssueOne(size_t client_index) {
       }
       next();
     };
+    obs::ScopedContext trace_scope(
+        op_span.valid() ? sim_->tracer() : nullptr, op_span);
     if (is_delete) {
       client->KvDelete(key, std::move(complete));
     } else {
@@ -105,7 +118,14 @@ void WorkloadDriver::IssueOne(size_t client_index) {
   if (cfg_.record_history) {
     op_id = history_.RecordInvoke(verify::OpType::kRead, key, Value(), start);
   }
-  client->KvGet(key, [this, op_id, start,
+  obs::TraceContext op_span;
+  if (obs::TraceRecorder* tr = sim_->tracer()) {
+    op_span = tr->StartSpanWithParent("workload.get", obs::TraceContext{},
+                                      client->KvClientId(), 0);
+  }
+  obs::ScopedContext trace_scope(op_span.valid() ? sim_->tracer() : nullptr,
+                                 op_span);
+  client->KvGet(key, [this, op_id, start, op_span,
                       next = std::move(next)](StatusOr<Value> result) {
     const TimeMicros now = sim_->now();
     verify::Outcome outcome;
@@ -122,6 +142,9 @@ void WorkloadDriver::IssueOne(size_t client_index) {
     } else {
       stats_.reads_failed++;
       outcome = verify::Outcome::kIndeterminate;  // Unanswered read.
+    }
+    if (obs::TraceRecorder* tr = sim_->tracer()) {
+      tr->EndSpan(op_span);
     }
     if (cfg_.record_history && op_id != 0) {
       history_.RecordComplete(op_id, outcome, std::move(value), now);

@@ -1,0 +1,448 @@
+// Tests for the flight recorder: metrics registry cells and JSON export,
+// histogram edge cases, the causal tracer's span bookkeeping, and full
+// cross-node / cross-group trace propagation through live clusters.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/hash.h"
+#include "src/common/histogram.h"
+#include "src/common/logging.h"
+#include "src/core/cluster.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace scatter {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram edge cases (the registry exporter leans on these)
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+  EXPECT_EQ(h.Percentile(100), 0);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoop) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  Histogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 200);
+
+  // ...and merging into an empty histogram adopts the other's stats.
+  empty.Merge(h);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 100);
+  EXPECT_EQ(empty.max(), 200);
+}
+
+TEST(HistogramTest, SingleSamplePercentiles) {
+  Histogram h;
+  h.Record(500);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 500);
+  EXPECT_EQ(h.max(), 500);
+  EXPECT_EQ(h.mean(), 500.0);
+  // Every percentile lands in the single occupied bucket.
+  EXPECT_EQ(h.Percentile(0), h.Percentile(100));
+  // Log-bucketing bounds the error to a few percent.
+  EXPECT_GE(h.Percentile(50), 500);
+  EXPECT_LE(h.Percentile(50), 550);
+}
+
+TEST(HistogramTest, PercentileBoundsBracketSamples) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i);
+  }
+  EXPECT_LE(h.Percentile(0), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(100));
+  EXPECT_GE(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(100), 0);
+  h.Record(7);  // usable again after reset
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, ToJsonHasStableSchema) {
+  Histogram h;
+  h.Record(100);
+  const std::string json = h.ToJson();
+  for (const char* key :
+       {"\"count\":", "\"min\":", "\"max\":", "\"mean\":", "\"p50\":",
+        "\"p90\":", "\"p99\":", "\"p100\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(CounterTest, SupportsIntegerIdioms) {
+  Counter c;
+  c++;
+  ++c;
+  c += 3;
+  c.Add(2);
+  EXPECT_EQ(static_cast<uint64_t>(c), 7u);
+  const uint64_t copy = c;
+  EXPECT_EQ(copy, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CellsAreStableAndKeyed) {
+  obs::MetricsRegistry reg;
+  Counter& a = reg.GetCounter("paxos.accepts_sent", 1, 2);
+  Counter& b = reg.GetCounter("paxos.accepts_sent", 1, 2);
+  EXPECT_EQ(&a, &b);  // same cell, stable reference
+  Counter& other_node = reg.GetCounter("paxos.accepts_sent", 3, 2);
+  EXPECT_NE(&a, &other_node);
+  a += 5;
+  EXPECT_EQ(static_cast<uint64_t>(b), 5u);
+  EXPECT_EQ(static_cast<uint64_t>(other_node), 0u);
+  EXPECT_EQ(reg.counter_cells(), 2u);
+}
+
+TEST(MetricsRegistryTest, MergeSumsCells) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.GetCounter("x", 1) += 2;
+  b.GetCounter("x", 1) += 3;
+  b.GetCounter("only_in_b", 9)++;
+  a.GetGauge("g", 1).Add(10);
+  b.GetGauge("g", 1).Add(-4);
+  a.GetHistogram("h", 1).Record(100);
+  b.GetHistogram("h", 1).Record(300);
+
+  a.Merge(b);
+  EXPECT_EQ(static_cast<uint64_t>(a.GetCounter("x", 1)), 5u);
+  EXPECT_EQ(static_cast<uint64_t>(a.GetCounter("only_in_b", 9)), 1u);
+  EXPECT_EQ(static_cast<int64_t>(a.GetGauge("g", 1)), 6);
+  EXPECT_EQ(a.GetHistogram("h", 1).count(), 2u);
+  EXPECT_EQ(a.GetHistogram("h", 1).max(), 300);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsStableSchemaAndDeterministic) {
+  auto build = [] {
+    obs::MetricsRegistry reg;
+    reg.GetCounter("zeta.ops", 2, 1) += 7;
+    reg.GetCounter("alpha.ops", 1, 0)++;
+    reg.GetGauge("core.hosted_groups", 1).Set(3);
+    reg.GetHistogram("lat", 1, 1).Record(250);
+    return reg.ToJson();
+  };
+  const std::string json = build();
+  EXPECT_NE(json.find("\"schema\":\"scatter.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
+  EXPECT_NE(
+      json.find(
+          "{\"name\":\"alpha.ops\",\"node\":1,\"group\":0,\"value\":1}"),
+      std::string::npos)
+      << json;
+  // Cells are ordered by (name, node, group): alpha before zeta.
+  EXPECT_LT(json.find("alpha.ops"), json.find("zeta.ops"));
+  // Equal registries export byte-identical JSON.
+  EXPECT_EQ(json, build());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer bookkeeping (manual clock)
+// ---------------------------------------------------------------------------
+
+int64_t FakeClock(void* arg) { return *static_cast<int64_t*>(arg); }
+
+TEST(TraceRecorderTest, SpanParentageAndTiming) {
+  int64_t now = 1000;
+  obs::TraceRecorder rec(&FakeClock, &now);
+
+  const obs::TraceContext root = rec.StartSpan("root", 1, 2);
+  EXPECT_TRUE(root.valid());
+  {
+    obs::ScopedContext scope(&rec, root);
+    now = 1500;
+    const obs::TraceContext child = rec.StartSpan("child", 3, 2);
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    now = 2000;
+    rec.EndSpan(child);
+  }
+  now = 2500;
+  rec.EndSpan(root);
+
+  ASSERT_EQ(rec.spans().size(), 2u);
+  const obs::TraceRecorder::Span& root_span = rec.spans()[0];
+  const obs::TraceRecorder::Span& child_span = rec.spans()[1];
+  EXPECT_EQ(root_span.parent_span_id, 0u);
+  EXPECT_EQ(child_span.parent_span_id, root_span.span_id);
+  EXPECT_EQ(root_span.start_us, 1000);
+  EXPECT_EQ(root_span.end_us, 2500);
+  EXPECT_EQ(child_span.start_us, 1500);
+  EXPECT_EQ(child_span.end_us, 2000);
+  EXPECT_FALSE(root_span.open);
+
+  // Separate roots get separate traces.
+  const obs::TraceContext other = rec.StartSpan("other", 1, 2);
+  EXPECT_NE(other.trace_id, root.trace_id);
+  // Double-EndSpan is harmless.
+  rec.EndSpan(root);
+  EXPECT_EQ(rec.spans()[0].end_us, 2500);
+}
+
+TEST(TraceRecorderTest, ScopedSpanRestoresAmbient) {
+  int64_t now = 0;
+  obs::TraceRecorder rec(&FakeClock, &now);
+  EXPECT_FALSE(rec.current().valid());
+  {
+    obs::ScopedSpan outer(&rec, "outer", 1, 0);
+    EXPECT_EQ(rec.current().span_id, outer.context().span_id);
+    {
+      obs::ScopedSpan inner(&rec, "inner", 1, 0);
+      EXPECT_EQ(rec.spans()[1].parent_span_id, outer.context().span_id);
+    }
+    EXPECT_EQ(rec.current().span_id, outer.context().span_id);
+    EXPECT_FALSE(rec.spans()[1].open);
+  }
+  EXPECT_FALSE(rec.current().valid());
+  // Null recorder guards are no-ops.
+  obs::ScopedSpan noop(nullptr, "x", 0, 0);
+  EXPECT_FALSE(noop.context().valid());
+}
+
+TEST(TraceRecorderTest, InstantsRequireAmbientSpan) {
+  int64_t now = 0;
+  obs::TraceRecorder rec(&FakeClock, &now);
+  rec.AddInstant("dropped", 1, 0);
+  EXPECT_TRUE(rec.instants().empty());
+  obs::ScopedSpan span(&rec, "op", 1, 0);
+  rec.AddInstant("kept", 1, 0);
+  ASSERT_EQ(rec.instants().size(), 1u);
+  EXPECT_EQ(rec.instants()[0].parent_span_id, span.context().span_id);
+}
+
+TEST(TraceRecorderTest, TraceLogLinesBecomeInstants) {
+  int64_t now = 0;
+  obs::TraceRecorder rec(&FakeClock, &now);
+  SetLogSink(&obs::TraceRecorder::LogSinkThunk, &rec);
+  SCATTER_TRACE() << "outside any span";  // dropped
+  {
+    obs::ScopedSpan span(&rec, "op", 4, 7);
+    SCATTER_TRACE() << "inside";
+  }
+  SetLogSink(nullptr, nullptr);
+  SCATTER_TRACE() << "sink uninstalled";  // not recorded
+  ASSERT_EQ(rec.instants().size(), 1u);
+  EXPECT_NE(rec.instants()[0].name.find("inside"), std::string::npos);
+  // Attributed to the ambient span's node/group, with the file:line origin.
+  EXPECT_EQ(rec.instants()[0].node, 4u);
+  EXPECT_EQ(rec.instants()[0].group, 7u);
+  EXPECT_NE(rec.instants()[0].name.find("obs_test.cc"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ChromeJsonShape) {
+  int64_t now = 10;
+  obs::TraceRecorder rec(&FakeClock, &now);
+  {
+    obs::ScopedSpan span(&rec, "alpha", 1, 2);
+    rec.Annotate(span.context(), "key", "va\"lue");
+    rec.AddInstant("tick", 1, 2);
+  }
+  const std::string json = rec.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"scatter.trace.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\",\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\":\"va\\\"lue\""), std::string::npos);
+  // Zero-duration spans are clamped to 1us so Perfetto renders them.
+  EXPECT_NE(json.find("\"dur\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end trace propagation through live clusters
+// ---------------------------------------------------------------------------
+
+// Walks parent links from `span_id`; true if `ancestor` is on the path.
+bool ReachesAncestor(const obs::TraceRecorder& rec, uint64_t span_id,
+                     uint64_t ancestor) {
+  size_t hops = 0;
+  while (span_id != 0 && hops++ < 64) {
+    if (span_id == ancestor) {
+      return true;
+    }
+    const obs::TraceRecorder::Span* span = rec.FindSpan(span_id);
+    if (span == nullptr) {
+      return false;
+    }
+    span_id = span->parent_span_id;
+  }
+  return false;
+}
+
+core::ClusterConfig StaticCluster(uint64_t seed, size_t nodes,
+                                  size_t groups) {
+  core::ClusterConfig cfg;
+  cfg.seed = seed;
+  cfg.initial_nodes = nodes;
+  cfg.initial_groups = groups;
+  cfg.scatter.policy.enable_split = false;
+  cfg.scatter.policy.enable_merge = false;
+  cfg.scatter.policy.enable_migration = false;
+  cfg.scatter.policy.min_group_size = 1;
+  cfg.scatter.policy.max_group_size = 64;
+  return cfg;
+}
+
+TEST(TracePropagationTest, ClientOpSpanTreeCoversCommitPath) {
+  core::Cluster c(StaticCluster(11, 5, 1));
+  obs::TraceRecorder& rec = c.sim().EnableTracing();
+  c.RunFor(Seconds(2));
+
+  core::Client* client = c.AddClient();
+  bool done = false;
+  client->Put(KeyFromString("tracedkey"), "tracedvalue",
+              [&](Status s) { done = s.ok(); });
+  const TimeMicros deadline = c.sim().now() + Seconds(10);
+  while (!done && c.sim().now() < deadline) {
+    c.sim().RunFor(Millis(2));
+  }
+  ASSERT_TRUE(done);
+  c.RunFor(Millis(500));  // let followers apply
+
+  // Find the client op's root span.
+  const obs::TraceRecorder::Span* root = nullptr;
+  for (const auto& span : rec.spans()) {
+    if (span.name == "client.put") {
+      root = &span;
+      break;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+
+  // Collect the op's tree: propose -> flush -> apply, all parenting back to
+  // the client span, with simulated timestamps never going backwards.
+  std::set<std::string> names;
+  size_t in_tree = 0;
+  for (const auto& span : rec.spans()) {
+    if (span.trace_id != root->trace_id) {
+      continue;
+    }
+    in_tree++;
+    names.insert(span.name);
+    EXPECT_TRUE(ReachesAncestor(rec, span.span_id, root->span_id))
+        << span.name << " does not parent back to client.put";
+    if (span.parent_span_id != 0) {
+      const obs::TraceRecorder::Span* parent =
+          rec.FindSpan(span.parent_span_id);
+      ASSERT_NE(parent, nullptr);
+      EXPECT_GE(span.start_us, parent->start_us)
+          << span.name << " starts before its parent " << parent->name;
+    }
+    EXPECT_FALSE(span.open) << span.name << " never ended";
+    EXPECT_GE(span.end_us, span.start_us);
+  }
+  EXPECT_GE(in_tree, 4u);
+  EXPECT_TRUE(names.count("node.put")) << "missing node-side span";
+  EXPECT_TRUE(names.count("paxos.propose")) << "missing propose span";
+  EXPECT_TRUE(names.count("paxos.flush")) << "missing flush span";
+  EXPECT_TRUE(names.count("paxos.apply")) << "missing apply span";
+
+  // The quorum-commit instant is attached to the same trace.
+  bool commit_instant = false;
+  for (const auto& inst : rec.instants()) {
+    if (inst.trace_id == root->trace_id &&
+        inst.name == "paxos.quorum_commit") {
+      commit_instant = true;
+    }
+  }
+  EXPECT_TRUE(commit_instant);
+}
+
+TEST(TracePropagationTest, MultiGroupOpFormsSingleConnectedTree) {
+  core::Cluster c(StaticCluster(21, 10, 2));
+  obs::TraceRecorder& rec = c.sim().EnableTracing();
+  c.RunFor(Seconds(2));
+
+  // Fire a merge from the group whose range begins at 0; the clockwise
+  // successor group participates, so the op spans both groups.
+  core::ScatterNode* leader = nullptr;
+  GroupId group = kInvalidGroup;
+  for (NodeId id : c.live_node_ids()) {
+    core::ScatterNode* node = c.node(id);
+    for (const ring::GroupInfo& info : node->ServingInfos()) {
+      if (info.leader == id && info.range.begin == 0) {
+        leader = node;
+        group = info.id;
+      }
+    }
+  }
+  ASSERT_NE(leader, nullptr);
+  Status outcome = InternalError("pending");
+  bool done = false;
+  leader->RequestMerge(group, [&](Status s) {
+    done = true;
+    outcome = s;
+  });
+  const TimeMicros deadline = c.sim().now() + Seconds(20);
+  while (!done && c.sim().now() < deadline) {
+    c.sim().RunFor(Millis(5));
+  }
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.ok()) << outcome.ToString();
+  c.RunFor(Seconds(2));
+
+  const obs::TraceRecorder::Span* coord = nullptr;
+  for (const auto& span : rec.spans()) {
+    if (span.name == "txn.coordinate") {
+      coord = &span;
+      break;
+    }
+  }
+  ASSERT_NE(coord, nullptr);
+
+  // Every participant-side span of the transaction parents back to the
+  // coordinator's span, and the tree covers both groups.
+  std::set<GroupId> groups_in_tree;
+  size_t participant_spans = 0;
+  for (const auto& span : rec.spans()) {
+    if (span.trace_id != coord->trace_id) {
+      continue;
+    }
+    if (ReachesAncestor(rec, span.span_id, coord->span_id)) {
+      groups_in_tree.insert(span.group);
+    }
+    if (span.name == "txn.participant_prepare" ||
+        span.name == "txn.participant_decide") {
+      participant_spans++;
+      EXPECT_TRUE(ReachesAncestor(rec, span.span_id, coord->span_id))
+          << span.name << " (group " << span.group
+          << ") does not parent back to txn.coordinate";
+    }
+  }
+  EXPECT_GE(participant_spans, 2u);  // at least prepare + decide
+  EXPECT_GE(groups_in_tree.size(), 2u)
+      << "transaction tree does not span two groups";
+}
+
+}  // namespace
+}  // namespace scatter

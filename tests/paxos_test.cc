@@ -595,7 +595,8 @@ TEST(PaxosBatchingTest, SameTurnProposalsShareOneBroadcast) {
   ASSERT_NE(l, nullptr);
   cluster.sim().RunFor(Millis(200));  // quiesce election traffic
 
-  const Replica::Stats before = l->replica().stats();
+  const uint64_t accepts_before = l->replica().stats().accepts_sent;
+  const uint64_t entries_before = l->replica().stats().accept_entries_sent;
   constexpr int kOps = 32;
   int committed = 0;
   for (int i = 0; i < kOps; ++i) {
@@ -611,10 +612,9 @@ TEST(PaxosBatchingTest, SameTurnProposalsShareOneBroadcast) {
     cluster.sim().RunFor(Millis(1));
   }
   ASSERT_EQ(committed, kOps);
-  const Replica::Stats after = l->replica().stats();
-  const uint64_t accepts = after.accepts_sent - before.accepts_sent;
+  const uint64_t accepts = l->replica().stats().accepts_sent - accepts_before;
   const uint64_t entries =
-      after.accept_entries_sent - before.accept_entries_sent;
+      l->replica().stats().accept_entries_sent - entries_before;
   // Each of the 4 peers received all 32 entries: the first proposal goes
   // out immediately, the other 31 coalesce into batched rounds, plus at
   // most commit notifications and a stray heartbeat — nowhere near the 32

@@ -17,10 +17,13 @@
 #include "src/common/random.h"
 #include "src/core/cluster.h"
 #include "src/membership/commands.h"
+#include "src/paxos/messages.h"
 #include "src/ring/ring_map.h"
 #include "src/sim/simulator.h"
 #include "src/store/kv_store.h"
 #include "src/verify/linearizability.h"
+#include "src/wire/buffer.h"
+#include "src/wire/codec.h"
 
 namespace scatter {
 namespace {
@@ -164,6 +167,69 @@ void BM_PaxosCommit(benchmark::State& state) {
   state.counters["msgs_per_op"] = summary.MsgsPerCommittedOp();
 }
 BENCHMARK(BM_PaxosCommit)->Arg(1)->Arg(8)->Arg(64);
+
+// Codec cost in isolation: one frame round-trip of a representative batched
+// Accept (8 entries, each a small put). This is the per-delivery overhead
+// the serializing transport adds on the hottest protocol message.
+void BM_WireAcceptRoundTrip(benchmark::State& state) {
+  wire::RegisterAllCodecs();
+  paxos::AcceptMsg msg(1);
+  msg.from = 1;
+  msg.to = 2;
+  msg.ballot = Ballot{3, 1};
+  msg.commit_index = 100;
+  for (uint64_t i = 0; i < 8; ++i) {
+    paxos::LogEntry e;
+    e.index = 100 + i;
+    e.ballot = msg.ballot;
+    auto cmd = std::make_shared<membership::PutCommand>(i, "value-payload");
+    cmd->client_id = 9;
+    cmd->client_seq = i;
+    e.command = std::move(cmd);
+    msg.entries.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    wire::Buffer frame;
+    wire::EncodeFrame(msg, frame);
+    size_t consumed = 0;
+    benchmark::DoNotOptimize(
+        wire::DecodeFrame(frame.data(), frame.size(), &consumed, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireAcceptRoundTrip);
+
+// Transport A/B on the full commit path: identical seeded cluster and
+// closed-loop put workload (concurrency 8), carried either by the zero-copy
+// in-process transport (arg 0) or the serializing transport (arg 1). The
+// delta is the end-to-end cost of encode -> bytes -> decode per delivery;
+// the in-process leg doubles as a guard that the Transport seam itself adds
+// nothing to the recorded BM_PaxosCommit baseline.
+void BM_TransportCommit(benchmark::State& state) {
+  core::ClusterConfig cfg;
+  cfg.seed = 77;
+  cfg.initial_nodes = 5;
+  cfg.initial_groups = 1;
+  cfg.transport = state.range(0) == 0 ? sim::TransportKind::kInProcess
+                                      : sim::TransportKind::kSerializing;
+  core::Cluster cluster(cfg);
+  cluster.RunFor(Seconds(2));
+  core::Client* client = cluster.AddClient();
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  for (auto _ : state) {
+    while (issued - completed < 8) {
+      client->Put(issued++, "v", [&completed](Status) { completed++; });
+    }
+    const uint64_t want = completed + 1;
+    while (completed < want) {
+      cluster.sim().Step();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(cluster.net().transport_name());
+}
+BENCHMARK(BM_TransportCommit)->Arg(0)->Arg(1);
 
 void BM_LeaseRead(benchmark::State& state) {
   const bool lease = state.range(0) != 0;

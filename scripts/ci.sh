@@ -9,6 +9,7 @@
 #   scripts/ci.sh lint            # just clang-tidy on changed files
 #   scripts/ci.sh bench           # just the benchmark smoke (plain build)
 #   scripts/ci.sh obs             # traced sim + trace/metrics JSON schema check
+#   scripts/ci.sh wire            # full suite over the serializing transport
 #
 # Build trees go to build-asan/ and build-ubsan/ so they never disturb the
 # developer's plain build/.
@@ -62,6 +63,20 @@ run_obs_check() {
   python3 scripts/check_obs_json.py "$tmp/trace.json" "$tmp/metrics.json"
 }
 
+run_wire() {
+  # Wire-format gate: the ENTIRE test suite must pass with every delivered
+  # message round-tripped through encode -> bytes -> decode. Clusters and
+  # harnesses construct their transport via wire::MakeNetwork, which honors
+  # SCATTER_TRANSPORT, so no test needs to know this is happening.
+  local bdir="${BUILD_DIR:-build}"
+  echo "=== wire: full ctest over the serializing transport ($bdir) ==="
+  if [[ ! -d "$bdir" ]]; then
+    cmake -B "$bdir" -S .
+  fi
+  cmake --build "$bdir" -j "$JOBS"
+  ( cd "$bdir" && SCATTER_TRANSPORT=serializing ctest --output-on-failure -j "$JOBS" )
+}
+
 run_lint() {
   echo "=== clang-tidy (changed files) ==="
   # Lint against the ASan tree if present (it has compile_commands.json),
@@ -76,16 +91,18 @@ case "${1:-all}" in
   lint) run_lint ;;
   bench) run_bench_smoke ;;
   obs) run_obs_check ;;
+  wire) run_wire ;;
   all)
     run_sanitized address
     run_sanitized undefined
     run_bench_smoke
     run_obs_check
+    run_wire
     run_lint
-    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, lint done ==="
+    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, wire suite clean, lint done ==="
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|lint|bench|obs|all]" >&2
+    echo "usage: $0 [address|undefined|thread|lint|bench|obs|wire|all]" >&2
     exit 2
     ;;
 esac

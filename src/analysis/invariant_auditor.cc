@@ -13,12 +13,33 @@
 #include "src/paxos/log.h"
 #include "src/paxos/replica.h"
 #include "src/txn/group_op_driver.h"
+#include "src/wire/buffer.h"
+#include "src/wire/codec.h"
 
 namespace scatter::analysis {
 namespace {
 
 std::string GroupTag(GroupId group) { return "g" + std::to_string(group); }
 std::string NodeTag(NodeId node) { return "n" + std::to_string(node); }
+
+// Value equality for committed commands. On the in-process transport all
+// replicas share one allocation, so pointer identity settles it; on the
+// serializing transport every replica holds its own decoded copy, so fall
+// back to comparing the canonical wire encodings (one value, one byte
+// sequence — see src/wire/codec_internal.h).
+bool SameCommand(const paxos::CommandPtr& a, const paxos::CommandPtr& b) {
+  if (a.get() == b.get()) {
+    return true;
+  }
+  if (a == nullptr || b == nullptr) {
+    return false;
+  }
+  wire::Buffer ea;
+  wire::Buffer eb;
+  wire::EncodeCommand(a, ea);
+  wire::EncodeCommand(b, eb);
+  return ea == eb;
+}
 
 // ---------------------------------------------------------------------------
 // Paxos safety
@@ -113,9 +134,8 @@ class PaxosSafetyChecker : public Checker {
     seen.commit_index = std::max(seen.commit_index, replica.commit_index());
 
     // Committed-slot agreement: all replicas of a group must hold the same
-    // chosen command at every committed slot. Commands are shared in-memory
-    // objects (the simulator stands in for serialization), so identity
-    // comparison is value comparison.
+    // chosen command at every committed slot, compared by value
+    // (SameCommand: pointer fast path, wire encoding otherwise).
     const paxos::Log& log = replica.log();
     const uint64_t hi = std::min(replica.commit_index(), log.last_index());
     for (uint64_t slot = log.first_index(); slot <= hi; ++slot) {
@@ -124,7 +144,7 @@ class PaxosSafetyChecker : public Checker {
         continue;
       }
       auto [it, inserted] = committed.emplace(slot, entry->command);
-      if (!inserted && it->second.get() != entry->command.get()) {
+      if (!inserted && !SameCommand(it->second, entry->command)) {
         problems->push_back(tag + ": committed slot " + std::to_string(slot) +
                             " diverges from the value another replica " +
                             "committed at that slot");
@@ -277,6 +297,9 @@ std::unique_ptr<Checker> MakeStoreContainmentChecker() {
 InvariantAuditor::InvariantAuditor(core::Cluster* cluster,
                                    AuditorOptions options)
     : cluster_(cluster), opts_(std::move(options)) {
+  // The paxos checker value-compares commands via their wire encoding;
+  // make sure the codecs exist even on the in-process transport (idempotent).
+  wire::RegisterAllCodecs();
   RegisterChecker(MakePaxosSafetyChecker());
   RegisterChecker(MakeRingSafetyChecker());
   RegisterChecker(MakeGroupOpChecker());

@@ -15,7 +15,7 @@ ChordClient::Stats::Stats(obs::MetricsRegistry& registry, NodeId node)
       lookup_failures(registry.GetCounter("chord.lookup_failures", node)),
       lookup_hops(registry.GetHistogram("chord.lookup_hops", node)) {}
 
-ChordClient::ChordClient(NodeId id, sim::Network* network,
+ChordClient::ChordClient(NodeId id, sim::Transport* network,
                          std::vector<NodeId> seeds,
                          const ChordClientConfig& config)
     : RpcNode(id, network),

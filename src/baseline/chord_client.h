@@ -30,7 +30,7 @@ struct ChordClientConfig {
 
 class ChordClient : public rpc::RpcNode, public workload::KvClient {
  public:
-  ChordClient(NodeId id, sim::Network* network, std::vector<NodeId> seeds,
+  ChordClient(NodeId id, sim::Transport* network, std::vector<NodeId> seeds,
               const ChordClientConfig& config);
 
   using GetCallback = std::function<void(StatusOr<Value>)>;

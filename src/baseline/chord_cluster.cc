@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/wire/transport_factory.h"
 
 namespace scatter::baseline {
 
 ChordCluster::ChordCluster(const ChordClusterConfig& config)
-    : cfg_(config), sim_(config.seed), net_(&sim_, config.network) {
+    : cfg_(config),
+      sim_(config.seed),
+      net_(wire::MakeNetwork(&sim_, config.network, config.transport)) {
   SCATTER_CHECK(cfg_.initial_nodes >= 1);
   std::vector<NodeId> ids;
   for (size_t i = 0; i < cfg_.initial_nodes; ++i) {
@@ -16,7 +19,7 @@ ChordCluster::ChordCluster(const ChordClusterConfig& config)
   std::vector<NodeId> seeds(ids.begin(),
                             ids.begin() + std::min<size_t>(ids.size(), 5));
   for (NodeId id : ids) {
-    nodes_[id] = std::make_unique<ChordNode>(id, &net_, cfg_.chord, seeds);
+    nodes_[id] = std::make_unique<ChordNode>(id, net_.get(), cfg_.chord, seeds);
   }
 
   // Wire the bootstrap ring directly: sort by position, then each node's
@@ -60,7 +63,7 @@ ChordCluster::ChordCluster(const ChordClusterConfig& config)
 NodeId ChordCluster::SpawnNode() {
   const NodeId id = next_node_id_++;
   nodes_[id] =
-      std::make_unique<ChordNode>(id, &net_, cfg_.chord, SampleSeeds(5));
+      std::make_unique<ChordNode>(id, net_.get(), cfg_.chord, SampleSeeds(5));
   nodes_[id]->StartJoin();
   return id;
 }
@@ -95,7 +98,7 @@ std::vector<NodeId> ChordCluster::SampleSeeds(size_t count) const {
 
 ChordClient* ChordCluster::AddClient() {
   clients_.push_back(std::make_unique<ChordClient>(
-      next_client_id_++, &net_, SampleSeeds(5), cfg_.client));
+      next_client_id_++, net_.get(), SampleSeeds(5), cfg_.client));
   return clients_.back().get();
 }
 

@@ -16,6 +16,7 @@
 #include "src/common/types.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/sim/transport.h"
 
 namespace scatter::baseline {
 
@@ -25,6 +26,9 @@ struct ChordClusterConfig {
   ChordConfig chord;
   ChordClientConfig client;
   sim::NetworkConfig network{.latency = sim::LatencyModel::Lan()};
+  // Which Transport implementation carries the cluster's traffic. kDefault
+  // honors the SCATTER_TRANSPORT environment variable.
+  sim::TransportKind transport = sim::TransportKind::kDefault;
 };
 
 class ChordCluster {
@@ -32,7 +36,9 @@ class ChordCluster {
   explicit ChordCluster(const ChordClusterConfig& config);
 
   sim::Simulator& sim() { return sim_; }
-  sim::Network& net() { return net_; }
+  // Concrete network reference for fault injection, whichever transport
+  // implementation is active.
+  sim::Network& net() { return *net_; }
 
   NodeId SpawnNode();
   void CrashNode(NodeId id);
@@ -58,7 +64,7 @@ class ChordCluster {
 
   ChordClusterConfig cfg_;
   sim::Simulator sim_;
-  sim::Network net_;
+  std::unique_ptr<sim::Network> net_;
   std::map<NodeId, std::unique_ptr<ChordNode>> nodes_;
   std::vector<std::unique_ptr<ChordClient>> clients_;
   NodeId next_node_id_ = 1;

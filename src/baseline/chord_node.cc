@@ -23,7 +23,7 @@ Key ChordNode::PositionOf(NodeId id) {
   return MixHash(id, 0x5ca77e12ba5e11e5ULL);
 }
 
-ChordNode::ChordNode(NodeId id, sim::Network* network,
+ChordNode::ChordNode(NodeId id, sim::Transport* network,
                      const ChordConfig& config, std::vector<NodeId> seeds)
     : RpcNode(id, network),
       cfg_(config),
@@ -203,7 +203,7 @@ void ChordNode::OnRequest(const sim::MessagePtr& message) {
       return;
     default:
       SCATTER_WARN() << "chord node " << id() << " dropping message type "
-                     << static_cast<int>(message->type);
+                     << sim::MessageTypeName(message->type);
   }
 }
 

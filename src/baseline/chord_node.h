@@ -41,7 +41,7 @@ class ChordNode : public rpc::RpcNode {
  public:
   // `seeds`: nodes to join through. With wire_directly (bootstrap), the
   // cluster sets the tables by hand and no join runs.
-  ChordNode(NodeId id, sim::Network* network, const ChordConfig& config,
+  ChordNode(NodeId id, sim::Transport* network, const ChordConfig& config,
             std::vector<NodeId> seeds);
 
   Key pos() const { return pos_; }

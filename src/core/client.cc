@@ -7,7 +7,7 @@
 
 namespace scatter::core {
 
-Client::Client(NodeId id, sim::Network* network, std::vector<NodeId> seeds,
+Client::Client(NodeId id, sim::Transport* network, std::vector<NodeId> seeds,
                const ClientConfig& config)
     : RpcNode(id, network), cfg_(config), seeds_(std::move(seeds)) {}
 

@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/wire/transport_factory.h"
 
 namespace scatter::core {
 
 Cluster::Cluster(const ClusterConfig& config)
-    : cfg_(config), sim_(config.seed), net_(&sim_, config.network) {
+    : cfg_(config),
+      sim_(config.seed),
+      net_(wire::MakeNetwork(&sim_, config.network, config.transport)) {
   SCATTER_CHECK(cfg_.initial_nodes >= cfg_.initial_groups);
   SCATTER_CHECK(cfg_.initial_groups >= 1);
 
@@ -21,7 +24,7 @@ Cluster::Cluster(const ClusterConfig& config)
                             ids.begin() + std::min<size_t>(ids.size(), 5));
 
   for (NodeId id : ids) {
-    nodes_[id] = std::make_unique<ScatterNode>(id, &net_, cfg_.scatter, seeds);
+    nodes_[id] = std::make_unique<ScatterNode>(id, net_.get(), cfg_.scatter, seeds);
   }
 
   // Tile the ring with initial_groups equal arcs; members round-robin.
@@ -55,7 +58,7 @@ Cluster::Cluster(const ClusterConfig& config)
 NodeId Cluster::SpawnNode() {
   const NodeId id = next_node_id_++;
   nodes_[id] =
-      std::make_unique<ScatterNode>(id, &net_, cfg_.scatter, SampleSeeds(5));
+      std::make_unique<ScatterNode>(id, net_.get(), cfg_.scatter, SampleSeeds(5));
   nodes_[id]->StartJoin();
   return id;
 }
@@ -100,7 +103,7 @@ std::vector<NodeId> Cluster::SampleSeeds(size_t count) const {
 }
 
 Client* Cluster::AddClient() {
-  auto client = std::make_unique<Client>(next_client_id_++, &net_,
+  auto client = std::make_unique<Client>(next_client_id_++, net_.get(),
                                          SampleSeeds(5), cfg_.client);
   client->SeedRing(AuthoritativeRing());
   clients_.push_back(std::move(client));

@@ -17,6 +17,7 @@
 #include "src/churn/churn.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/sim/transport.h"
 
 namespace scatter::core {
 
@@ -29,6 +30,9 @@ struct ClusterConfig {
   ScatterConfig scatter;
   sim::NetworkConfig network{.latency = sim::LatencyModel::Lan()};
   ClientConfig client;
+  // Which Transport implementation carries the cluster's traffic. kDefault
+  // honors the SCATTER_TRANSPORT environment variable.
+  sim::TransportKind transport = sim::TransportKind::kDefault;
 };
 
 class Cluster {
@@ -36,7 +40,10 @@ class Cluster {
   explicit Cluster(const ClusterConfig& config);
 
   sim::Simulator& sim() { return sim_; }
-  sim::Network& net() { return net_; }
+  // Concrete network reference: tests reach the fault-injection surface
+  // (loss, partitions, blocked links) through this, whichever transport
+  // implementation is active.
+  sim::Network& net() { return *net_; }
   const ClusterConfig& config() const { return cfg_; }
 
   // --- Node lifecycle ------------------------------------------------------
@@ -79,7 +86,7 @@ class Cluster {
 
   ClusterConfig cfg_;
   sim::Simulator sim_;
-  sim::Network net_;
+  std::unique_ptr<sim::Network> net_;
   std::map<NodeId, std::unique_ptr<ScatterNode>> nodes_;
   std::vector<std::unique_ptr<Client>> clients_;
   NodeId next_node_id_ = 1;

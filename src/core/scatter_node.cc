@@ -28,7 +28,7 @@ constexpr size_t kSeedRingLimit = 32;
 
 }  // namespace
 
-ScatterNode::ScatterNode(NodeId id, sim::Network* network,
+ScatterNode::ScatterNode(NodeId id, sim::Transport* network,
                          const ScatterConfig& config,
                          std::vector<NodeId> seeds)
     : RpcNode(id, network), cfg_(config), seeds_(std::move(seeds)) {
@@ -357,7 +357,7 @@ void ScatterNode::OnRequest(const MessagePtr& message) {
     }
     default:
       SCATTER_WARN() << "node " << id() << " dropping unexpected message type "
-                     << static_cast<int>(message->type);
+                     << sim::MessageTypeName(message->type);
   }
 }
 

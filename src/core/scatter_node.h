@@ -40,7 +40,7 @@ class ScatterNode : public rpc::RpcNode,
  public:
   // The node attaches to the network immediately. It does nothing until
   // either HostFoundingGroup (bootstrap) or StartJoin (churn arrival).
-  ScatterNode(NodeId id, sim::Network* network, const ScatterConfig& config,
+  ScatterNode(NodeId id, sim::Transport* network, const ScatterConfig& config,
               std::vector<NodeId> seeds);
   ~ScatterNode() override;
 

@@ -399,13 +399,13 @@ void GroupStateMachine::MergeDedup(DedupTable& into, const DedupTable& from) {
 }
 
 paxos::SnapshotPtr GroupStateMachine::TakeSnapshot() const {
-  auto snap = std::make_shared<Snapshot>();
+  auto snap = std::make_shared<GroupSnapshot>();
   snap->state = state_;
   return snap;
 }
 
 void GroupStateMachine::Restore(const paxos::SnapshotData& snapshot) {
-  state_ = static_cast<const Snapshot&>(snapshot).state;
+  state_ = static_cast<const GroupSnapshot&>(snapshot).state;
 }
 
 }  // namespace scatter::membership

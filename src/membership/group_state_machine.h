@@ -88,6 +88,17 @@ struct GroupState {
   std::vector<ring::GroupInfo> forward;
 };
 
+// The snapshot payload of a group replica: the full GroupState. Public
+// (rather than an implementation detail of GroupStateMachine) so the wire
+// layer can register an encoder for it.
+struct GroupSnapshot : paxos::SnapshotData {
+  size_t ByteSize() const override {
+    return 256 + state.data.byte_size() + DedupByteSize(state.dedup) +
+           32 * state.txn_outcomes.size();
+  }
+  GroupState state;
+};
+
 class GroupStateMachine : public paxos::StateMachine {
  public:
   GroupStateMachine(GroupListener* listener, GroupState initial);
@@ -144,14 +155,6 @@ class GroupStateMachine : public paxos::StateMachine {
   const Stats& stats() const { return stats_; }
 
  private:
-  struct Snapshot : paxos::SnapshotData {
-    size_t ByteSize() const override {
-      return 256 + state.data.byte_size() + DedupByteSize(state.dedup) +
-             32 * state.txn_outcomes.size();
-    }
-    GroupState state;
-  };
-
   void ApplyWrite(const GroupCommand& cmd);
   void ApplySplit(const SplitCommand& cmd);
   void ApplyCoordStart(const CoordStartCommand& cmd);

@@ -84,7 +84,12 @@ void Replica::CorruptCommittedEntryForTest(uint64_t index) {
   const LogEntry* entry = log_.At(index);
   SCATTER_CHECK(entry != nullptr);
   SCATTER_CHECK(index <= commit_index_);
-  log_.Set(index, entry->ballot, std::make_shared<NoOpCommand>());
+  // A config command naming an impossible node: distinguishable from any
+  // legitimately committed command even under value (wire-encoding)
+  // comparison, which the auditor uses when replicas hold decoded copies.
+  log_.Set(index, entry->ballot,
+           std::make_shared<ConfigCommand>(ConfigCommand::Op::kAddMember,
+                                           NodeId{0xDEADC0DE}));
 }
 
 // ---------------------------------------------------------------------------

@@ -4,7 +4,7 @@
 
 namespace scatter::rpc {
 
-RpcNode::RpcNode(NodeId id, sim::Network* network)
+RpcNode::RpcNode(NodeId id, sim::Transport* network)
     : id_(id),
       network_(network),
       rng_(network->simulator()->rng().Fork()),

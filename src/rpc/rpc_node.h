@@ -16,8 +16,8 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/sim/message.h"
-#include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/sim/transport.h"
 
 namespace scatter::rpc {
 
@@ -30,8 +30,8 @@ struct RpcErrorMessage : sim::Message {
 
 class RpcNode : public sim::Endpoint {
  public:
-  // Attaches to the network as `id`. The id must not be attached already.
-  RpcNode(NodeId id, sim::Network* network);
+  // Attaches to the transport as `id`. The id must not be attached already.
+  RpcNode(NodeId id, sim::Transport* network);
 
   // Detaches and cancels all timers / outstanding calls.
   ~RpcNode() override;
@@ -72,7 +72,7 @@ class RpcNode : public sim::Endpoint {
   virtual void OnRequest(const sim::MessagePtr& message) = 0;
 
   sim::Simulator* simulator() const { return network_->simulator(); }
-  sim::Network* network() const { return network_; }
+  sim::Transport* network() const { return network_; }
   TimeMicros now() const { return simulator()->now(); }
   sim::TimerOwner& timers() { return timers_; }
   Rng& rng() { return rng_; }
@@ -84,7 +84,7 @@ class RpcNode : public sim::Endpoint {
   };
 
   NodeId id_;
-  sim::Network* network_;
+  sim::Transport* network_;
   Rng rng_;
   uint64_t next_call_id_ = 1;
   std::unordered_map<uint64_t, PendingCall> pending_;

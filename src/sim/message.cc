@@ -6,84 +6,11 @@ const char* MessageTypeName(MessageType type) {
   switch (type) {
     case MessageType::kInvalid:
       return "Invalid";
-    case MessageType::kRpcError:
-      return "RpcError";
-    case MessageType::kPaxosPrepare:
-      return "PaxosPrepare";
-    case MessageType::kPaxosPromise:
-      return "PaxosPromise";
-    case MessageType::kPaxosAccept:
-      return "PaxosAccept";
-    case MessageType::kPaxosAccepted:
-      return "PaxosAccepted";
-    case MessageType::kPaxosSnapshot:
-      return "PaxosSnapshot";
-    case MessageType::kPaxosSnapshotAck:
-      return "PaxosSnapshotAck";
-    case MessageType::kPaxosTimeoutNow:
-      return "PaxosTimeoutNow";
-    case MessageType::kPaxosPing:
-      return "PaxosPing";
-    case MessageType::kPaxosPong:
-      return "PaxosPong";
-    case MessageType::kTxnPrepare:
-      return "TxnPrepare";
-    case MessageType::kTxnPrepareReply:
-      return "TxnPrepareReply";
-    case MessageType::kTxnDecision:
-      return "TxnDecision";
-    case MessageType::kTxnDecisionAck:
-      return "TxnDecisionAck";
-    case MessageType::kTxnStatusQuery:
-      return "TxnStatusQuery";
-    case MessageType::kTxnStatusReply:
-      return "TxnStatusReply";
-    case MessageType::kClientRequest:
-      return "ClientRequest";
-    case MessageType::kClientReply:
-      return "ClientReply";
-    case MessageType::kLookupRequest:
-      return "LookupRequest";
-    case MessageType::kLookupReply:
-      return "LookupReply";
-    case MessageType::kJoinRequest:
-      return "JoinRequest";
-    case MessageType::kJoinReply:
-      return "JoinReply";
-    case MessageType::kGroupInfoRequest:
-      return "GroupInfoRequest";
-    case MessageType::kGroupInfoReply:
-      return "GroupInfoReply";
-    case MessageType::kMigrateRequest:
-      return "MigrateRequest";
-    case MessageType::kMigrateDirective:
-      return "MigrateDirective";
-    case MessageType::kLeaveRequest:
-      return "LeaveRequest";
-    case MessageType::kRingGossip:
-      return "RingGossip";
-    case MessageType::kChordFindSuccessor:
-      return "ChordFindSuccessor";
-    case MessageType::kChordFindSuccessorReply:
-      return "ChordFindSuccessorReply";
-    case MessageType::kChordGetNeighbors:
-      return "ChordGetNeighbors";
-    case MessageType::kChordGetNeighborsReply:
-      return "ChordGetNeighborsReply";
-    case MessageType::kChordNotify:
-      return "ChordNotify";
-    case MessageType::kChordStore:
-      return "ChordStore";
-    case MessageType::kChordStoreAck:
-      return "ChordStoreAck";
-    case MessageType::kChordFetch:
-      return "ChordFetch";
-    case MessageType::kChordFetchReply:
-      return "ChordFetchReply";
-    case MessageType::kChordPing:
-      return "ChordPing";
-    case MessageType::kChordPong:
-      return "ChordPong";
+#define SCATTER_MSG_NAME(name, str) \
+  case MessageType::name:           \
+    return #str;
+      SCATTER_MESSAGE_TYPE_LIST(SCATTER_MSG_NAME)
+#undef SCATTER_MSG_NAME
   }
   return "Unknown";
 }

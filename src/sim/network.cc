@@ -162,7 +162,11 @@ void Network::Deliver(const MessagePtr& message) {
   // spans opened on the receive path parent back across the network hop.
   obs::ScopedContext trace_scope(
       sim_->tracer(), obs::TraceContext{message->trace_id, message->span_id});
-  it->second->HandleMessage(message);
+  DeliverToEndpoint(it->second, message);
+}
+
+void Network::DeliverToEndpoint(Endpoint* endpoint, const MessagePtr& message) {
+  endpoint->HandleMessage(message);
 }
 
 void Network::Partition(const std::vector<std::vector<NodeId>>& islands) {

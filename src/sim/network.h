@@ -20,15 +20,9 @@
 #include "src/common/types.h"
 #include "src/sim/message.h"
 #include "src/sim/simulator.h"
+#include "src/sim/transport.h"
 
 namespace scatter::sim {
-
-// Receives messages addressed to the NodeId this endpoint is attached as.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-  virtual void HandleMessage(const MessagePtr& message) = 0;
-};
 
 // One-way message latency distribution.
 struct LatencyModel {
@@ -72,21 +66,25 @@ struct NetworkConfig {
   double heterogeneity_sigma = 0.0;
 };
 
-class Network {
+// The in-process transport implementation plus the shared simulation
+// fabric: latency models, loss, duplication, partitions, bandwidth and
+// node-speed heterogeneity. The wire-layer transports (serializing, audit)
+// subclass it and override only the endpoint handoff (DeliverToEndpoint),
+// so every implementation shares one fault-injection surface and identical
+// timing — a seeded run behaves the same on all of them.
+class Network : public Transport {
  public:
   Network(Simulator* sim, NetworkConfig config);
+  ~Network() override = default;
 
-  // Attaches an endpoint under `id`. A node that restarts re-attaches.
-  void Attach(NodeId id, Endpoint* endpoint);
-
-  // Detaches `id`; in-flight messages to it are dropped on delivery.
-  void Detach(NodeId id);
-
-  bool IsAttached(NodeId id) const { return endpoints_.count(id) > 0; }
-
-  // Sends m.from -> m.to (both must be set). Self-sends are delivered with
-  // zero latency on the next event-loop turn.
-  void Send(MessagePtr message);
+  // Transport:
+  void Attach(NodeId id, Endpoint* endpoint) override;
+  void Detach(NodeId id) override;
+  bool IsAttached(NodeId id) const override {
+    return endpoints_.count(id) > 0;
+  }
+  void Send(MessagePtr message) override;
+  const char* transport_name() const override { return "inprocess"; }
 
   // --- Fault injection -------------------------------------------------
   void set_loss_rate(double p) { config_.loss_rate = p; }
@@ -106,7 +104,14 @@ class Network {
   uint64_t messages_dropped() const { return dropped_; }
   const Histogram& latency_histogram() const { return latency_hist_; }
 
-  Simulator* simulator() const { return sim_; }
+  Simulator* simulator() const override { return sim_; }
+
+ protected:
+  // The endpoint boundary: hands a message that survived the fabric (loss,
+  // partition, latency) to its receiver. The base implementation is the
+  // zero-copy in-process handoff; wire transports override it to round-trip
+  // the message through the codec first.
+  virtual void DeliverToEndpoint(Endpoint* endpoint, const MessagePtr& message);
 
  private:
   bool LinkAllows(NodeId from, NodeId to) const;

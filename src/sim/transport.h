@@ -1,0 +1,76 @@
+// Transport: the message-passing service every protocol participant talks
+// to. Senders and receivers (rpc::RpcNode and everything above it) hold a
+// Transport*, never a concrete network, so the delivery substrate is
+// pluggable:
+//
+//   sim::Network              -- zero-copy in-process handoff (default)
+//   wire::SerializingNetwork  -- every delivery round-trips encode -> bytes
+//                                -> decode through the codec registry,
+//                                enforcing value semantics at the boundary
+//   wire::AuditingNetwork     -- in-process handoff plus an encoded
+//                                before/after comparison that catches
+//                                handlers mutating delivered messages
+//
+// A future TCP transport implements this same interface against real
+// sockets; see DESIGN.md "Transport seam".
+
+#ifndef SCATTER_SRC_SIM_TRANSPORT_H_
+#define SCATTER_SRC_SIM_TRANSPORT_H_
+
+#include "src/common/types.h"
+#include "src/sim/message.h"
+
+namespace scatter::sim {
+
+class Simulator;
+
+// Receives messages addressed to the NodeId this endpoint is attached as.
+// The delivered pointer is only guaranteed valid for the duration of the
+// call; a handler that needs the message later must keep the shared_ptr.
+// Handlers must never mutate a delivered message: the in-process transport
+// shares one allocation across broadcast fan-out (wire::AuditingNetwork
+// asserts this; wire::SerializingNetwork makes it structurally impossible).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void HandleMessage(const MessagePtr& message) = 0;
+};
+
+// Which transport implementation a cluster/harness should construct.
+// kDefault defers to the SCATTER_TRANSPORT environment variable
+// (inprocess | serializing | audit; unset = inprocess), which is how
+// scripts/ci.sh runs the whole suite over the serializing transport
+// without touching any test.
+enum class TransportKind {
+  kDefault,
+  kInProcess,
+  kSerializing,
+  kAudit,
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Attaches an endpoint under `id`. A node that restarts re-attaches.
+  virtual void Attach(NodeId id, Endpoint* endpoint) = 0;
+
+  // Detaches `id`; in-flight messages to it are dropped on delivery.
+  virtual void Detach(NodeId id) = 0;
+
+  virtual bool IsAttached(NodeId id) const = 0;
+
+  // Sends m.from -> m.to (both must be set). Self-sends are delivered with
+  // zero latency on the next event-loop turn. The message must not be
+  // touched by the sender after this call.
+  virtual void Send(MessagePtr message) = 0;
+
+  virtual Simulator* simulator() const = 0;
+
+  // Implementation name for diagnostics ("inprocess", "serializing", ...).
+  virtual const char* transport_name() const = 0;
+};
+
+}  // namespace scatter::sim
+
+#endif  // SCATTER_SRC_SIM_TRANSPORT_H_

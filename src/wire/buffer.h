@@ -1,0 +1,164 @@
+// Byte-buffer writer/reader pair for the wire format.
+//
+// All integers are fixed-width little-endian; strings and byte blobs are a
+// u32 length followed by raw bytes; doubles travel as their IEEE-754 bit
+// pattern. The encoding is deliberately canonical — one value has exactly
+// one byte sequence — which is what makes the round-trip stability property
+// (encode(decode(encode(m))) == encode(m)) testable byte-for-byte.
+//
+// Reader is a bounds-checked cursor over an immutable byte span. A short or
+// malformed read flips a sticky failure flag instead of crashing: decoders
+// run to completion on garbage input and the frame decoder rejects the
+// message afterwards, which is what the fuzz tests rely on.
+
+#ifndef SCATTER_SRC_WIRE_BUFFER_H_
+#define SCATTER_SRC_WIRE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace scatter::wire {
+
+class Buffer {
+ public:
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteU16(uint16_t v) { AppendLe(v); }
+  void WriteU32(uint32_t v) { AppendLe(v); }
+  void WriteU64(uint64_t v) { AppendLe(v); }
+  void WriteI64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    AppendLe(bits);
+  }
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  void WriteBytes(const uint8_t* data, size_t size) {
+    bytes_.insert(bytes_.end(), data, data + size);
+  }
+
+  // Reserves a u32 slot (for a length prefix) and returns its offset;
+  // PatchU32 fills it in once the enclosed content is written.
+  size_t ReserveU32() {
+    const size_t at = bytes_.size();
+    WriteU32(0);
+    return at;
+  }
+  void PatchU32(size_t at, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_[at + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  void clear() { bytes_.clear(); }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const Buffer& buffer)
+      : Reader(buffer.data(), buffer.size()) {}
+
+  uint8_t ReadU8() {
+    uint8_t v = 0;
+    Take(&v, 1);
+    return v;
+  }
+  bool ReadBool() { return ReadU8() != 0; }
+  uint16_t ReadU16() { return ReadLe<uint16_t>(); }
+  uint32_t ReadU32() { return ReadLe<uint32_t>(); }
+  uint64_t ReadU64() { return ReadLe<uint64_t>(); }
+  int64_t ReadI64() { return static_cast<int64_t>(ReadLe<uint64_t>()); }
+  double ReadDouble() {
+    const uint64_t bits = ReadLe<uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string ReadString() {
+    const uint32_t len = ReadU32();
+    if (len > remaining()) {
+      Fail();
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  // Declared element count of a sequence about to be read. Bounded by the
+  // remaining bytes (every element costs at least one byte) so a corrupt
+  // count cannot drive a decoder into allocating gigabytes.
+  size_t ReadCount() {
+    const uint32_t n = ReadU32();
+    if (n > remaining()) {
+      Fail();
+      return 0;
+    }
+    return n;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+  // True while every read so far was in bounds. Once false, all further
+  // reads return zero values and the flag stays false.
+  bool ok() const { return ok_; }
+  void Fail() { ok_ = false; }
+
+ private:
+  template <typename T>
+  T ReadLe() {
+    uint8_t raw[sizeof(T)] = {};
+    Take(raw, sizeof(T));
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(raw[i]) << (8 * i)));
+    }
+    return v;
+  }
+
+  void Take(uint8_t* out, size_t n) {
+    if (!ok_ || n > remaining()) {
+      Fail();
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace scatter::wire
+
+#endif  // SCATTER_SRC_WIRE_BUFFER_H_

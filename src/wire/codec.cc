@@ -1,0 +1,253 @@
+#include "src/wire/codec.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace scatter::wire {
+namespace {
+
+// CHECK with context: codec registration/encoding failures are build wiring
+// bugs; die loudly with the offending type in the message.
+[[noreturn]] void CodecFailure(const std::string& why) {
+  SCATTER_ERROR() << "wire codec: " << why;
+  ::scatter::internal::CheckFailure(__FILE__, __LINE__, why.c_str());
+}
+
+struct MessageCodec {
+  MessageEncodeFn encode = nullptr;
+  MessageDecodeFn decode = nullptr;
+};
+
+struct CommandCodec {
+  uint16_t tag = 0;
+  CommandEncodeFn encode = nullptr;
+  CommandDecodeFn decode = nullptr;
+};
+
+struct SnapshotCodec {
+  uint16_t tag = 0;
+  SnapshotEncodeFn encode = nullptr;
+  SnapshotDecodeFn decode = nullptr;
+};
+
+struct Registry {
+  std::unordered_map<uint16_t, MessageCodec> messages;
+
+  std::unordered_map<uint16_t, CommandCodec> commands_by_tag;
+  std::unordered_map<std::type_index, CommandCodec> commands_by_type;
+
+  std::unordered_map<uint16_t, SnapshotCodec> snapshots_by_tag;
+  std::unordered_map<std::type_index, SnapshotCodec> snapshots_by_type;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Header flag bits (u8 on the wire).
+constexpr uint8_t kFlagIsResponse = 1u << 0;
+
+void EncodeHeader(const sim::Message& m, Buffer& out) {
+  out.WriteU16(kWireVersion);
+  out.WriteU16(static_cast<uint16_t>(m.type));
+  out.WriteU64(m.from);
+  out.WriteU64(m.to);
+  out.WriteU64(m.rpc_id);
+  out.WriteU8(m.is_response ? kFlagIsResponse : 0);
+  out.WriteU64(m.trace_id);
+  out.WriteU64(m.span_id);
+}
+
+}  // namespace
+
+void RegisterMessageCodec(sim::MessageType type, MessageEncodeFn encode,
+                          MessageDecodeFn decode) {
+  SCATTER_CHECK(type != sim::MessageType::kInvalid);
+  SCATTER_CHECK(encode != nullptr && decode != nullptr);
+  const bool inserted =
+      registry()
+          .messages
+          .emplace(static_cast<uint16_t>(type), MessageCodec{encode, decode})
+          .second;
+  if (!inserted) {
+    CodecFailure(std::string("duplicate codec for message type ") +
+                 sim::MessageTypeName(type));
+  }
+}
+
+bool HasMessageCodec(sim::MessageType type) {
+  return registry().messages.count(static_cast<uint16_t>(type)) > 0;
+}
+
+std::vector<sim::MessageType> MissingMessageCodecs() {
+  std::vector<sim::MessageType> missing;
+  for (sim::MessageType type : sim::kAllMessageTypes) {
+    if (!HasMessageCodec(type)) {
+      missing.push_back(type);
+    }
+  }
+  return missing;
+}
+
+void RegisterCommandCodec(uint16_t tag, std::type_index type,
+                          CommandEncodeFn encode, CommandDecodeFn decode) {
+  SCATTER_CHECK(tag != 0);  // tag 0 is reserved for null
+  SCATTER_CHECK(encode != nullptr && decode != nullptr);
+  CommandCodec codec{tag, encode, decode};
+  if (!registry().commands_by_tag.emplace(tag, codec).second) {
+    CodecFailure("duplicate command codec tag " + std::to_string(tag));
+  }
+  if (!registry().commands_by_type.emplace(type, codec).second) {
+    CodecFailure(std::string("command type registered twice: ") + type.name());
+  }
+}
+
+void EncodeCommand(const paxos::CommandPtr& cmd, Buffer& out) {
+  if (cmd == nullptr) {
+    out.WriteU16(0);
+    return;
+  }
+  auto it = registry().commands_by_type.find(std::type_index(typeid(*cmd)));
+  if (it == registry().commands_by_type.end()) {
+    CodecFailure(std::string("no wire codec registered for command type ") +
+                 typeid(*cmd).name());
+  }
+  out.WriteU16(it->second.tag);
+  it->second.encode(*cmd, out);
+}
+
+paxos::CommandPtr DecodeCommand(Reader& in) {
+  const uint16_t tag = in.ReadU16();
+  if (tag == 0) {
+    return nullptr;
+  }
+  auto it = registry().commands_by_tag.find(tag);
+  if (it == registry().commands_by_tag.end()) {
+    in.Fail();  // unknown command tag: reject the whole frame
+    return nullptr;
+  }
+  return it->second.decode(in);
+}
+
+void RegisterSnapshotCodec(uint16_t tag, std::type_index type,
+                           SnapshotEncodeFn encode, SnapshotDecodeFn decode) {
+  SCATTER_CHECK(tag != 0);  // tag 0 is reserved for null
+  SCATTER_CHECK(encode != nullptr && decode != nullptr);
+  SnapshotCodec codec{tag, encode, decode};
+  if (!registry().snapshots_by_tag.emplace(tag, codec).second) {
+    CodecFailure("duplicate snapshot codec tag " + std::to_string(tag));
+  }
+  if (!registry().snapshots_by_type.emplace(type, codec).second) {
+    CodecFailure(std::string("snapshot type registered twice: ") + type.name());
+  }
+}
+
+void EncodeSnapshot(const paxos::SnapshotPtr& snap, Buffer& out) {
+  if (snap == nullptr) {
+    out.WriteU16(0);
+    return;
+  }
+  auto it = registry().snapshots_by_type.find(std::type_index(typeid(*snap)));
+  if (it == registry().snapshots_by_type.end()) {
+    CodecFailure(std::string("no wire codec registered for snapshot type ") +
+                 typeid(*snap).name());
+  }
+  out.WriteU16(it->second.tag);
+  it->second.encode(*snap, out);
+}
+
+paxos::SnapshotPtr DecodeSnapshot(Reader& in) {
+  const uint16_t tag = in.ReadU16();
+  if (tag == 0) {
+    return nullptr;
+  }
+  auto it = registry().snapshots_by_tag.find(tag);
+  if (it == registry().snapshots_by_tag.end()) {
+    in.Fail();
+    return nullptr;
+  }
+  return it->second.decode(in);
+}
+
+void EncodeFrame(const sim::Message& m, Buffer& out) {
+  auto it = registry().messages.find(static_cast<uint16_t>(m.type));
+  if (it == registry().messages.end()) {
+    CodecFailure(std::string("no wire codec registered for message type ") +
+                 sim::MessageTypeName(m.type));
+  }
+  const size_t len_at = out.ReserveU32();
+  const size_t start = out.size();
+  EncodeHeader(m, out);
+  it->second.encode(m, out);
+  out.PatchU32(len_at, static_cast<uint32_t>(out.size() - start));
+}
+
+sim::MessagePtr DecodeFrame(const uint8_t* data, size_t size,
+                            size_t* consumed, std::string* error) {
+  *consumed = 0;
+  auto fail = [error](std::string why) -> sim::MessagePtr {
+    if (error != nullptr) {
+      *error = std::move(why);
+    }
+    return nullptr;
+  };
+
+  Reader prefix(data, size);
+  const uint32_t frame_len = prefix.ReadU32();
+  if (!prefix.ok()) {
+    return fail("short frame: missing length prefix");
+  }
+  if (frame_len > prefix.remaining()) {
+    return fail("short frame: length " + std::to_string(frame_len) +
+                " exceeds available " + std::to_string(prefix.remaining()));
+  }
+
+  Reader in(data + 4, frame_len);
+  const uint16_t version = in.ReadU16();
+  if (version != kWireVersion) {
+    return fail("unknown wire version " + std::to_string(version));
+  }
+  const uint16_t raw_type = in.ReadU16();
+  auto it = registry().messages.find(raw_type);
+  if (it == registry().messages.end()) {
+    return fail("unregistered message type " + std::to_string(raw_type));
+  }
+  const NodeId from = in.ReadU64();
+  const NodeId to = in.ReadU64();
+  const uint64_t rpc_id = in.ReadU64();
+  const uint8_t flags = in.ReadU8();
+  const uint64_t trace_id = in.ReadU64();
+  const uint64_t span_id = in.ReadU64();
+  if (!in.ok()) {
+    return fail("short frame: truncated header");
+  }
+
+  sim::MessagePtr m = it->second.decode(in);
+  if (m == nullptr || !in.ok()) {
+    return fail(std::string("malformed payload for ") +
+                sim::MessageTypeName(static_cast<sim::MessageType>(raw_type)));
+  }
+  if (!in.AtEnd()) {
+    return fail(std::string("trailing bytes after ") +
+                sim::MessageTypeName(static_cast<sim::MessageType>(raw_type)) +
+                " payload");
+  }
+  if (m->type != static_cast<sim::MessageType>(raw_type)) {
+    CodecFailure(std::string("codec for ") +
+                 sim::MessageTypeName(static_cast<sim::MessageType>(raw_type)) +
+                 " decoded a message of the wrong type");
+  }
+  m->from = from;
+  m->to = to;
+  m->rpc_id = rpc_id;
+  m->is_response = (flags & kFlagIsResponse) != 0;
+  m->trace_id = trace_id;
+  m->span_id = span_id;
+  *consumed = 4 + frame_len;
+  return m;
+}
+
+}  // namespace scatter::wire

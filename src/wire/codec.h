@@ -1,0 +1,110 @@
+// Central wire-format codec registry.
+//
+// Every sim::MessageType has a registered Encode/Decode pair; polymorphic
+// payloads riding inside messages (paxos::Command in log entries,
+// paxos::SnapshotData in snapshot installs) have their own tagged
+// sub-registries, so application modules — and tests with private command
+// or snapshot types — can extend the wire format without touching this
+// layer.
+//
+// Frame layout (all integers little-endian):
+//
+//   u32  frame_length        bytes after this field
+//   u16  version             kWireVersion; unknown versions are rejected
+//   u16  message type        sim::MessageType tag
+//   u64  from                |
+//   u64  to                  |  transport header, shared by every message
+//   u64  rpc_id              |  (to lives at a fixed offset so the audit
+//   u8   flags               |   transport can ignore legitimate routing
+//   u64  trace_id            |   rewrites by Forward)
+//   u64  span_id             |
+//   ...  payload             type-specific, written by the registered codec
+//
+// Command encoding: u16 command tag + payload (tag 0 = null command).
+// Snapshot encoding: u16 snapshot tag + payload (tag 0 = null snapshot).
+// Per-module tag ranges are documented in PROTOCOL.md "Wire format".
+
+#ifndef SCATTER_SRC_WIRE_CODEC_H_
+#define SCATTER_SRC_WIRE_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "src/paxos/command.h"
+#include "src/paxos/state_machine.h"
+#include "src/sim/message.h"
+#include "src/wire/buffer.h"
+
+namespace scatter::wire {
+
+inline constexpr uint16_t kWireVersion = 1;
+
+// Fixed byte offsets inside a frame (after the u32 length prefix).
+inline constexpr size_t kFrameToOffset = 2 + 2 + 8;  // version, type, from
+inline constexpr size_t kFrameToSize = 8;
+
+// --- Message codecs ---------------------------------------------------------
+
+// Writes the payload (everything after the shared header) of `m`.
+using MessageEncodeFn = void (*)(const sim::Message& m, Buffer& out);
+// Builds a fresh message and reads its payload. The frame decoder fills the
+// shared header fields afterwards. Returns nullptr only on structural
+// impossibility; out-of-bounds reads are reported through the Reader.
+using MessageDecodeFn = sim::MessagePtr (*)(Reader& in);
+
+void RegisterMessageCodec(sim::MessageType type, MessageEncodeFn encode,
+                          MessageDecodeFn decode);
+bool HasMessageCodec(sim::MessageType type);
+
+// Message types from the X-macro table with no registered codec. Empty once
+// RegisterAllCodecs() ran — asserted by tests and the serializing transport.
+std::vector<sim::MessageType> MissingMessageCodecs();
+
+// --- Command / snapshot sub-codecs -----------------------------------------
+
+using CommandEncodeFn = void (*)(const paxos::Command& cmd, Buffer& out);
+using CommandDecodeFn = paxos::CommandPtr (*)(Reader& in);
+
+// `type` identifies the concrete C++ type (typeid(cmd)) so the encoder can
+// be found from a base-class reference without adding wire methods to the
+// command hierarchy.
+void RegisterCommandCodec(uint16_t tag, std::type_index type,
+                          CommandEncodeFn encode, CommandDecodeFn decode);
+
+// Writes u16 tag + payload; cmd may be null (tag 0). CHECK-fails on a
+// command type that was never registered — that is a build wiring bug, not
+// a runtime condition.
+void EncodeCommand(const paxos::CommandPtr& cmd, Buffer& out);
+paxos::CommandPtr DecodeCommand(Reader& in);
+
+using SnapshotEncodeFn = void (*)(const paxos::SnapshotData& snap, Buffer& out);
+using SnapshotDecodeFn = paxos::SnapshotPtr (*)(Reader& in);
+
+void RegisterSnapshotCodec(uint16_t tag, std::type_index type,
+                           SnapshotEncodeFn encode, SnapshotDecodeFn decode);
+void EncodeSnapshot(const paxos::SnapshotPtr& snap, Buffer& out);
+paxos::SnapshotPtr DecodeSnapshot(Reader& in);
+
+// --- Framing ----------------------------------------------------------------
+
+// Appends one length-prefixed frame for `m` to `out`.
+void EncodeFrame(const sim::Message& m, Buffer& out);
+
+// Decodes one frame from the front of [data, data+size). On success returns
+// the message and sets *consumed to the total frame size (length prefix
+// included). On failure returns nullptr, sets *consumed to 0 and, when
+// `error` is non-null, describes the rejection (short frame, unknown
+// version, unregistered type, payload overrun, trailing payload bytes).
+sim::MessagePtr DecodeFrame(const uint8_t* data, size_t size,
+                            size_t* consumed, std::string* error);
+
+// Registers the codecs of every production module (rpc, paxos, membership
+// commands + group snapshot, txn, core, chord). Idempotent; called by the
+// wire transports' constructors and by tests.
+void RegisterAllCodecs();
+
+}  // namespace scatter::wire
+
+#endif  // SCATTER_SRC_WIRE_CODEC_H_

@@ -1,0 +1,191 @@
+// Wire codecs for the Chord-like baseline DHT messages (baseline/).
+
+#include <memory>
+
+#include "src/baseline/chord_messages.h"
+#include "src/wire/codec.h"
+#include "src/wire/codec_internal.h"
+
+namespace scatter::wire::internal {
+namespace {
+
+void WriteNodeRef(const baseline::NodeRef& ref, Buffer& out) {
+  out.WriteU64(ref.id);
+  out.WriteU64(ref.pos);
+}
+
+baseline::NodeRef ReadNodeRef(Reader& in) {
+  baseline::NodeRef ref;
+  ref.id = in.ReadU64();
+  ref.pos = in.ReadU64();
+  return ref;
+}
+
+void EncodeFindSuccessor(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const baseline::ChordFindSuccessorMsg&>(m);
+  out.WriteU64(msg.target);
+}
+
+sim::MessagePtr DecodeFindSuccessor(Reader& in) {
+  auto msg = std::make_shared<baseline::ChordFindSuccessorMsg>();
+  msg->target = in.ReadU64();
+  return msg;
+}
+
+void EncodeFindSuccessorReply(const sim::Message& m, Buffer& out) {
+  const auto& msg =
+      static_cast<const baseline::ChordFindSuccessorReplyMsg&>(m);
+  out.WriteBool(msg.done);
+  WriteNodeRef(msg.result, out);
+  WriteNodeRef(msg.next_hop, out);
+}
+
+sim::MessagePtr DecodeFindSuccessorReply(Reader& in) {
+  auto msg = std::make_shared<baseline::ChordFindSuccessorReplyMsg>();
+  msg->done = in.ReadBool();
+  msg->result = ReadNodeRef(in);
+  msg->next_hop = ReadNodeRef(in);
+  return msg;
+}
+
+void EncodeGetNeighbors(const sim::Message& m, Buffer& out) {
+  (void)m;
+  (void)out;  // no payload
+}
+
+sim::MessagePtr DecodeGetNeighbors(Reader& in) {
+  (void)in;
+  return std::make_shared<baseline::ChordGetNeighborsMsg>();
+}
+
+void EncodeGetNeighborsReply(const sim::Message& m, Buffer& out) {
+  const auto& msg =
+      static_cast<const baseline::ChordGetNeighborsReplyMsg&>(m);
+  WriteNodeRef(msg.predecessor, out);
+  out.WriteU32(static_cast<uint32_t>(msg.successors.size()));
+  for (const baseline::NodeRef& ref : msg.successors) {
+    WriteNodeRef(ref, out);
+  }
+}
+
+sim::MessagePtr DecodeGetNeighborsReply(Reader& in) {
+  auto msg = std::make_shared<baseline::ChordGetNeighborsReplyMsg>();
+  msg->predecessor = ReadNodeRef(in);
+  const size_t n = in.ReadCount();
+  msg->successors.reserve(n);
+  for (size_t i = 0; i < n && in.ok(); ++i) {
+    msg->successors.push_back(ReadNodeRef(in));
+  }
+  return msg;
+}
+
+void EncodeNotify(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const baseline::ChordNotifyMsg&>(m);
+  WriteNodeRef(msg.candidate, out);
+}
+
+sim::MessagePtr DecodeNotify(Reader& in) {
+  auto msg = std::make_shared<baseline::ChordNotifyMsg>();
+  msg->candidate = ReadNodeRef(in);
+  return msg;
+}
+
+void EncodeStore(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const baseline::ChordStoreMsg&>(m);
+  out.WriteU64(msg.key);
+  out.WriteString(msg.value);
+  out.WriteI64(msg.version);
+  out.WriteU32(msg.replicate);
+}
+
+sim::MessagePtr DecodeStore(Reader& in) {
+  auto msg = std::make_shared<baseline::ChordStoreMsg>();
+  msg->key = in.ReadU64();
+  msg->value = in.ReadString();
+  msg->version = in.ReadI64();
+  msg->replicate = in.ReadU32();
+  return msg;
+}
+
+void EncodeStoreAck(const sim::Message& m, Buffer& out) {
+  (void)m;
+  (void)out;  // no payload
+}
+
+sim::MessagePtr DecodeStoreAck(Reader& in) {
+  (void)in;
+  return std::make_shared<baseline::ChordStoreAckMsg>();
+}
+
+void EncodeFetch(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const baseline::ChordFetchMsg&>(m);
+  out.WriteU64(msg.key);
+}
+
+sim::MessagePtr DecodeFetch(Reader& in) {
+  auto msg = std::make_shared<baseline::ChordFetchMsg>();
+  msg->key = in.ReadU64();
+  return msg;
+}
+
+void EncodeFetchReply(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const baseline::ChordFetchReplyMsg&>(m);
+  out.WriteBool(msg.found);
+  out.WriteString(msg.value);
+}
+
+sim::MessagePtr DecodeFetchReply(Reader& in) {
+  auto msg = std::make_shared<baseline::ChordFetchReplyMsg>();
+  msg->found = in.ReadBool();
+  msg->value = in.ReadString();
+  return msg;
+}
+
+void EncodeChordPing(const sim::Message& m, Buffer& out) {
+  (void)m;
+  (void)out;  // no payload
+}
+
+sim::MessagePtr DecodeChordPing(Reader& in) {
+  (void)in;
+  return std::make_shared<baseline::ChordPingMsg>();
+}
+
+void EncodeChordPong(const sim::Message& m, Buffer& out) {
+  (void)m;
+  (void)out;  // no payload
+}
+
+sim::MessagePtr DecodeChordPong(Reader& in) {
+  (void)in;
+  return std::make_shared<baseline::ChordPongMsg>();
+}
+
+}  // namespace
+
+void RegisterChordCodecs() {
+  RegisterMessageCodec(sim::MessageType::kChordFindSuccessor,
+                       EncodeFindSuccessor, DecodeFindSuccessor);
+  RegisterMessageCodec(sim::MessageType::kChordFindSuccessorReply,
+                       EncodeFindSuccessorReply, DecodeFindSuccessorReply);
+  RegisterMessageCodec(sim::MessageType::kChordGetNeighbors,
+                       EncodeGetNeighbors, DecodeGetNeighbors);
+  RegisterMessageCodec(sim::MessageType::kChordGetNeighborsReply,
+                       EncodeGetNeighborsReply, DecodeGetNeighborsReply);
+  RegisterMessageCodec(sim::MessageType::kChordNotify, EncodeNotify,
+                       DecodeNotify);
+  RegisterMessageCodec(sim::MessageType::kChordStore, EncodeStore,
+                       DecodeStore);
+  RegisterMessageCodec(sim::MessageType::kChordStoreAck, EncodeStoreAck,
+                       DecodeStoreAck);
+  RegisterMessageCodec(sim::MessageType::kChordFetch, EncodeFetch,
+                       DecodeFetch);
+  RegisterMessageCodec(sim::MessageType::kChordFetchReply, EncodeFetchReply,
+                       DecodeFetchReply);
+  RegisterMessageCodec(sim::MessageType::kChordPing, EncodeChordPing,
+                       DecodeChordPing);
+  RegisterMessageCodec(sim::MessageType::kChordPong, EncodeChordPong,
+                       DecodeChordPong);
+}
+
+}  // namespace scatter::wire::internal

@@ -1,0 +1,215 @@
+// Wire codecs for the client-facing and control-plane messages (core/).
+
+#include <memory>
+#include <utility>
+
+#include "src/core/messages.h"
+#include "src/wire/codec.h"
+#include "src/wire/codec_internal.h"
+
+namespace scatter::wire::internal {
+namespace {
+
+void EncodeClientRequest(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::ClientRequestMsg&>(m);
+  out.WriteU8(static_cast<uint8_t>(msg.op));
+  out.WriteU64(msg.key);
+  out.WriteString(msg.value);
+  out.WriteU64(msg.client_id);
+  out.WriteU64(msg.client_seq);
+}
+
+sim::MessagePtr DecodeClientRequest(Reader& in) {
+  auto msg = std::make_shared<core::ClientRequestMsg>();
+  const uint8_t op = in.ReadU8();
+  if (op > static_cast<uint8_t>(core::ClientOp::kDelete)) {
+    in.Fail();
+    return msg;
+  }
+  msg->op = static_cast<core::ClientOp>(op);
+  msg->key = in.ReadU64();
+  msg->value = in.ReadString();
+  msg->client_id = in.ReadU64();
+  msg->client_seq = in.ReadU64();
+  return msg;
+}
+
+void EncodeClientReply(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::ClientReplyMsg&>(m);
+  out.WriteU8(static_cast<uint8_t>(msg.code));
+  out.WriteBool(msg.found);
+  out.WriteString(msg.value);
+  WriteGroupInfos(msg.ring_updates, out);
+}
+
+sim::MessagePtr DecodeClientReply(Reader& in) {
+  auto msg = std::make_shared<core::ClientReplyMsg>();
+  const uint8_t code = in.ReadU8();
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    in.Fail();
+    return msg;
+  }
+  msg->code = static_cast<StatusCode>(code);
+  msg->found = in.ReadBool();
+  msg->value = in.ReadString();
+  msg->ring_updates = ReadGroupInfos(in);
+  return msg;
+}
+
+void EncodeLookupRequest(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::LookupRequestMsg&>(m);
+  out.WriteU64(msg.key);
+}
+
+sim::MessagePtr DecodeLookupRequest(Reader& in) {
+  auto msg = std::make_shared<core::LookupRequestMsg>();
+  msg->key = in.ReadU64();
+  return msg;
+}
+
+void EncodeLookupReply(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::LookupReplyMsg&>(m);
+  out.WriteBool(msg.known);
+  out.WriteBool(msg.authoritative);
+  WriteGroupInfo(msg.info, out);
+}
+
+sim::MessagePtr DecodeLookupReply(Reader& in) {
+  auto msg = std::make_shared<core::LookupReplyMsg>();
+  msg->known = in.ReadBool();
+  msg->authoritative = in.ReadBool();
+  msg->info = ReadGroupInfo(in);
+  return msg;
+}
+
+void EncodeJoinRequest(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::JoinRequestMsg&>(m);
+  out.WriteBool(msg.no_redirect);
+}
+
+sim::MessagePtr DecodeJoinRequest(Reader& in) {
+  auto msg = std::make_shared<core::JoinRequestMsg>();
+  msg->no_redirect = in.ReadBool();
+  return msg;
+}
+
+void EncodeJoinReply(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::JoinReplyMsg&>(m);
+  out.WriteU8(static_cast<uint8_t>(msg.code));
+  WriteGroupInfo(msg.group, out);
+  WriteGroupInfos(msg.seed_ring, out);
+}
+
+sim::MessagePtr DecodeJoinReply(Reader& in) {
+  auto msg = std::make_shared<core::JoinReplyMsg>();
+  const uint8_t code = in.ReadU8();
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    in.Fail();
+    return msg;
+  }
+  msg->code = static_cast<StatusCode>(code);
+  msg->group = ReadGroupInfo(in);
+  msg->seed_ring = ReadGroupInfos(in);
+  return msg;
+}
+
+void EncodeGroupInfoRequest(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::GroupInfoRequestMsg&>(m);
+  out.WriteU64(msg.group);
+}
+
+sim::MessagePtr DecodeGroupInfoRequest(Reader& in) {
+  auto msg = std::make_shared<core::GroupInfoRequestMsg>();
+  msg->group = in.ReadU64();
+  return msg;
+}
+
+void EncodeGroupInfoReply(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::GroupInfoReplyMsg&>(m);
+  out.WriteBool(msg.known);
+  out.WriteBool(msg.authoritative);
+  WriteGroupInfo(msg.info, out);
+}
+
+sim::MessagePtr DecodeGroupInfoReply(Reader& in) {
+  auto msg = std::make_shared<core::GroupInfoReplyMsg>();
+  msg->known = in.ReadBool();
+  msg->authoritative = in.ReadBool();
+  msg->info = ReadGroupInfo(in);
+  return msg;
+}
+
+void EncodeRingGossip(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::RingGossipMsg&>(m);
+  WriteGroupInfos(msg.infos, out);
+}
+
+sim::MessagePtr DecodeRingGossip(Reader& in) {
+  auto msg = std::make_shared<core::RingGossipMsg>();
+  msg->infos = ReadGroupInfos(in);
+  return msg;
+}
+
+void EncodeMigrateRequest(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::MigrateRequestMsg&>(m);
+  WriteGroupInfo(msg.beneficiary, out);
+}
+
+sim::MessagePtr DecodeMigrateRequest(Reader& in) {
+  auto msg = std::make_shared<core::MigrateRequestMsg>();
+  msg->beneficiary = ReadGroupInfo(in);
+  return msg;
+}
+
+void EncodeMigrateDirective(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::MigrateDirectiveMsg&>(m);
+  WriteGroupInfo(msg.target_group, out);
+}
+
+sim::MessagePtr DecodeMigrateDirective(Reader& in) {
+  auto msg = std::make_shared<core::MigrateDirectiveMsg>();
+  msg->target_group = ReadGroupInfo(in);
+  return msg;
+}
+
+void EncodeLeaveRequest(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const core::LeaveRequestMsg&>(m);
+  out.WriteU64(msg.group);
+}
+
+sim::MessagePtr DecodeLeaveRequest(Reader& in) {
+  auto msg = std::make_shared<core::LeaveRequestMsg>();
+  msg->group = in.ReadU64();
+  return msg;
+}
+
+}  // namespace
+
+void RegisterCoreCodecs() {
+  RegisterMessageCodec(sim::MessageType::kClientRequest, EncodeClientRequest,
+                       DecodeClientRequest);
+  RegisterMessageCodec(sim::MessageType::kClientReply, EncodeClientReply,
+                       DecodeClientReply);
+  RegisterMessageCodec(sim::MessageType::kLookupRequest, EncodeLookupRequest,
+                       DecodeLookupRequest);
+  RegisterMessageCodec(sim::MessageType::kLookupReply, EncodeLookupReply,
+                       DecodeLookupReply);
+  RegisterMessageCodec(sim::MessageType::kJoinRequest, EncodeJoinRequest,
+                       DecodeJoinRequest);
+  RegisterMessageCodec(sim::MessageType::kJoinReply, EncodeJoinReply,
+                       DecodeJoinReply);
+  RegisterMessageCodec(sim::MessageType::kGroupInfoRequest,
+                       EncodeGroupInfoRequest, DecodeGroupInfoRequest);
+  RegisterMessageCodec(sim::MessageType::kGroupInfoReply, EncodeGroupInfoReply,
+                       DecodeGroupInfoReply);
+  RegisterMessageCodec(sim::MessageType::kMigrateRequest, EncodeMigrateRequest,
+                       DecodeMigrateRequest);
+  RegisterMessageCodec(sim::MessageType::kMigrateDirective,
+                       EncodeMigrateDirective, DecodeMigrateDirective);
+  RegisterMessageCodec(sim::MessageType::kLeaveRequest, EncodeLeaveRequest,
+                       DecodeLeaveRequest);
+  RegisterMessageCodec(sim::MessageType::kRingGossip, EncodeRingGossip,
+                       DecodeRingGossip);
+}
+
+}  // namespace scatter::wire::internal

@@ -1,0 +1,230 @@
+// Shared field codecs used by the per-module message/command codecs.
+//
+// Everything here is deliberately canonical: one value, one byte sequence.
+// Composite fields are written unconditionally and in declaration order, and
+// all containers used on the wire are ordered (std::map, std::vector), so
+// encode(decode(encode(x))) is byte-identical to encode(x) — the property
+// the wire round-trip tests assert.
+
+#ifndef SCATTER_SRC_WIRE_CODEC_INTERNAL_H_
+#define SCATTER_SRC_WIRE_CODEC_INTERNAL_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/membership/commands.h"
+#include "src/ring/group_info.h"
+#include "src/ring/key_range.h"
+#include "src/store/kv_store.h"
+#include "src/wire/buffer.h"
+
+namespace scatter::wire::internal {
+
+// Per-module registration entry points, called by RegisterAllCodecs().
+void RegisterRpcCodecs();
+void RegisterPaxosCodecs();
+void RegisterMembershipCodecs();
+void RegisterTxnCodecs();
+void RegisterCoreCodecs();
+void RegisterChordCodecs();
+
+// --- Scalar-ish shared fields ----------------------------------------------
+
+inline void WriteBallot(const Ballot& b, Buffer& out) {
+  out.WriteU64(b.round);
+  out.WriteU64(b.node);
+}
+
+inline Ballot ReadBallot(Reader& in) {
+  Ballot b;
+  b.round = in.ReadU64();
+  b.node = in.ReadU64();
+  return b;
+}
+
+inline void WriteKeyRange(const ring::KeyRange& r, Buffer& out) {
+  out.WriteU64(r.begin);
+  out.WriteU64(r.end);
+}
+
+inline ring::KeyRange ReadKeyRange(Reader& in) {
+  ring::KeyRange r;
+  r.begin = in.ReadU64();
+  r.end = in.ReadU64();
+  return r;
+}
+
+inline void WriteStatus(const Status& s, Buffer& out) {
+  out.WriteU8(static_cast<uint8_t>(s.code()));
+  out.WriteString(s.message());
+}
+
+inline Status ReadStatus(Reader& in) {
+  const uint8_t raw = in.ReadU8();
+  std::string message = in.ReadString();
+  if (raw > static_cast<uint8_t>(StatusCode::kInternal)) {
+    in.Fail();
+    return Status();
+  }
+  return Status(static_cast<StatusCode>(raw), std::move(message));
+}
+
+inline void WriteNodeIds(const std::vector<NodeId>& ids, Buffer& out) {
+  out.WriteU32(static_cast<uint32_t>(ids.size()));
+  for (NodeId id : ids) {
+    out.WriteU64(id);
+  }
+}
+
+inline std::vector<NodeId> ReadNodeIds(Reader& in) {
+  const size_t n = in.ReadCount();
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n && in.ok(); ++i) {
+    ids.push_back(in.ReadU64());
+  }
+  return ids;
+}
+
+// --- Routing / store composites --------------------------------------------
+
+inline void WriteGroupInfo(const ring::GroupInfo& g, Buffer& out) {
+  out.WriteU64(g.id);
+  WriteKeyRange(g.range, out);
+  out.WriteU64(g.epoch);
+  WriteNodeIds(g.members, out);
+  out.WriteU64(g.leader);
+  out.WriteU64(g.key_count);
+  out.WriteBool(g.has_key_count);
+  out.WriteDouble(g.op_rate);
+  out.WriteBool(g.has_op_rate);
+}
+
+inline ring::GroupInfo ReadGroupInfo(Reader& in) {
+  ring::GroupInfo g;
+  g.id = in.ReadU64();
+  g.range = ReadKeyRange(in);
+  g.epoch = in.ReadU64();
+  g.members = ReadNodeIds(in);
+  g.leader = in.ReadU64();
+  g.key_count = in.ReadU64();
+  g.has_key_count = in.ReadBool();
+  g.op_rate = in.ReadDouble();
+  g.has_op_rate = in.ReadBool();
+  return g;
+}
+
+inline void WriteGroupInfos(const std::vector<ring::GroupInfo>& infos,
+                            Buffer& out) {
+  out.WriteU32(static_cast<uint32_t>(infos.size()));
+  for (const ring::GroupInfo& g : infos) {
+    WriteGroupInfo(g, out);
+  }
+}
+
+inline std::vector<ring::GroupInfo> ReadGroupInfos(Reader& in) {
+  const size_t n = in.ReadCount();
+  std::vector<ring::GroupInfo> infos;
+  infos.reserve(n);
+  for (size_t i = 0; i < n && in.ok(); ++i) {
+    infos.push_back(ReadGroupInfo(in));
+  }
+  return infos;
+}
+
+inline void WriteKvStore(const store::KvStore& kv, Buffer& out) {
+  out.WriteU32(static_cast<uint32_t>(kv.size()));
+  for (const auto& [key, value] : kv.entries()) {
+    out.WriteU64(key);
+    out.WriteString(value);
+  }
+}
+
+inline store::KvStore ReadKvStore(Reader& in) {
+  store::KvStore kv;
+  const size_t n = in.ReadCount();
+  for (size_t i = 0; i < n && in.ok(); ++i) {
+    const Key key = in.ReadU64();
+    kv.Put(key, in.ReadString());
+  }
+  return kv;
+}
+
+inline void WriteDedupTable(const membership::DedupTable& table, Buffer& out) {
+  out.WriteU32(static_cast<uint32_t>(table.size()));
+  for (const auto& [client, entry] : table) {
+    out.WriteU64(client);
+    out.WriteU64(entry.max_seq);
+    out.WriteU32(static_cast<uint32_t>(entry.results.size()));
+    for (const auto& [seq, code] : entry.results) {
+      out.WriteU64(seq);
+      out.WriteU8(code);
+    }
+  }
+}
+
+inline membership::DedupTable ReadDedupTable(Reader& in) {
+  membership::DedupTable table;
+  const size_t clients = in.ReadCount();
+  for (size_t i = 0; i < clients && in.ok(); ++i) {
+    const uint64_t client = in.ReadU64();
+    membership::DedupEntry& entry = table[client];
+    entry.max_seq = in.ReadU64();
+    const size_t results = in.ReadCount();
+    for (size_t j = 0; j < results && in.ok(); ++j) {
+      const uint64_t seq = in.ReadU64();
+      entry.results[seq] = in.ReadU8();
+    }
+  }
+  return table;
+}
+
+inline void WriteRingTxn(const membership::RingTxn& t, Buffer& out) {
+  out.WriteU64(t.id);
+  out.WriteU8(static_cast<uint8_t>(t.kind));
+  out.WriteU64(t.coord_group);
+  out.WriteU64(t.part_group);
+  WriteKeyRange(t.coord_range, out);
+  WriteKeyRange(t.part_range, out);
+  out.WriteU64(t.coord_epoch);
+  out.WriteU64(t.part_epoch);
+  out.WriteU64(t.merged_id);
+  out.WriteU64(t.new_boundary);
+}
+
+inline membership::RingTxn ReadRingTxn(Reader& in) {
+  membership::RingTxn t;
+  t.id = in.ReadU64();
+  const uint8_t kind = in.ReadU8();
+  if (kind > static_cast<uint8_t>(membership::RingTxn::Kind::kRepartition)) {
+    in.Fail();
+    return t;
+  }
+  t.kind = static_cast<membership::RingTxn::Kind>(kind);
+  t.coord_group = in.ReadU64();
+  t.part_group = in.ReadU64();
+  t.coord_range = ReadKeyRange(in);
+  t.part_range = ReadKeyRange(in);
+  t.coord_epoch = in.ReadU64();
+  t.part_epoch = in.ReadU64();
+  t.merged_id = in.ReadU64();
+  t.new_boundary = in.ReadU64();
+  return t;
+}
+
+// --- Command base ------------------------------------------------------------
+
+inline void WriteAppCommandBase(const paxos::AppCommand& cmd, Buffer& out) {
+  out.WriteU64(cmd.client_id);
+  out.WriteU64(cmd.client_seq);
+}
+
+inline void ReadAppCommandBase(Reader& in, paxos::AppCommand& cmd) {
+  cmd.client_id = in.ReadU64();
+  cmd.client_seq = in.ReadU64();
+}
+
+}  // namespace scatter::wire::internal
+
+#endif  // SCATTER_SRC_WIRE_CODEC_INTERNAL_H_

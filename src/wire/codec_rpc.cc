@@ -1,0 +1,31 @@
+// Wire codec for the generic RPC envelope (rpc/). Tag range: see
+// PROTOCOL.md "Wire format".
+
+#include <memory>
+
+#include "src/rpc/rpc_node.h"
+#include "src/wire/codec.h"
+#include "src/wire/codec_internal.h"
+
+namespace scatter::wire::internal {
+namespace {
+
+void EncodeRpcError(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const rpc::RpcErrorMessage&>(m);
+  WriteStatus(msg.status, out);
+}
+
+sim::MessagePtr DecodeRpcError(Reader& in) {
+  auto msg = std::make_shared<rpc::RpcErrorMessage>();
+  msg->status = ReadStatus(in);
+  return msg;
+}
+
+}  // namespace
+
+void RegisterRpcCodecs() {
+  RegisterMessageCodec(sim::MessageType::kRpcError, EncodeRpcError,
+                       DecodeRpcError);
+}
+
+}  // namespace scatter::wire::internal

@@ -1,0 +1,121 @@
+// Wire codecs for the nested-consensus coordination messages (txn/).
+
+#include <memory>
+
+#include "src/txn/messages.h"
+#include "src/wire/codec.h"
+#include "src/wire/codec_internal.h"
+
+namespace scatter::wire::internal {
+namespace {
+
+void EncodeTxnPrepare(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const txn::TxnPrepareMsg&>(m);
+  WriteRingTxn(msg.txn, out);
+  WriteNodeIds(msg.coord_members, out);
+  WriteKvStore(msg.coord_data, out);
+  WriteDedupTable(msg.coord_dedup, out);
+  WriteGroupInfo(msg.coord_outer_neighbor, out);
+}
+
+sim::MessagePtr DecodeTxnPrepare(Reader& in) {
+  auto msg = std::make_shared<txn::TxnPrepareMsg>();
+  msg->txn = ReadRingTxn(in);
+  msg->coord_members = ReadNodeIds(in);
+  msg->coord_data = ReadKvStore(in);
+  msg->coord_dedup = ReadDedupTable(in);
+  msg->coord_outer_neighbor = ReadGroupInfo(in);
+  return msg;
+}
+
+void EncodeTxnPrepareReply(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const txn::TxnPrepareReplyMsg&>(m);
+  out.WriteU64(msg.txn_id);
+  out.WriteBool(msg.prepared);
+  WriteNodeIds(msg.part_members, out);
+  WriteKvStore(msg.part_data, out);
+  WriteDedupTable(msg.part_dedup, out);
+  WriteGroupInfo(msg.part_outer_neighbor, out);
+}
+
+sim::MessagePtr DecodeTxnPrepareReply(Reader& in) {
+  auto msg = std::make_shared<txn::TxnPrepareReplyMsg>();
+  msg->txn_id = in.ReadU64();
+  msg->prepared = in.ReadBool();
+  msg->part_members = ReadNodeIds(in);
+  msg->part_data = ReadKvStore(in);
+  msg->part_dedup = ReadDedupTable(in);
+  msg->part_outer_neighbor = ReadGroupInfo(in);
+  return msg;
+}
+
+void EncodeTxnDecision(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const txn::TxnDecisionMsg&>(m);
+  out.WriteU64(msg.txn_id);
+  out.WriteU64(msg.participant_group);
+  out.WriteBool(msg.commit);
+}
+
+sim::MessagePtr DecodeTxnDecision(Reader& in) {
+  auto msg = std::make_shared<txn::TxnDecisionMsg>();
+  msg->txn_id = in.ReadU64();
+  msg->participant_group = in.ReadU64();
+  msg->commit = in.ReadBool();
+  return msg;
+}
+
+void EncodeTxnDecisionAck(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const txn::TxnDecisionAckMsg&>(m);
+  out.WriteU64(msg.txn_id);
+}
+
+sim::MessagePtr DecodeTxnDecisionAck(Reader& in) {
+  auto msg = std::make_shared<txn::TxnDecisionAckMsg>();
+  msg->txn_id = in.ReadU64();
+  return msg;
+}
+
+void EncodeTxnStatusQuery(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const txn::TxnStatusQueryMsg&>(m);
+  out.WriteU64(msg.txn_id);
+}
+
+sim::MessagePtr DecodeTxnStatusQuery(Reader& in) {
+  auto msg = std::make_shared<txn::TxnStatusQueryMsg>();
+  msg->txn_id = in.ReadU64();
+  return msg;
+}
+
+void EncodeTxnStatusReply(const sim::Message& m, Buffer& out) {
+  const auto& msg = static_cast<const txn::TxnStatusReplyMsg&>(m);
+  out.WriteU64(msg.txn_id);
+  out.WriteBool(msg.known);
+  out.WriteBool(msg.committed);
+}
+
+sim::MessagePtr DecodeTxnStatusReply(Reader& in) {
+  auto msg = std::make_shared<txn::TxnStatusReplyMsg>();
+  msg->txn_id = in.ReadU64();
+  msg->known = in.ReadBool();
+  msg->committed = in.ReadBool();
+  return msg;
+}
+
+}  // namespace
+
+void RegisterTxnCodecs() {
+  RegisterMessageCodec(sim::MessageType::kTxnPrepare, EncodeTxnPrepare,
+                       DecodeTxnPrepare);
+  RegisterMessageCodec(sim::MessageType::kTxnPrepareReply,
+                       EncodeTxnPrepareReply, DecodeTxnPrepareReply);
+  RegisterMessageCodec(sim::MessageType::kTxnDecision, EncodeTxnDecision,
+                       DecodeTxnDecision);
+  RegisterMessageCodec(sim::MessageType::kTxnDecisionAck, EncodeTxnDecisionAck,
+                       DecodeTxnDecisionAck);
+  RegisterMessageCodec(sim::MessageType::kTxnStatusQuery, EncodeTxnStatusQuery,
+                       DecodeTxnStatusQuery);
+  RegisterMessageCodec(sim::MessageType::kTxnStatusReply, EncodeTxnStatusReply,
+                       DecodeTxnStatusReply);
+}
+
+}  // namespace scatter::wire::internal

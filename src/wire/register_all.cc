@@ -1,0 +1,31 @@
+// Explicit registration of every production codec.
+//
+// Registration is an explicit call (not static initializers in the codec
+// translation units) because the codecs live in a static library: the
+// linker would happily dead-strip a TU nothing references, silently losing
+// its message types. RegisterAllCodecs() references every module's
+// registration function, so a missing codec is a link error instead.
+
+#include "src/common/logging.h"
+#include "src/wire/codec.h"
+#include "src/wire/codec_internal.h"
+
+namespace scatter::wire {
+
+void RegisterAllCodecs() {
+  static const bool done = [] {
+    internal::RegisterRpcCodecs();
+    internal::RegisterPaxosCodecs();
+    internal::RegisterMembershipCodecs();
+    internal::RegisterTxnCodecs();
+    internal::RegisterCoreCodecs();
+    internal::RegisterChordCodecs();
+    return true;
+  }();
+  (void)done;
+  // The X-macro table is the source of truth; a type added there without a
+  // codec must fail loudly, not at first send.
+  SCATTER_CHECK(MissingMessageCodecs().empty());
+}
+
+}  // namespace scatter::wire

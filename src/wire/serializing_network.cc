@@ -1,0 +1,114 @@
+#include "src/wire/serializing_network.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/wire/codec.h"
+
+namespace scatter::wire {
+namespace {
+
+// Compares two encoded frames ignoring the fixed `to` header slot:
+// RpcNode::Forward legitimately rewrites `to` on a delivered message to
+// relay it, and that rewrite is visible to the post-delivery encoding.
+bool FramesEqualIgnoringTo(const Buffer& a, const Buffer& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  // The frame starts with a u32 length prefix; header offsets are relative
+  // to the byte after it.
+  const size_t to_begin = 4 + kFrameToOffset;
+  const size_t to_end = to_begin + kFrameToSize;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i >= to_begin && i < to_end) {
+      continue;
+    }
+    if (a.data()[i] != b.data()[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SerializingNetwork::SerializingNetwork(sim::Simulator* sim,
+                                       sim::NetworkConfig config)
+    : sim::Network(sim, config) {
+  RegisterAllCodecs();
+}
+
+void SerializingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
+                                           const sim::MessagePtr& message) {
+  Buffer frame;
+  EncodeFrame(*message, frame);
+  frames_++;
+  bytes_ += frame.size();
+
+  size_t consumed = 0;
+  std::string error;
+  sim::MessagePtr copy =
+      DecodeFrame(frame.data(), frame.size(), &consumed, &error);
+  if (copy == nullptr) {
+    SCATTER_ERROR() << "serializing transport: self-encoded "
+                    << sim::MessageTypeName(message->type)
+                    << " frame failed to decode: " << error;
+    SCATTER_CHECK(copy != nullptr);
+  }
+  SCATTER_CHECK(consumed == frame.size());
+  endpoint->HandleMessage(copy);
+}
+
+AuditingNetwork::AuditingNetwork(sim::Simulator* sim,
+                                 sim::NetworkConfig config)
+    : sim::Network(sim, config) {
+  RegisterAllCodecs();
+}
+
+void AuditingNetwork::Report(const sim::MessagePtr& message,
+                             std::string detail) {
+  SCATTER_ERROR() << "wire audit: " << sim::MessageTypeName(message->type)
+                  << " " << message->from << "->" << message->to << ": "
+                  << detail;
+  violations_.push_back(Violation{message->type, message->from, message->to,
+                                  std::move(detail)});
+  if (fail_on_violation_) {
+    SCATTER_CHECK(false);
+  }
+}
+
+void AuditingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
+                                        const sim::MessagePtr& message) {
+  Buffer before;
+  EncodeFrame(*message, before);
+
+  // Round-trip stability: decode the frame and re-encode; any divergence is
+  // a codec dropping or mangling a field.
+  size_t consumed = 0;
+  std::string error;
+  sim::MessagePtr copy =
+      DecodeFrame(before.data(), before.size(), &consumed, &error);
+  if (copy == nullptr) {
+    Report(message, "self-encoded frame failed to decode: " + error);
+  } else {
+    Buffer reencoded;
+    EncodeFrame(*copy, reencoded);
+    if (!(reencoded == before)) {
+      Report(message, "encode -> decode -> encode is not byte-identical");
+    }
+  }
+
+  endpoint->HandleMessage(message);
+
+  // Delivered messages may be shared across broadcast fan-out and with the
+  // sender's retransmission state; a handler that mutates one corrupts
+  // state it does not own. Forward's `to` rewrite is the sanctioned
+  // exception.
+  Buffer after;
+  EncodeFrame(*message, after);
+  if (!FramesEqualIgnoringTo(before, after)) {
+    Report(message, "handler mutated a delivered message");
+  }
+}
+
+}  // namespace scatter::wire

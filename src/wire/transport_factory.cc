@@ -1,0 +1,49 @@
+#include "src/wire/transport_factory.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/wire/serializing_network.h"
+
+namespace scatter::wire {
+
+sim::TransportKind TransportKindFromEnv() {
+  const char* value = std::getenv("SCATTER_TRANSPORT");
+  if (value == nullptr || value[0] == '\0' ||
+      std::strcmp(value, "inprocess") == 0) {
+    return sim::TransportKind::kInProcess;
+  }
+  if (std::strcmp(value, "serializing") == 0) {
+    return sim::TransportKind::kSerializing;
+  }
+  if (std::strcmp(value, "audit") == 0) {
+    return sim::TransportKind::kAudit;
+  }
+  SCATTER_ERROR() << "SCATTER_TRANSPORT=" << value
+                  << " is not one of inprocess|serializing|audit";
+  SCATTER_CHECK(false);
+  return sim::TransportKind::kInProcess;
+}
+
+std::unique_ptr<sim::Network> MakeNetwork(sim::Simulator* sim,
+                                          sim::NetworkConfig config,
+                                          sim::TransportKind kind) {
+  if (kind == sim::TransportKind::kDefault) {
+    kind = TransportKindFromEnv();
+  }
+  switch (kind) {
+    case sim::TransportKind::kDefault:
+    case sim::TransportKind::kInProcess:
+      return std::make_unique<sim::Network>(sim, std::move(config));
+    case sim::TransportKind::kSerializing:
+      return std::make_unique<SerializingNetwork>(sim, std::move(config));
+    case sim::TransportKind::kAudit:
+      return std::make_unique<AuditingNetwork>(sim, std::move(config));
+  }
+  SCATTER_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace scatter::wire

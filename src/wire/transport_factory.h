@@ -1,0 +1,28 @@
+// Transport selection: builds the Network implementation a cluster should
+// use. The default consults the SCATTER_TRANSPORT environment variable
+// (inprocess | serializing | audit), which is how CI runs the whole test
+// suite over the wire codecs without touching any test.
+
+#ifndef SCATTER_SRC_WIRE_TRANSPORT_FACTORY_H_
+#define SCATTER_SRC_WIRE_TRANSPORT_FACTORY_H_
+
+#include <memory>
+
+#include "src/sim/network.h"
+
+namespace scatter::wire {
+
+// The kind selected by SCATTER_TRANSPORT; kInProcess when the variable is
+// unset or empty. CHECK-fails on an unrecognized value (a typo silently
+// testing the wrong transport is worse than a crash).
+sim::TransportKind TransportKindFromEnv();
+
+// Builds a network of the given kind over the shared simulation fabric.
+// kDefault resolves through TransportKindFromEnv().
+std::unique_ptr<sim::Network> MakeNetwork(
+    sim::Simulator* sim, sim::NetworkConfig config,
+    sim::TransportKind kind = sim::TransportKind::kDefault);
+
+}  // namespace scatter::wire
+
+#endif  // SCATTER_SRC_WIRE_TRANSPORT_FACTORY_H_

@@ -23,6 +23,9 @@
 #include "src/rpc/rpc_node.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/sim/transport.h"
+#include "src/wire/codec.h"
+#include "src/wire/transport_factory.h"
 
 namespace scatter::paxos::testing {
 
@@ -31,6 +34,32 @@ struct SeqCommand : AppCommand {
   explicit SeqCommand(uint64_t v) : value(v) {}
   uint64_t value;
 };
+
+// Wire codecs for the test-private command and snapshot types, so the
+// whole Paxos suite also runs under SCATTER_TRANSPORT=serializing/audit.
+// Tags from 256 up are reserved for tests (production modules own 1-255).
+inline void RegisterPaxosTestCodecs() {
+  static const bool done = [] {
+    wire::RegisterCommandCodec(
+        256, typeid(SeqCommand),
+        [](const Command& cmd, wire::Buffer& out) {
+          const auto& seq = static_cast<const SeqCommand&>(cmd);
+          out.WriteU64(seq.client_id);
+          out.WriteU64(seq.client_seq);
+          out.WriteU64(seq.value);
+        },
+        [](wire::Reader& in) -> CommandPtr {
+          const uint64_t client_id = in.ReadU64();
+          const uint64_t client_seq = in.ReadU64();
+          auto cmd = std::make_shared<SeqCommand>(in.ReadU64());
+          cmd->client_id = client_id;
+          cmd->client_seq = client_seq;
+          return cmd;
+        });
+    return true;
+  }();
+  (void)done;
+}
 
 // State machine that records the applied sequence, with snapshot support
 // and client dedup.
@@ -73,10 +102,45 @@ class RecordingStateMachine : public StateMachine {
   std::map<uint64_t, uint64_t> client_seqs_;
 };
 
+inline void RegisterPaxosTestSnapshotCodec() {
+  static const bool done = [] {
+    wire::RegisterSnapshotCodec(
+        256, typeid(RecordingStateMachine::Snap),
+        [](const SnapshotData& snap, wire::Buffer& out) {
+          const auto& s = static_cast<const RecordingStateMachine::Snap&>(snap);
+          out.WriteU32(static_cast<uint32_t>(s.values.size()));
+          for (uint64_t v : s.values) {
+            out.WriteU64(v);
+          }
+          out.WriteU32(static_cast<uint32_t>(s.client_seqs.size()));
+          for (const auto& [client, seq] : s.client_seqs) {
+            out.WriteU64(client);
+            out.WriteU64(seq);
+          }
+        },
+        [](wire::Reader& in) -> SnapshotPtr {
+          auto s = std::make_shared<RecordingStateMachine::Snap>();
+          const size_t values = in.ReadCount();
+          s->values.reserve(values);
+          for (size_t i = 0; i < values && in.ok(); ++i) {
+            s->values.push_back(in.ReadU64());
+          }
+          const size_t seqs = in.ReadCount();
+          for (size_t i = 0; i < seqs && in.ok(); ++i) {
+            const uint64_t client = in.ReadU64();
+            s->client_seqs[client] = in.ReadU64();
+          }
+          return s;
+        });
+    return true;
+  }();
+  (void)done;
+}
+
 // A simulated node hosting exactly one replica of one group.
 class PaxosTestNode : public rpc::RpcNode, public ReplicaHost {
  public:
-  PaxosTestNode(NodeId id, sim::Network* network, const PaxosConfig& config,
+  PaxosTestNode(NodeId id, sim::Transport* network, const PaxosConfig& config,
                 GroupId group, std::vector<NodeId> members)
       : RpcNode(id, network) {
     replica_ = std::make_unique<Replica>(simulator(), this, &sm_, config,
@@ -128,14 +192,19 @@ class PaxosCluster {
   explicit PaxosCluster(int n, uint64_t seed = 1,
                         PaxosConfig config = PaxosConfig(),
                         sim::NetworkConfig net_config = LanDefaults())
-      : sim_(seed), net_(&sim_, net_config), config_(config), group_(1) {
+      : sim_(seed),
+        net_(wire::MakeNetwork(&sim_, net_config)),
+        config_(config),
+        group_(1) {
+    RegisterPaxosTestCodecs();
+    RegisterPaxosTestSnapshotCodec();
     std::vector<NodeId> members;
     for (int i = 1; i <= n; ++i) {
       members.push_back(static_cast<NodeId>(i));
     }
     for (NodeId id : members) {
-      nodes_[id] = std::make_unique<PaxosTestNode>(id, &net_, config_, group_,
-                                                   members);
+      nodes_[id] = std::make_unique<PaxosTestNode>(id, net_.get(), config_,
+                                                   group_, members);
     }
   }
 
@@ -146,7 +215,7 @@ class PaxosCluster {
   }
 
   sim::Simulator& sim() { return sim_; }
-  sim::Network& net() { return net_; }
+  sim::Network& net() { return *net_; }
 
   PaxosTestNode* node(NodeId id) {
     auto it = nodes_.find(id);
@@ -232,8 +301,8 @@ class PaxosCluster {
   // be added via config change on the leader).
   PaxosTestNode* Spawn(NodeId id) {
     SCATTER_CHECK(nodes_.count(id) == 0 || nodes_[id] == nullptr);
-    nodes_[id] = std::make_unique<PaxosTestNode>(id, &net_, config_, group_,
-                                                 std::vector<NodeId>{});
+    nodes_[id] = std::make_unique<PaxosTestNode>(id, net_.get(), config_,
+                                                 group_, std::vector<NodeId>{});
     return nodes_[id].get();
   }
 
@@ -321,7 +390,7 @@ class PaxosCluster {
   }
 
   sim::Simulator sim_;
-  sim::Network net_;
+  std::unique_ptr<sim::Network> net_;
   PaxosConfig config_;
   GroupId group_;
   std::map<NodeId, std::unique_ptr<PaxosTestNode>> nodes_;

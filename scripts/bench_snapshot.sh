@@ -35,4 +35,16 @@ echo "=== bench_scale smoke -> BENCH_metrics.json ==="
 rm -f BENCH_metrics.json
 SCATTER_METRICS_JSON=BENCH_metrics.json "$BUILD_DIR/bench/bench_scale" --quick
 
-echo "=== baseline recorded in BENCH_micro.json + BENCH_metrics.json ==="
+echo "=== mc_explore throughput -> BENCH_mc.json ==="
+# Explorer throughput baseline: a fixed delay-bounded exploration of the
+# split scenario (schedule count is deterministic; only the timing varies).
+# schedules_per_sec and dedup_hits regressions show up as diffs here.
+if [[ ! -x "$BUILD_DIR/tools/mc_explore" ]]; then
+  echo "mc_explore not built; run: cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+"$BUILD_DIR/tools/mc_explore" --scenario split --strategy delay \
+    --budget-seconds 60 --counterexample none > BENCH_mc.json
+cat BENCH_mc.json
+
+echo "=== baseline recorded in BENCH_micro.json + BENCH_metrics.json + BENCH_mc.json ==="

@@ -9,7 +9,8 @@
 #   scripts/ci.sh lint            # just clang-tidy on changed files
 #   scripts/ci.sh bench           # just the benchmark smoke (plain build)
 #   scripts/ci.sh obs             # traced sim + trace/metrics JSON schema check
-#   scripts/ci.sh wire            # full suite over the serializing transport
+#   scripts/ci.sh wire            # full suite over the serializing + audit transports
+#   scripts/ci.sh mc              # model-checker smoke (delay-bounded split scenario)
 #
 # Build trees go to build-asan/ and build-ubsan/ so they never disturb the
 # developer's plain build/.
@@ -65,9 +66,11 @@ run_obs_check() {
 
 run_wire() {
   # Wire-format gate: the ENTIRE test suite must pass with every delivered
-  # message round-tripped through encode -> bytes -> decode. Clusters and
-  # harnesses construct their transport via wire::MakeNetwork, which honors
-  # SCATTER_TRANSPORT, so no test needs to know this is happening.
+  # message round-tripped through encode -> bytes -> decode (serializing),
+  # and again with the re-decoded copy compared against the original
+  # (audit). Clusters and harnesses construct their transport via
+  # wire::MakeNetwork, which honors SCATTER_TRANSPORT, so no test needs to
+  # know this is happening.
   local bdir="${BUILD_DIR:-build}"
   echo "=== wire: full ctest over the serializing transport ($bdir) ==="
   if [[ ! -d "$bdir" ]]; then
@@ -75,15 +78,32 @@ run_wire() {
   fi
   cmake --build "$bdir" -j "$JOBS"
   ( cd "$bdir" && SCATTER_TRANSPORT=serializing ctest --output-on-failure -j "$JOBS" )
+  echo "=== wire: full ctest over the audit transport ($bdir) ==="
+  ( cd "$bdir" && SCATTER_TRANSPORT=audit ctest --output-on-failure -j "$JOBS" )
+}
+
+run_mc() {
+  # Model-checker smoke: a delay-bounded exploration of the 2-group split
+  # scenario must exhaust its budget without finding a violation. The
+  # schedule tree at this budget is ~3k schedules / a few seconds; the wall
+  # budget caps it well under 30s on a slow machine.
+  local bdir="${BUILD_DIR:-build}"
+  echo "=== mc: delay-bounded smoke over the split scenario ($bdir) ==="
+  if [[ ! -x "$bdir/tools/mc_explore" ]]; then
+    cmake -B "$bdir" -S .
+    cmake --build "$bdir" -j "$JOBS"
+  fi
+  "$bdir/tools/mc_explore" --scenario split --strategy delay \
+      --budget-seconds 25 --counterexample none
 }
 
 run_lint() {
-  echo "=== clang-tidy (changed files) ==="
+  echo "=== clang-tidy (changed files, zero-warning gate) ==="
   # Lint against the ASan tree if present (it has compile_commands.json),
-  # else the default build tree.
+  # else the default build tree. Any warning fails the stage.
   local bdir=build
   [[ -f build-asan/compile_commands.json ]] && bdir=build-asan
-  BUILD_DIR="$bdir" scripts/run_clang_tidy.sh --changed
+  BUILD_DIR="$bdir" TIDY_WERROR=1 scripts/run_clang_tidy.sh --changed
 }
 
 case "${1:-all}" in
@@ -92,17 +112,19 @@ case "${1:-all}" in
   bench) run_bench_smoke ;;
   obs) run_obs_check ;;
   wire) run_wire ;;
+  mc) run_mc ;;
   all)
     run_sanitized address
     run_sanitized undefined
     run_bench_smoke
     run_obs_check
     run_wire
+    run_mc
     run_lint
-    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, wire suite clean, lint done ==="
+    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, wire suites clean, mc smoke clean, lint zero-warning ==="
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|lint|bench|obs|wire|all]" >&2
+    echo "usage: $0 [address|undefined|thread|lint|bench|obs|wire|mc|all]" >&2
     exit 2
     ;;
 esac

@@ -6,6 +6,10 @@
 #   scripts/run_clang_tidy.sh src/paxos/*.cc   # just these files
 #   scripts/run_clang_tidy.sh --changed        # files changed vs HEAD (+ staged/untracked)
 #
+# TIDY_WERROR=1 promotes every enabled check to an error (exit nonzero on
+# any warning) — the CI gate uses this so the lint stage is zero-warning,
+# not advisory.
+#
 # Needs build/compile_commands.json — produced by any `cmake -B build -S .`
 # (CMAKE_EXPORT_COMPILE_COMMANDS is always on). Exits 0 with a notice when
 # clang-tidy is not installed, so CI on toolchain-less images degrades
@@ -44,12 +48,15 @@ if [[ ${#files[@]} -eq 0 ]]; then
   exit 0
 fi
 
-echo "run_clang_tidy: linting ${#files[@]} file(s) with $TIDY"
+extra=()
+[[ "${TIDY_WERROR:-0}" == "1" ]] && extra+=("--warnings-as-errors=*")
+
+echo "run_clang_tidy: linting ${#files[@]} file(s) with $TIDY${extra:+ (zero-warning gate)}"
 status=0
 for f in "${files[@]}"; do
   # Headers are covered transitively via HeaderFilterRegex; only compile
   # translation units.
   [[ "$f" == *.h ]] && continue
-  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+  "$TIDY" -p "$BUILD_DIR" --quiet "${extra[@]}" "$f" || status=1
 done
 exit $status

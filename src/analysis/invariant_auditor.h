@@ -12,7 +12,9 @@
 // Standard checkers (one per subsystem):
 //   paxos   — no two replicas of a group disagree on a committed log slot;
 //             promised ballots and commit indexes are monotonic per
-//             acceptor; at most one leaseholding leader per group.
+//             acceptor; at most one leaseholding leader per group; every
+//             slot committed at or below the current leader's ballot is
+//             present in that leader's log (leader completeness).
 //   ring    — no two leader-led groups serve overlapping ranges (distinct
 //             groups at any epoch; same group only flagged when both
 //             claimants hold a valid lease at the same epoch).
@@ -53,6 +55,11 @@ struct AuditorOptions {
   // If the simulator has causal tracing enabled, the recorded spans are
   // dumped here as Chrome trace-event JSON alongside the artifact.
   std::string trace_json_path = "scatter_audit_trace.json";
+  // Which standard properties to register: any subset of
+  // {"paxos", "ring", "groupop", "store"}. Empty = all of them. The model
+  // checker narrows this per scenario; RegisterChecker still adds custom
+  // checkers on top.
+  std::vector<std::string> properties;
 };
 
 struct Violation {
@@ -78,6 +85,14 @@ std::unique_ptr<Checker> MakePaxosSafetyChecker();
 std::unique_ptr<Checker> MakeRingSafetyChecker();
 std::unique_ptr<Checker> MakeGroupOpChecker();
 std::unique_ptr<Checker> MakeStoreContainmentChecker();
+
+// The standard property set by name ("paxos", "ring", "groupop", "store").
+// An empty selection returns all four; unknown names CHECK-fail. Fresh
+// checker instances each call — checkers keep cross-call state (e.g.
+// ballot monotonicity watermarks), so they must never be shared between
+// runs.
+std::vector<std::unique_ptr<Checker>> MakeStandardCheckers(
+    const std::vector<std::string>& properties = {});
 
 class InvariantAuditor {
  public:

@@ -11,6 +11,7 @@ ClockFn g_clock_fn = nullptr;
 void* g_clock_arg = nullptr;
 LogSinkFn g_sink_fn = nullptr;
 void* g_sink_arg = nullptr;
+CheckFailHandler g_check_fail_handler = nullptr;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -55,6 +56,10 @@ void SetLogSink(LogSinkFn fn, void* arg) {
   g_sink_arg = arg;
 }
 
+void SetCheckFailureHandler(CheckFailHandler handler) {
+  g_check_fail_handler = handler;
+}
+
 namespace internal {
 
 LogLevel EmitFloor() {
@@ -80,6 +85,11 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
 }
 
 void CheckFailure(const char* file, int line, const char* cond) {
+  if (g_check_fail_handler != nullptr) {
+    g_check_fail_handler(file, line, cond);
+    // The handler contract is to throw; if it returned we must still die.
+    std::abort();
+  }
   const std::string msg = std::string("CHECK failed: ") + cond;
   if (g_sink_fn != nullptr) {
     g_sink_fn(g_sink_arg, LogLevel::kError, file, line, msg);

@@ -92,6 +92,19 @@ class LogLine {
     }                                                                    \
   } while (0)
 
+namespace scatter {
+
+// Model-checking hook: while a handler is installed, a failed SCATTER_CHECK
+// calls it instead of aborting the process. The handler must not return
+// (it throws), which lets a controlled exploration catch the failure, record
+// it as a finding, and move on to the next schedule. Pass nullptr to restore
+// the default abort behaviour.
+using CheckFailHandler = void (*)(const char* file, int line,
+                                  const char* cond);
+void SetCheckFailureHandler(CheckFailHandler handler);
+
+}  // namespace scatter
+
 namespace scatter::internal {
 [[noreturn]] void CheckFailure(const char* file, int line, const char* cond);
 }  // namespace scatter::internal

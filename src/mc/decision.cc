@@ -1,0 +1,398 @@
+#include "src/mc/decision.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace scatter::mc {
+
+const char* ChoiceKindName(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kDeliver:
+      return "deliver";
+    case ChoiceKind::kAdvanceTime:
+      return "advance_time";
+    case ChoiceKind::kCrash:
+      return "crash";
+    case ChoiceKind::kSpawn:
+      return "spawn";
+    case ChoiceKind::kPartition:
+      return "partition";
+    case ChoiceKind::kHeal:
+      return "heal";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ChoiceKindFromName(const std::string& name, ChoiceKind* out) {
+  for (ChoiceKind k :
+       {ChoiceKind::kDeliver, ChoiceKind::kAdvanceTime, ChoiceKind::kCrash,
+        ChoiceKind::kSpawn, ChoiceKind::kPartition, ChoiceKind::kHeal}) {
+    if (name == ChoiceKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Minimal recursive-descent JSON reader, sufficient for the fixed shape
+// ToJson emits (objects, arrays, strings, unsigned integers, booleans).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  void Fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(char c) {
+    if (!Consume(c)) {
+      Fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string ReadString() {
+    Expect('"');
+    std::string out;
+    while (!failed_ && pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(e);
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              Fail("bad \\u escape");
+              return out;
+            }
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') {
+                v |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                Fail("bad \\u escape");
+                return out;
+              }
+            }
+            // The emitter only writes control characters this way.
+            out.push_back(static_cast<char>(v & 0x7f));
+            break;
+          }
+          default:
+            Fail("unknown escape");
+            return out;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    Fail("unterminated string");
+    return out;
+  }
+
+  uint64_t ReadU64() {
+    SkipWs();
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      Fail("expected number");
+      return 0;
+    }
+    uint64_t v = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      v = v * 10 + static_cast<uint64_t>(text_[pos_++] - '0');
+    }
+    return v;
+  }
+
+  // Skips any value (used for unknown keys, forward compatibility).
+  void SkipValue() {
+    SkipWs();
+    char c = Peek();
+    if (c == '"') {
+      ReadString();
+    } else if (c == '{') {
+      Expect('{');
+      if (!Consume('}')) {
+        do {
+          ReadString();
+          Expect(':');
+          SkipValue();
+        } while (Consume(','));
+        Expect('}');
+      }
+    } else if (c == '[') {
+      Expect('[');
+      if (!Consume(']')) {
+        do {
+          SkipValue();
+        } while (Consume(','));
+        Expect(']');
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+             text_[pos_] != ']' &&
+             std::isspace(static_cast<unsigned char>(text_[pos_])) == 0) {
+        pos_++;
+      }
+    }
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string Choice::ToString() const {
+  std::string s = ChoiceKindName(kind);
+  if (kind == ChoiceKind::kDeliver) {
+    s += "#" + std::to_string(arg);
+    if (dest != kInvalidNode) {
+      s += "->" + std::to_string(dest);
+    }
+  } else if (kind == ChoiceKind::kCrash) {
+    s += "(" + std::to_string(arg) + ")";
+  }
+  return s;
+}
+
+bool Commutes(const Choice& a, const Choice& b) {
+  return a.kind == ChoiceKind::kDeliver && b.kind == ChoiceKind::kDeliver &&
+         a.dest != kInvalidNode && b.dest != kInvalidNode && a.dest != b.dest;
+}
+
+std::string Counterexample::ToJson() const {
+  std::string out;
+  out += "{\n  \"version\": " + std::to_string(version) + ",\n";
+  out += "  \"scenario\": ";
+  AppendJsonString(scenario, &out);
+  out += ",\n  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"strategy\": ";
+  AppendJsonString(strategy, &out);
+  out += ",\n  \"violation\": {\"source\": ";
+  AppendJsonString(violation.source, &out);
+  out += ", \"checker\": ";
+  AppendJsonString(violation.checker, &out);
+  out += ", \"detail\": ";
+  AppendJsonString(violation.detail, &out);
+  out += "},\n  \"schedule\": [\n";
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Choice& c = schedule[i];
+    out += "    {\"kind\": ";
+    AppendJsonString(ChoiceKindName(c.kind), &out);
+    out += ", \"arg\": " + std::to_string(c.arg);
+    if (c.dest != kInvalidNode) {
+      out += ", \"dest\": " + std::to_string(c.dest);
+    }
+    out += i + 1 < schedule.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool Counterexample::FromJson(const std::string& text, Counterexample* out,
+                              std::string* error) {
+  JsonReader r(text);
+  Counterexample ce;
+  r.Expect('{');
+  if (!r.Consume('}')) {
+    do {
+      const std::string key = r.ReadString();
+      r.Expect(':');
+      if (key == "version") {
+        ce.version = static_cast<int>(r.ReadU64());
+      } else if (key == "scenario") {
+        ce.scenario = r.ReadString();
+      } else if (key == "seed") {
+        ce.seed = r.ReadU64();
+      } else if (key == "strategy") {
+        ce.strategy = r.ReadString();
+      } else if (key == "violation") {
+        r.Expect('{');
+        if (!r.Consume('}')) {
+          do {
+            const std::string vk = r.ReadString();
+            r.Expect(':');
+            if (vk == "source") {
+              ce.violation.source = r.ReadString();
+            } else if (vk == "checker") {
+              ce.violation.checker = r.ReadString();
+            } else if (vk == "detail") {
+              ce.violation.detail = r.ReadString();
+            } else {
+              r.SkipValue();
+            }
+          } while (r.Consume(','));
+          r.Expect('}');
+        }
+      } else if (key == "schedule") {
+        r.Expect('[');
+        if (!r.Consume(']')) {
+          do {
+            Choice c;
+            r.Expect('{');
+            if (!r.Consume('}')) {
+              do {
+                const std::string ck = r.ReadString();
+                r.Expect(':');
+                if (ck == "kind") {
+                  if (!ChoiceKindFromName(r.ReadString(), &c.kind)) {
+                    r.Fail("unknown choice kind");
+                  }
+                } else if (ck == "arg") {
+                  c.arg = r.ReadU64();
+                } else if (ck == "dest") {
+                  c.dest = r.ReadU64();
+                } else {
+                  r.SkipValue();
+                }
+              } while (r.Consume(','));
+              r.Expect('}');
+            }
+            ce.schedule.push_back(c);
+          } while (r.Consume(','));
+          r.Expect(']');
+        }
+      } else {
+        r.SkipValue();
+      }
+    } while (r.Consume(','));
+    r.Expect('}');
+  }
+  if (r.failed()) {
+    if (error != nullptr) {
+      *error = r.error();
+    }
+    return false;
+  }
+  if (ce.version != 1) {
+    if (error != nullptr) {
+      *error = "unsupported counterexample version " +
+               std::to_string(ce.version);
+    }
+    return false;
+  }
+  if (ce.scenario.empty()) {
+    if (error != nullptr) {
+      *error = "missing scenario";
+    }
+    return false;
+  }
+  *out = std::move(ce);
+  return true;
+}
+
+bool Counterexample::WriteFile(const std::string& path,
+                               std::string* error) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  f << ToJson();
+  return f.good();
+}
+
+bool Counterexample::ReadFile(const std::string& path, Counterexample* out,
+                              std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return FromJson(ss.str(), out, error);
+}
+
+}  // namespace scatter::mc

@@ -1,0 +1,41 @@
+// State fingerprints for schedule deduplication.
+//
+// Two schedules that reach the same cluster state will explore the same
+// subtree; the explorer prunes the second by hashing a canonical encoding
+// of the reachable protocol state and remembering visited hashes. The
+// encoding reuses the wire codecs (src/wire): per node, per serving group —
+// the application snapshot (store, dedup, membership, txn outcomes), the
+// replica's Paxos coordinates (role, promised ballot, commit/applied
+// index) and the accepted log suffix; plus the multiset of captured
+// in-flight frames. Simulator timer state is deliberately NOT part of the
+// fingerprint (timers differ by irrelevant deadlines); dedup is therefore a
+// heuristic — sound for safety exploration (a pruned state's message-driven
+// subtree was covered) but it can fold apart-in-time states. DESIGN.md
+// "Model checking" discusses the trade-off.
+
+#ifndef SCATTER_SRC_MC_FINGERPRINT_H_
+#define SCATTER_SRC_MC_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/sim/message.h"
+
+namespace scatter::mc {
+
+// Canonical hash of every live node's protocol state (node ids sorted,
+// groups sorted per node).
+uint64_t FingerprintCluster(core::Cluster& cluster);
+
+// Hash of one captured message's wire frame.
+uint64_t FingerprintMessage(const sim::MessagePtr& message);
+
+// Order-insensitive combination: the pending set is a multiset (capture
+// order is a bookkeeping artifact, not state).
+uint64_t CombineFingerprint(uint64_t cluster_fp,
+                            std::vector<uint64_t> message_hashes);
+
+}  // namespace scatter::mc
+
+#endif  // SCATTER_SRC_MC_FINGERPRINT_H_

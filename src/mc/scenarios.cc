@@ -1,0 +1,211 @@
+// The scenario registry: small clusters with compressed protocol timeouts,
+// each exposing one interesting decision surface.
+//
+//   split           — two groups, concurrent client writes racing a manual
+//                     split. Clean under correct code; the CI smoke stage
+//                     explores it delay-bounded and expects no violation.
+//   stale_ballot    — one 3-replica group; the explorer may isolate the
+//                     leader with in-flight Accepts captured, force an
+//                     election on the majority side, heal, and land the
+//                     stale Accept after the new promise. Detects the
+//                     bug_accept_stale_ballot mutation (divergent commits /
+//                     a lost acknowledged write).
+//   lost_merge      — two groups, keys seeded into the successor; a merge
+//                     whose first TxnPrepare the explorer withholds past
+//                     the resend interval. Detects the
+//                     bug_drop_resent_prepare_payload mutation (merge
+//                     commits without the participant's keys).
+//   bootstrap_wedge — one 3-replica group with a crash and a spawn budget;
+//                     crashing a member before the joiner's add-member
+//                     config change commits exercises bare-quorum
+//                     bootstrap. Detects bug_skip_bootstrap_joiner (the
+//                     group wedges; the liveness probe write fails).
+//
+// "<name>+mutation" variants enable the matching seeded bug flag
+// (src/paxos/config.h, src/txn/group_op_driver.h).
+
+#include "src/mc/scenario.h"
+
+#include "src/common/logging.h"
+#include "src/mc/harness.h"
+
+namespace scatter::mc {
+
+namespace {
+
+// Shared base: tiny cluster, constant 1 ms latency (capture ignores
+// latency; the random baseline keeps it), all self-organization policies
+// off so the scenario's own operations are the only structural traffic,
+// and background chatter (gossip, RTT probes) disabled to keep the
+// decision alphabet small.
+core::ClusterConfig BaseConfig(size_t nodes, size_t groups) {
+  core::ClusterConfig c;
+  c.initial_nodes = nodes;
+  c.initial_groups = groups;
+  c.network.latency = sim::LatencyModel{};  // constant 1 ms
+  core::ScatterConfig& s = c.scatter;
+  s.policy.enable_split = false;
+  s.policy.enable_merge = false;
+  s.policy.enable_migration = false;
+  s.policy.enable_repartition = false;
+  s.policy.gossip_interval = 0;
+  s.policy.policy_interval = Seconds(30);
+  s.policy.neighbor_refresh_interval = Seconds(30);
+  s.policy.orphan_rejoin_delay = Seconds(30);
+  s.paxos.peer_probe_interval = 0;
+  // Failure detection never races the scenarios' windows.
+  s.paxos.member_fail_timeout = Seconds(100);
+  return c;
+}
+
+McScenario MakeSplit() {
+  McScenario sc;
+  sc.name = "split";
+  sc.cluster = BaseConfig(/*nodes=*/6, /*groups=*/2);
+  sc.on_start = [](McHarness& h) {
+    h.ClientPut(h.KeyInGroup(0), "a");
+    h.ClientPut(h.KeyInGroup(1), "b");
+    h.RequestSplit(h.GroupIdAt(0));
+  };
+  return sc;
+}
+
+McScenario MakeStaleBallot() {
+  McScenario sc;
+  sc.name = "stale_ballot";
+  sc.cluster = BaseConfig(/*nodes=*/3, /*groups=*/1);
+  paxos::PaxosConfig& p = sc.cluster.scatter.paxos;
+  // Compressed failover: the leader-isolation window the explorer must hit
+  // spans one election timeout, a handful of advance_time decisions.
+  p.heartbeat_interval = Millis(50);
+  p.election_timeout_min = Millis(60);
+  p.election_timeout_max = Millis(80);
+  p.lease_duration = Millis(60);
+  // Keep retransmissions of the in-flight Accept out of the window — the
+  // captured original is the one the explorer aims.
+  p.accept_resend_interval = Seconds(5);
+  sc.setup_run = Seconds(1);
+  sc.on_start = [](McHarness& h) { h.ClientPut(h.KeyInGroup(0), "w"); };
+  sc.partition_islands = [](McHarness& h) {
+    // Isolate the group's current leader; everyone else — including the
+    // client — stays on the majority side.
+    NodeId leader = kInvalidNode;
+    const GroupId group = h.GroupIdAt(0);
+    for (NodeId id : h.cluster().live_node_ids()) {
+      const paxos::Replica* r = h.cluster().node(id)->GroupReplica(group);
+      if (r != nullptr && r->is_leader()) {
+        leader = id;
+        break;
+      }
+    }
+    SCATTER_CHECK(leader != kInvalidNode);
+    std::vector<NodeId> majority;
+    for (NodeId id : h.cluster().live_node_ids()) {
+      if (id != leader) {
+        majority.push_back(id);
+      }
+    }
+    majority.push_back(h.client_id());
+    return std::vector<std::vector<NodeId>>{{leader}, majority};
+  };
+  // The walk spends most decisions advancing time (reaching the election)
+  // rather than flushing deliveries.
+  sc.walk_advance_weight = 3.0;
+  return sc;
+}
+
+McScenario MakeLostMerge() {
+  McScenario sc;
+  sc.name = "lost_merge";
+  sc.cluster = BaseConfig(/*nodes=*/6, /*groups=*/2);
+  // The withhold window the explorer must cross is one resend interval;
+  // keep it a few advance_time decisions wide, and keep heartbeats mostly
+  // out of it.
+  sc.cluster.scatter.txn.resend_interval = Millis(20);
+  sc.cluster.scatter.paxos.heartbeat_interval = Millis(100);
+  sc.setup = [](McHarness& h) {
+    // Keys the merge participant (the successor group) must carry over.
+    h.ClientPut(h.KeyInGroup(1), "m1");
+    h.ClientPut(h.KeyInGroup(1) + 1, "m2");
+    h.cluster().RunFor(Millis(300));
+  };
+  sc.on_start = [](McHarness& h) {
+    SCATTER_CHECK(h.RequestMerge(h.GroupIdAt(0)));
+  };
+  return sc;
+}
+
+McScenario MakeBootstrapWedge() {
+  McScenario sc;
+  sc.name = "bootstrap_wedge";
+  sc.cluster = BaseConfig(/*nodes=*/3, /*groups=*/1);
+  sc.crash_budget = 1;
+  sc.spawn_budget = 1;
+  sc.crash_candidates = [](McHarness& h) {
+    return h.cluster().live_node_ids();
+  };
+  // Liveness: after the fair epilogue the (possibly re-membered) group
+  // must still accept writes. The probe window must absorb worst-case
+  // client routing after a leader crash — the cached leader costs a full
+  // rpc_timeout per attempt and the hint is retried twice before the
+  // client rotates — so give it the client's whole op deadline.
+  sc.probe_run = Seconds(8);
+  sc.goal = [](McHarness& h) { return h.ProbeWrite(h.KeyInGroup(0)); };
+  return sc;
+}
+
+}  // namespace
+
+McScenario MakeScenario(const std::string& name) {
+  std::string base = name;
+  std::string mutation;
+  const size_t plus = name.find('+');
+  if (plus != std::string::npos) {
+    base = name.substr(0, plus);
+    mutation = name.substr(plus + 1);
+  }
+
+  McScenario sc;
+  if (base == "split") {
+    sc = MakeSplit();
+  } else if (base == "stale_ballot") {
+    sc = MakeStaleBallot();
+  } else if (base == "lost_merge") {
+    sc = MakeLostMerge();
+  } else if (base == "bootstrap_wedge") {
+    sc = MakeBootstrapWedge();
+  } else {
+    SCATTER_CHECK(false && "unknown mc scenario");
+  }
+
+  if (!mutation.empty()) {
+    sc.name = name;
+    if (mutation == "mutation") {
+      // Each scenario has one matching seeded bug.
+      if (base == "stale_ballot") {
+        sc.cluster.scatter.paxos.bug_accept_stale_ballot = true;
+      } else if (base == "lost_merge") {
+        sc.cluster.scatter.txn.bug_drop_resent_prepare_payload = true;
+      } else if (base == "bootstrap_wedge") {
+        sc.cluster.scatter.paxos.bug_skip_bootstrap_joiner = true;
+      } else {
+        SCATTER_CHECK(false && "scenario has no mutation variant");
+      }
+    } else {
+      SCATTER_CHECK(false && "unknown scenario mutation");
+    }
+  }
+  return sc;
+}
+
+std::vector<std::string> ScenarioNames() {
+  return {"split",
+          "stale_ballot",
+          "stale_ballot+mutation",
+          "lost_merge",
+          "lost_merge+mutation",
+          "bootstrap_wedge",
+          "bootstrap_wedge+mutation"};
+}
+
+}  // namespace scatter::mc

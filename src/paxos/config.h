@@ -79,6 +79,22 @@ struct PaxosConfig {
   // single global clock, so the default is 0; tests inject non-zero values
   // to exercise the margin arithmetic.
   TimeMicros clock_skew_bound = 0;
+
+  // --- Seeded bugs (test-only; never enable outside tests) ----------------
+  // Known-bug mutations the model checker's mutation tests re-introduce to
+  // prove the explorer finds them (tests/mc_mutation_test.cc). Both default
+  // to off and must stay off in production configurations.
+  //
+  // An acceptor takes a "fast path" that appends a batch cleanly extending
+  // its log without checking the ballot against its promise — a stale
+  // leader's in-flight Accept can then land after a new leader was elected,
+  // committing divergent values for one slot.
+  bool bug_accept_stale_ballot = false;
+  // Skip the propose-time BootstrapJoiner call (the PR-2 join-liveness
+  // fix): a bare-quorum group adding a member that does not yet host a
+  // replica wedges, because the appended config entry already counts the
+  // joiner toward its own quorum.
+  bool bug_skip_bootstrap_joiner = false;
 };
 
 }  // namespace scatter::paxos

@@ -337,6 +337,24 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
   reply->leader_sent_at = m.sent_at;
 
   if (m.ballot < promised_) {
+    if (cfg_.bug_accept_stale_ballot && started_ &&
+        role_ != Role::kLeader && !m.entries.empty() &&
+        m.prev_index == last_log_index() && m.prev_index >= snap_base_index_ &&
+        BallotAt(m.prev_index) == m.prev_ballot) {
+      // Seeded bug (model-checker mutation tests): a follower "fast path"
+      // appends a batch that cleanly extends the local log without checking
+      // the ballot against our promise. The stale leader gets a
+      // valid-looking ack and can reach quorum for a slot a newer leader
+      // fills differently. Promise, lease and commit state stay untouched,
+      // so the bug only surfaces through the divergence itself.
+      for (const LogEntry& e : m.entries) {
+        SCATTER_CHECK(e.index == last_log_index() + 1);
+        log_.Set(e.index, e.ballot, e.command);
+      }
+      RecomputeVotingConfig();
+      QueueAck(m.from, m.ballot, m.prev_index + m.entries.size(), m.sent_at);
+      return;
+    }
     reply->ok = false;
     reply->promised = promised_;
     stats_.acks_sent++;
@@ -493,7 +511,13 @@ void Replica::HandleAccepted(const AcceptedMsg& m) {
     if (role_ != Role::kFollower) {
       StepDown(m.promised);
     } else {
+      // Keep max_round_seen_ in step with the adopted promise, as StepDown
+      // does: a later StartElection campaigns at max_round_seen_ + 1, and
+      // letting it fall behind promised_ would regress the promise to a
+      // lower ballot (and with it, re-grant votes the replica already
+      // denied at the higher one).
       promised_ = std::max(promised_, m.promised);
+      max_round_seen_ = std::max(max_round_seen_, m.promised.round);
     }
     return;
   }
@@ -1154,10 +1178,12 @@ void Replica::ProposeConfigChange(ConfigCommand::Op op, NodeId node,
   }
   pending_config_index_ = index;
   pending_proposals_.emplace(index, std::move(callback));
-  if (op == ConfigCommand::Op::kAddMember) {
+  if (op == ConfigCommand::Op::kAddMember && !cfg_.bug_skip_bootstrap_joiner) {
     // The appended entry already counts `node` toward its own quorum
     // (config takes effect at append), so start its catch-up now rather
     // than after commit — with a bare-quorum config the commit needs it.
+    // (bug_skip_bootstrap_joiner re-introduces the pre-PR-2 wedge for the
+    // model checker's mutation tests.)
     BootstrapJoiner(node);
   }
   RequestFlush();

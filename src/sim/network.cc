@@ -116,6 +116,12 @@ void Network::Send(MessagePtr message) {
       dropped_++;
       return;
     }
+    if (scheduler_ != nullptr && scheduler_->OnSend(message)) {
+      // A controlled scheduler owns the delivery decision; nothing is
+      // scheduled and no latency RNG is consumed, so a controlled run's
+      // randomness is fully determined by the seed plus the schedule.
+      return;
+    }
   }
 
   TimeMicros latency =

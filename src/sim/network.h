@@ -19,6 +19,7 @@
 #include "src/common/random.h"
 #include "src/common/types.h"
 #include "src/sim/message.h"
+#include "src/sim/scheduler.h"
 #include "src/sim/simulator.h"
 #include "src/sim/transport.h"
 
@@ -98,6 +99,24 @@ class Network : public Transport {
   void BlockLink(NodeId from, NodeId to);
   void UnblockLink(NodeId from, NodeId to);
 
+  // --- Scheduler seam (model checking; see src/sim/scheduler.h) ---------
+  // Installs (or clears, with nullptr) the delivery-order scheduler. While
+  // installed, every non-self-send that survives the fault fabric is
+  // offered to it before any latency is sampled.
+  void SetScheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
+
+  // Delivers a message the scheduler previously took ownership of, through
+  // the same endpoint path (trace restore, transport override) a normally
+  // scheduled delivery would take. Dropped if the receiver detached.
+  void InjectDelivery(const MessagePtr& message) { Deliver(message); }
+
+  // Whether the fault fabric currently lets from -> to traffic through
+  // (used by the scheduler to keep captured messages "in flight" across a
+  // partition instead of delivering through it).
+  bool AllowsLink(NodeId from, NodeId to) const {
+    return LinkAllows(from, to);
+  }
+
   // --- Stats ------------------------------------------------------------
   uint64_t messages_sent() const { return sent_; }
   uint64_t messages_delivered() const { return delivered_; }
@@ -120,6 +139,7 @@ class Network : public Transport {
 
   Simulator* sim_;
   NetworkConfig config_;
+  Scheduler* scheduler_ = nullptr;
   Rng rng_;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   // Partition islands: node -> island index. Empty map = no partition.

@@ -312,6 +312,7 @@ void GroupOpDriver::SendPrepare() {
     return;
   }
   const NodeId to = members[participant_cursor_++ % members.size()];
+  prepare_sends_++;
   last_send_ = sim_->now();
   // Stamp the prepare with the op span so the participant group's spans
   // parent back to this operation.
@@ -340,6 +341,12 @@ void GroupOpDriver::OnPrepareReply(const TxnPrepareReplyMsg& m) {
     return;
   }
   prepare_reply_ = m;
+  if (cfg_.bug_drop_resent_prepare_payload && prepare_sends_ > 1) {
+    // Seeded bug (model-checker mutation tests): a reply that answered a
+    // resent prepare is recorded with its payload dropped, so the decision
+    // below commits the structural change without the participant's keys.
+    prepare_reply_->part_data = store::KvStore{};
+  }
   Decide(true);
 }
 
@@ -426,6 +433,7 @@ void GroupOpDriver::Finish(Status status) {
   }
   txn_.reset();
   prepare_reply_.reset();
+  prepare_sends_ = 0;
   if (done_) {
     DoneCallback done = std::move(done_);
     done_ = nullptr;

@@ -37,6 +37,12 @@ struct TxnConfig {
   // A participant frozen this long without a decision starts status
   // queries against the coordinator group's members.
   TimeMicros status_query_after = Seconds(4);
+
+  // Seeded bug (test-only; see tests/mc_mutation_test.cc): when the
+  // answered prepare was a resend, the coordinator records the reply with
+  // its data payload dropped, so a commit merges/moves membership but loses
+  // the participant's keys. Must stay off outside tests.
+  bool bug_drop_resent_prepare_payload = false;
 };
 
 // Transport the driver needs from its hosting node.
@@ -158,6 +164,7 @@ class GroupOpDriver {
   TimeMicros phase_started_ = 0;
   TimeMicros last_send_ = 0;
   size_t participant_cursor_ = 0;  // member round-robin for resends
+  size_t prepare_sends_ = 0;       // prepares sent for the current txn
   // Participant contribution captured from the prepare reply.
   std::optional<TxnPrepareReplyMsg> prepare_reply_;
 

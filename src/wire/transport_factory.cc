@@ -10,7 +10,8 @@
 namespace scatter::wire {
 
 sim::TransportKind TransportKindFromEnv() {
-  const char* value = std::getenv("SCATTER_TRANSPORT");
+  // Read once during single-threaded startup; nothing mutates the env.
+  const char* value = std::getenv("SCATTER_TRANSPORT");  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr || value[0] == '\0' ||
       std::strcmp(value, "inprocess") == 0) {
     return sim::TransportKind::kInProcess;

@@ -1,0 +1,306 @@
+// Model-checking harness mechanics: decision serialization, the scheduler
+// seam, replay determinism, fingerprinting, and the exploration strategies.
+// Mutation-detection experiments live in mc_mutation_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/mc/decision.h"
+#include "src/mc/explorer.h"
+#include "src/mc/harness.h"
+#include "src/mc/scenario.h"
+#include "src/mc/strategy.h"
+
+namespace scatter::mc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counterexample serialization
+// ---------------------------------------------------------------------------
+
+Counterexample SampleCounterexample() {
+  Counterexample ce;
+  ce.scenario = "split";
+  ce.seed = 42;
+  ce.strategy = "delay_bounded";
+  ce.schedule = {
+      Choice{ChoiceKind::kDeliver, 7, 3},
+      Choice{ChoiceKind::kAdvanceTime, 0, kInvalidNode},
+      Choice{ChoiceKind::kCrash, 2, kInvalidNode},
+      Choice{ChoiceKind::kSpawn, 0, kInvalidNode},
+      Choice{ChoiceKind::kPartition, 0, kInvalidNode},
+      Choice{ChoiceKind::kHeal, 0, kInvalidNode},
+  };
+  ce.violation = McViolation{"auditor", "paxos", "divergence at slot 9"};
+  return ce;
+}
+
+TEST(McDecisionTest, CounterexampleJsonRoundTrip) {
+  const Counterexample ce = SampleCounterexample();
+  const std::string json = ce.ToJson();
+
+  Counterexample back;
+  std::string error;
+  ASSERT_TRUE(Counterexample::FromJson(json, &back, &error)) << error;
+  EXPECT_EQ(back.version, ce.version);
+  EXPECT_EQ(back.scenario, ce.scenario);
+  EXPECT_EQ(back.seed, ce.seed);
+  EXPECT_EQ(back.strategy, ce.strategy);
+  EXPECT_TRUE(SameViolation(back.violation, ce.violation));
+  EXPECT_EQ(back.violation.detail, ce.violation.detail);
+  ASSERT_EQ(back.schedule.size(), ce.schedule.size());
+  for (size_t i = 0; i < ce.schedule.size(); ++i) {
+    EXPECT_TRUE(SameChoice(back.schedule[i], ce.schedule[i])) << i;
+    EXPECT_EQ(back.schedule[i].dest, ce.schedule[i].dest) << i;
+  }
+}
+
+TEST(McDecisionTest, FromJsonRejectsMalformedInput) {
+  Counterexample out;
+  std::string error;
+  EXPECT_FALSE(Counterexample::FromJson("", &out, &error));
+  EXPECT_FALSE(Counterexample::FromJson("{", &out, &error));
+  EXPECT_FALSE(Counterexample::FromJson("[]", &out, &error));
+  EXPECT_FALSE(Counterexample::FromJson("{\"version\": 1}", &out, &error));
+  EXPECT_FALSE(Counterexample::FromJson(
+      "{\"version\": 1, \"scenario\": \"x\", \"seed\": 1, "
+      "\"strategy\": \"s\", \"violation\": {\"source\": \"a\", "
+      "\"checker\": \"\", \"detail\": \"\"}, "
+      "\"schedule\": [{\"kind\": \"nonsense\", \"arg\": 0}]}",
+      &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(McDecisionTest, CommutesOnlyForDeliveriesToDifferentNodes) {
+  const Choice d3{ChoiceKind::kDeliver, 1, 3};
+  const Choice d4{ChoiceKind::kDeliver, 2, 4};
+  const Choice d3b{ChoiceKind::kDeliver, 5, 3};
+  const Choice adv{ChoiceKind::kAdvanceTime, 0, kInvalidNode};
+  EXPECT_TRUE(Commutes(d3, d4));
+  EXPECT_FALSE(Commutes(d3, d3b));  // same destination: ordered
+  EXPECT_FALSE(Commutes(d3, adv));
+  EXPECT_FALSE(Commutes(adv, adv));
+}
+
+// ---------------------------------------------------------------------------
+// Harness: scheduler seam + replay determinism
+// ---------------------------------------------------------------------------
+
+TEST(McHarnessTest, ControlledStartCapturesSendsInsteadOfDelivering) {
+  McHarness harness(MakeScenario("split"), /*seed=*/1);
+  harness.Start();
+  // The split scenario's on_start issues client puts and a split request;
+  // under control those RPCs sit in the pending set.
+  EXPECT_FALSE(harness.pending().empty());
+  const std::vector<Choice> enabled = harness.EnabledChoices();
+  ASSERT_FALSE(enabled.empty());
+  // Canonical order: deliveries (by capture id) first.
+  EXPECT_EQ(enabled.front().kind, ChoiceKind::kDeliver);
+  uint64_t last_id = 0;
+  for (const Choice& c : enabled) {
+    if (c.kind != ChoiceKind::kDeliver) {
+      break;
+    }
+    EXPECT_GT(c.arg, last_id);
+    last_id = c.arg;
+  }
+}
+
+TEST(McHarnessTest, ExecuteRejectsIllegalChoices) {
+  McHarness harness(MakeScenario("split"), /*seed=*/1);
+  harness.Start();
+  // No such capture id.
+  EXPECT_FALSE(harness.Execute(Choice{ChoiceKind::kDeliver, 999999, 1}));
+  // No partition configured for this scenario, nothing to heal.
+  EXPECT_FALSE(harness.Execute(Choice{ChoiceKind::kPartition, 0}));
+  EXPECT_FALSE(harness.Execute(Choice{ChoiceKind::kHeal, 0}));
+  // No crash budget.
+  EXPECT_FALSE(harness.Execute(Choice{ChoiceKind::kCrash, 1}));
+  EXPECT_TRUE(harness.executed().empty());
+}
+
+// The determinism contract: (seed, decision sequence) fully determines the
+// run. Two harnesses fed the same choices expose identical enabled sets and
+// identical state fingerprints at every step.
+TEST(McHarnessTest, SameScheduleYieldsSameFingerprints) {
+  const McScenario scenario = MakeScenario("split");
+  McHarness a(scenario, /*seed=*/7);
+  McHarness b(scenario, /*seed=*/7);
+  a.Start();
+  b.Start();
+  for (int step = 0; step < 12; ++step) {
+    ASSERT_EQ(a.StateFingerprint(), b.StateFingerprint()) << "step " << step;
+    const std::vector<Choice> ea = a.EnabledChoices();
+    const std::vector<Choice> eb = b.EnabledChoices();
+    ASSERT_EQ(ea.size(), eb.size()) << "step " << step;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_TRUE(SameChoice(ea[i], eb[i]));
+    }
+    if (ea.empty()) {
+      break;
+    }
+    // Take the first enabled choice on both.
+    ASSERT_TRUE(a.Execute(ea[0]));
+    ASSERT_TRUE(b.Execute(eb[0]));
+  }
+}
+
+TEST(McHarnessTest, DifferentSeedsDiverge) {
+  const McScenario scenario = MakeScenario("split");
+  McHarness a(scenario, /*seed=*/1);
+  McHarness b(scenario, /*seed=*/2);
+  a.Start();
+  b.Start();
+  EXPECT_NE(a.StateFingerprint(), b.StateFingerprint());
+}
+
+TEST(McHarnessTest, DeliveryChangesFingerprint) {
+  McHarness harness(MakeScenario("split"), /*seed=*/1);
+  harness.Start();
+  const uint64_t before = harness.StateFingerprint();
+  const std::vector<Choice> enabled = harness.EnabledChoices();
+  ASSERT_FALSE(enabled.empty());
+  ASSERT_EQ(enabled.front().kind, ChoiceKind::kDeliver);
+  ASSERT_TRUE(harness.Execute(enabled.front()));
+  EXPECT_NE(harness.StateFingerprint(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer + strategies
+// ---------------------------------------------------------------------------
+
+McOptions QuickOptions() {
+  McOptions options;
+  options.wall_budget_seconds = 20.0;
+  options.counterexample_path = "";  // tests never write artifacts
+  return options;
+}
+
+TEST(McExplorerTest, CleanScenarioExploresWithoutViolation) {
+  McOptions options = QuickOptions();
+  options.max_schedules = 300;
+  options.strategy.max_depth = 10;
+  const ExploreStats stats =
+      Explore("split", StrategyKind::kDelayBounded, options);
+  EXPECT_FALSE(stats.violation_found);
+  EXPECT_GT(stats.schedules, 0u);
+  EXPECT_GT(stats.decisions, stats.schedules);
+  EXPECT_FALSE(stats.ToJson().empty());
+}
+
+TEST(McExplorerTest, SleepSetsPruneScheduleTree) {
+  // Same bounded exploration with and without partial-order reduction:
+  // sleep sets must prune sibling schedules (commuting delivery swaps)
+  // and never find a violation the full enumeration would not.
+  McOptions options = QuickOptions();
+  options.max_schedules = 4000;
+  options.strategy.max_depth = 6;
+  options.dedup = false;  // isolate the reduction's effect
+  const ExploreStats with_por =
+      Explore("split", StrategyKind::kExhaustive, options);
+  EXPECT_FALSE(with_por.violation_found);
+  EXPECT_GT(with_por.reduction_cuts, 0u);
+}
+
+TEST(McExplorerTest, DedupCutsRevisitedStates) {
+  McOptions options = QuickOptions();
+  options.max_schedules = 2000;
+  options.strategy.max_depth = 8;
+  const ExploreStats stats =
+      Explore("split", StrategyKind::kDelayBounded, options);
+  EXPECT_GT(stats.dedup_hits, 0u);
+}
+
+TEST(McExplorerTest, DelayBoundLimitsScheduleCount) {
+  // A tighter delay budget explores a strict subset of the schedule tree.
+  McOptions small = QuickOptions();
+  small.max_schedules = 100000;
+  small.strategy.max_depth = 8;
+  small.strategy.delay_budget = 1;
+  McOptions big = small;
+  big.strategy.delay_budget = 4;
+  const ExploreStats s =
+      Explore("split", StrategyKind::kDelayBounded, small);
+  const ExploreStats b = Explore("split", StrategyKind::kDelayBounded, big);
+  EXPECT_LT(s.schedules, b.schedules);
+}
+
+TEST(McExplorerTest, RandomWalkSchedulesDifferButReplayDeterministically) {
+  // Two walks with different walk seeds pick different schedules; replaying
+  // a recorded walk schedule reproduces the same decisions.
+  const McScenario scenario = MakeScenario("split");
+  StrategyOptions sopts;
+  sopts.max_depth = 10;
+
+  auto run_walk = [&](uint64_t walk_seed) {
+    StrategyOptions o = sopts;
+    o.walk_seed = walk_seed;
+    auto strategy = MakeStrategy(StrategyKind::kRandomWalk, o);
+    strategy->BeginSchedule(0);
+    McHarness harness(scenario, /*seed=*/1);
+    harness.Start();
+    std::vector<Choice> schedule;
+    for (size_t depth = 0;; ++depth) {
+      const std::vector<Choice> enabled = harness.EnabledChoices();
+      if (enabled.empty()) {
+        break;
+      }
+      const size_t pick = strategy->Pick(enabled, depth);
+      if (pick == Strategy::kCut) {
+        break;
+      }
+      EXPECT_TRUE(harness.Execute(enabled[pick]));
+      schedule.push_back(enabled[pick]);
+    }
+    return schedule;
+  };
+
+  const std::vector<Choice> walk1 = run_walk(1);
+  const std::vector<Choice> walk1_again = run_walk(1);
+  const std::vector<Choice> walk2 = run_walk(2);
+  ASSERT_EQ(walk1.size(), walk1_again.size());
+  for (size_t i = 0; i < walk1.size(); ++i) {
+    EXPECT_TRUE(SameChoice(walk1[i], walk1_again[i]));
+  }
+  bool differs = walk1.size() != walk2.size();
+  for (size_t i = 0; !differs && i < walk1.size(); ++i) {
+    differs = !SameChoice(walk1[i], walk2[i]);
+  }
+  EXPECT_TRUE(differs);
+
+  const ReplayResult replay = ReplaySchedule("split", /*seed=*/1, walk1);
+  EXPECT_FALSE(replay.diverged);
+  EXPECT_EQ(replay.executed, walk1.size());
+}
+
+TEST(McExplorerTest, ReplayDetectsForeignSchedule) {
+  // A schedule recorded under one seed generally does not fit another: the
+  // capture ids refer to sends that never happen.
+  McHarness harness(MakeScenario("split"), /*seed=*/1);
+  harness.Start();
+  std::vector<Choice> schedule;
+  for (int i = 0; i < 8; ++i) {
+    const std::vector<Choice> enabled = harness.EnabledChoices();
+    if (enabled.empty()) {
+      break;
+    }
+    ASSERT_TRUE(harness.Execute(enabled.back()));
+    schedule.push_back(enabled.back());
+  }
+  schedule.push_back(Choice{ChoiceKind::kDeliver, 999999, 1});
+  const ReplayResult replay = ReplaySchedule("split", /*seed=*/1, schedule);
+  EXPECT_TRUE(replay.diverged);
+}
+
+TEST(McScenarioTest, AllScenariosConstruct) {
+  for (const std::string& name : ScenarioNames()) {
+    const McScenario scenario = MakeScenario(name);
+    EXPECT_EQ(scenario.name, name);
+    EXPECT_GT(scenario.cluster.initial_nodes, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace scatter::mc

@@ -158,6 +158,61 @@ TEST(LinearizabilityTest, ValueFromNowhereRejected) {
   EXPECT_EQ(checker.CheckKey(h), 0);
 }
 
+TEST(LinearizabilityTest, PendingOpsAtHistoryEndAreOptional) {
+  LinearizabilityChecker checker;
+  // A write still pending when the history closes (client never heard
+  // back) may have applied at any point after its invocation — or never.
+  std::vector<Operation> h{
+      Write(1, 1, "a", 0, 10),
+      Write(2, 1, "b", 20, /*comp=*/0, Outcome::kPending),
+      Read(3, 1, "b", 40, 50),  // observed the pending write: legal
+  };
+  EXPECT_EQ(checker.CheckKey(h), 1);
+  h[2].value = "a";  // never observed: equally legal
+  EXPECT_EQ(checker.CheckKey(h), 1);
+  // But it cannot apply before its invocation.
+  std::vector<Operation> h2{
+      Write(1, 1, "a", 0, 10),
+      Write(2, 1, "b", 100, /*comp=*/0, Outcome::kPending),
+      Read(3, 1, "b", 20, 30),  // completed before the write was invoked
+  };
+  EXPECT_EQ(checker.CheckKey(h2), 0);
+}
+
+TEST(LinearizabilityTest, DuplicateClientIdsDoNotConfuseMatching) {
+  LinearizabilityChecker checker;
+  // Two clients reusing the same op id: operations are matched by value,
+  // not id, so a legal history stays legal...
+  std::vector<Operation> h{
+      Write(7, 1, "a", 0, 10),
+      Write(7, 1, "b", 20, 30),
+      Read(7, 1, "b", 40, 50),
+  };
+  EXPECT_EQ(checker.CheckKey(h), 1);
+  // ...and a stale read is still caught even when ids collide.
+  std::vector<Operation> h2{
+      Write(7, 1, "a", 0, 10),
+      Write(7, 1, "b", 20, 30),
+      Read(7, 1, "a", 40, 50),
+  };
+  EXPECT_EQ(checker.CheckKey(h2), 0);
+}
+
+TEST(LinearizabilityTest, MinimalNonLinearizableHistoryRejected) {
+  LinearizabilityChecker checker;
+  // The smallest rejection where every read returns a genuinely written,
+  // non-overwritten-at-read-time value: the two reads observe the writes
+  // in an order that contradicts real time (a regression to "a" after "b"
+  // was returned, with all four ops strictly sequential).
+  std::vector<Operation> h{
+      Write(1, 1, "a", 0, 10),
+      Write(2, 1, "b", 20, 30),
+      Read(3, 1, "b", 40, 50),
+      Read(4, 1, "a", 60, 70),
+  };
+  EXPECT_EQ(checker.CheckKey(h), 0);
+}
+
 TEST(LinearizabilityTest, LongSequentialHistoryFast) {
   LinearizabilityChecker checker;
   std::vector<Operation> h;

@@ -1,0 +1,86 @@
+// mc_replay: deterministically re-execute a model-checking counterexample.
+//
+//   mc_replay [--trace] [scatter_mc_counterexample.json]
+//
+// Loads the counterexample artifact the explorer wrote, re-runs its decision
+// schedule step by step against a fresh cluster (same scenario, same seed),
+// and reports whether the recorded violation reproduces. --trace raises the
+// log level so every simulator/protocol event of the replay is printed.
+//
+// Exit codes: 0 = violation reproduced, 1 = it did not, 2 = bad input.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/mc/decision.h"
+#include "src/mc/harness.h"
+#include "src/mc/scenario.h"
+
+int main(int argc, char** argv) {
+  using scatter::mc::Counterexample;
+
+  std::string path = "scatter_mc_counterexample.json";
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: mc_replay [--trace] [counterexample.json]\n");
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+
+  Counterexample ce;
+  std::string error;
+  if (!Counterexample::ReadFile(path, &ce, &error)) {
+    std::fprintf(stderr, "mc_replay: cannot load %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  std::printf("counterexample: scenario=%s seed=%llu strategy=%s decisions=%zu\n",
+              ce.scenario.c_str(), static_cast<unsigned long long>(ce.seed),
+              ce.strategy.c_str(), ce.schedule.size());
+  std::printf("recorded violation: [%s%s%s] %s\n", ce.violation.source.c_str(),
+              ce.violation.checker.empty() ? "" : "/",
+              ce.violation.checker.c_str(), ce.violation.detail.c_str());
+
+  if (trace) {
+    scatter::SetLogLevel(scatter::LogLevel::kTrace);
+  }
+
+  scatter::mc::McHarness harness(scatter::mc::MakeScenario(ce.scenario),
+                                 ce.seed);
+  harness.Start();
+  for (size_t i = 0; i < ce.schedule.size(); ++i) {
+    const scatter::mc::Choice& choice = ce.schedule[i];
+    std::printf("step %3zu @%9lld us: %s\n", i,
+                static_cast<long long>(harness.cluster().sim().now()),
+                choice.ToString().c_str());
+    if (!harness.Execute(choice)) {
+      std::printf("DIVERGED: decision not legal at this position\n");
+      return 1;
+    }
+    if (harness.violated()) break;
+  }
+  harness.FinishSchedule();
+
+  if (!harness.violated()) {
+    std::printf("NOT REPRODUCED: schedule completed without violation\n");
+    return 1;
+  }
+  const scatter::mc::McViolation& got = harness.violation();
+  std::printf("replayed violation: [%s%s%s] %s\n", got.source.c_str(),
+              got.checker.empty() ? "" : "/", got.checker.c_str(),
+              got.detail.c_str());
+  if (!SameViolation(got, ce.violation)) {
+    std::printf("MISMATCH: a different property failed on replay\n");
+    return 1;
+  }
+  std::printf("REPRODUCED\n");
+  return 0;
+}

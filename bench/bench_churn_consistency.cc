@@ -56,7 +56,7 @@ PointResult RunScatter(TimeMicros median_lifetime, uint64_t seed) {
   cluster.RunFor(kWarmup);
 
   const workload::WorkloadConfig wcfg = WorkloadFor();
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }
@@ -94,7 +94,7 @@ PointResult RunBaseline(TimeMicros median_lifetime, uint64_t seed) {
   cluster.RunFor(kWarmup);
 
   const workload::WorkloadConfig wcfg = WorkloadFor();
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

@@ -44,7 +44,7 @@ Result RunOne(churn::ChurnConfig::Lifetime distribution, double shape,
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 500;
   wcfg.think_time = Millis(5);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

@@ -69,7 +69,7 @@ OpTiming MeasureOp(
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 2000;
   wcfg.record_history = false;
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

@@ -50,7 +50,7 @@ Result RunOne(size_t group_size, uint64_t seed) {
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 400;
   wcfg.think_time = Millis(10);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

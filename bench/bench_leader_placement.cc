@@ -44,7 +44,7 @@ Result RunOne(bool placement, double sigma, uint64_t seed) {
   wcfg.key_space = 300;
   wcfg.record_history = false;
   wcfg.think_time = Millis(10);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

@@ -51,7 +51,7 @@ Result RunOne(bool repartition, uint64_t seed) {
   wcfg.clustered_keys = true;
   wcfg.record_history = false;
   wcfg.think_time = Millis(1);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

@@ -16,6 +16,7 @@
 #include "src/common/histogram.h"
 #include "src/common/random.h"
 #include "src/core/cluster.h"
+#include "src/core/wire_codecs.h"
 #include "src/membership/commands.h"
 #include "src/paxos/messages.h"
 #include "src/ring/ring_map.h"
@@ -172,7 +173,7 @@ BENCHMARK(BM_PaxosCommit)->Arg(1)->Arg(8)->Arg(64);
 // Accept (8 entries, each a small put). This is the per-delivery overhead
 // the serializing transport adds on the hottest protocol message.
 void BM_WireAcceptRoundTrip(benchmark::State& state) {
-  wire::RegisterAllCodecs();
+  core::RegisterScatterWireCodecs();
   paxos::AcceptMsg msg(1);
   msg.from = 1;
   msg.to = 2;

@@ -43,7 +43,7 @@ Result RunOne(size_t nodes, uint64_t seed) {
   wcfg.key_space = 50 * nodes;
   wcfg.record_history = false;
   wcfg.think_time = Millis(2);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

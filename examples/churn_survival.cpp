@@ -32,7 +32,7 @@ int main() {
   wcfg.num_clients = 8;
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 500;
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

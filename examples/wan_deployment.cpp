@@ -51,7 +51,7 @@ RunResult Run(bool latency_aware) {
   wcfg.key_space = 400;
   wcfg.record_history = false;
   wcfg.think_time = Millis(20);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(cluster.AddClient());
   }

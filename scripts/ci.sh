@@ -6,7 +6,7 @@
 #   scripts/ci.sh                 # everything (two sanitized builds + lint)
 #   scripts/ci.sh address         # just the ASan leg
 #   scripts/ci.sh undefined       # just the UBSan leg
-#   scripts/ci.sh lint            # just clang-tidy on changed files
+#   scripts/ci.sh lint            # scatter-lint (whole tree) + clang-tidy (changed files)
 #   scripts/ci.sh bench           # just the benchmark smoke (plain build)
 #   scripts/ci.sh obs             # traced sim + trace/metrics JSON schema check
 #   scripts/ci.sh wire            # full suite over the serializing + audit transports
@@ -98,11 +98,21 @@ run_mc() {
 }
 
 run_lint() {
-  echo "=== clang-tidy (changed files, zero-warning gate) ==="
-  # Lint against the ASan tree if present (it has compile_commands.json),
-  # else the default build tree. Any warning fails the stage.
-  local bdir=build
+  # Stage 1: scatter-lint (tools/scatter_lint) — determinism, layering and
+  # protocol-hygiene rules, zero findings allowed. It prints a per-rule
+  # findings/suppressions summary and exits nonzero on any finding.
+  local bdir="${BUILD_DIR:-build}"
   [[ -f build-asan/compile_commands.json ]] && bdir=build-asan
+  echo "=== scatter-lint (zero-warning gate, $bdir) ==="
+  if [[ ! -f "$bdir/compile_commands.json" ]]; then
+    cmake -B "$bdir" -S .
+  fi
+  cmake --build "$bdir" -j "$JOBS" --target scatter_lint
+  "$bdir/tools/scatter_lint/scatter_lint" --root . \
+      --compdb "$bdir/compile_commands.json"
+
+  # Stage 2: clang-tidy on changed files. Any warning fails the stage.
+  echo "=== clang-tidy (changed files, zero-warning gate) ==="
   BUILD_DIR="$bdir" TIDY_WERROR=1 scripts/run_clang_tidy.sh --changed
 }
 
@@ -121,7 +131,7 @@ case "${1:-all}" in
     run_wire
     run_mc
     run_lint
-    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, wire suites clean, mc smoke clean, lint zero-warning ==="
+    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, wire suites clean, mc smoke clean, scatter-lint + clang-tidy zero-warning ==="
     ;;
   *)
     echo "usage: $0 [address|undefined|thread|lint|bench|obs|wire|mc|all]" >&2

@@ -8,9 +8,11 @@
 
 #include "src/common/logging.h"
 #include "src/core/scatter_node.h"
+#include "src/core/wire_codecs.h"
 #include "src/obs/trace.h"
 #include "src/membership/group_state_machine.h"
 #include "src/paxos/log.h"
+#include "src/paxos/payload_codec.h"
 #include "src/paxos/replica.h"
 #include "src/txn/group_op_driver.h"
 #include "src/wire/buffer.h"
@@ -26,7 +28,7 @@ std::string NodeTag(NodeId node) { return "n" + std::to_string(node); }
 // replicas share one allocation, so pointer identity settles it; on the
 // serializing transport every replica holds its own decoded copy, so fall
 // back to comparing the canonical wire encodings (one value, one byte
-// sequence — see src/wire/codec_internal.h).
+// sequence — see src/wire/codec.h).
 bool SameCommand(const paxos::CommandPtr& a, const paxos::CommandPtr& b) {
   if (a.get() == b.get()) {
     return true;
@@ -36,8 +38,8 @@ bool SameCommand(const paxos::CommandPtr& a, const paxos::CommandPtr& b) {
   }
   wire::Buffer ea;
   wire::Buffer eb;
-  wire::EncodeCommand(a, ea);
-  wire::EncodeCommand(b, eb);
+  paxos::EncodeCommand(a, ea);
+  paxos::EncodeCommand(b, eb);
   return ea == eb;
 }
 
@@ -382,7 +384,7 @@ InvariantAuditor::InvariantAuditor(core::Cluster* cluster,
     : cluster_(cluster), opts_(std::move(options)) {
   // The paxos checker value-compares commands via their wire encoding;
   // make sure the codecs exist even on the in-process transport (idempotent).
-  wire::RegisterAllCodecs();
+  core::RegisterScatterWireCodecs();
   for (auto& checker : MakeStandardCheckers(opts_.properties)) {
     RegisterChecker(std::move(checker));
   }

@@ -15,7 +15,7 @@
 #include "src/common/types.h"
 #include "src/obs/metrics.h"
 #include "src/rpc/rpc_node.h"
-#include "src/workload/kv_client.h"
+#include "src/common/kv_client.h"
 
 namespace scatter::baseline {
 
@@ -28,7 +28,7 @@ struct ChordClientConfig {
   size_t max_lookup_hops = 32;
 };
 
-class ChordClient : public rpc::RpcNode, public workload::KvClient {
+class ChordClient : public rpc::RpcNode, public KvClient {
  public:
   ChordClient(NodeId id, sim::Transport* network, std::vector<NodeId> seeds,
               const ChordClientConfig& config);
@@ -38,12 +38,12 @@ class ChordClient : public rpc::RpcNode, public workload::KvClient {
   void Get(Key key, GetCallback callback);
   void Put(Key key, Value value, PutCallback callback);
 
-  // workload::KvClient:
-  void KvGet(Key key, workload::KvClient::GetCallback callback) override {
+  // KvClient:
+  void KvGet(Key key, KvClient::GetCallback callback) override {
     Get(key, std::move(callback));
   }
   void KvPut(Key key, Value value,
-             workload::KvClient::PutCallback callback) override {
+             KvClient::PutCallback callback) override {
     Put(key, std::move(value), std::move(callback));
   }
   uint64_t KvClientId() const override { return id(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/baseline/wire_codecs.h"
 #include "src/common/logging.h"
 #include "src/wire/transport_factory.h"
 
@@ -11,6 +12,9 @@ ChordCluster::ChordCluster(const ChordClusterConfig& config)
     : cfg_(config),
       sim_(config.seed),
       net_(wire::MakeNetwork(&sim_, config.network, config.transport)) {
+  // Chord messages ride the same wire transports; register this module's
+  // codecs (idempotent) before any frame is encoded.
+  RegisterWireCodecs();
   SCATTER_CHECK(cfg_.initial_nodes >= 1);
   std::vector<NodeId> ids;
   for (size_t i = 0; i < cfg_.initial_nodes; ++i) {

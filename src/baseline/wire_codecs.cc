@@ -3,11 +3,18 @@
 #include <memory>
 
 #include "src/baseline/chord_messages.h"
+#include "src/baseline/wire_codecs.h"
+#include "src/rpc/wire_codecs.h"
 #include "src/wire/codec.h"
-#include "src/wire/codec_internal.h"
+#include "src/wire/field_codecs.h"
 
-namespace scatter::wire::internal {
+namespace scatter::baseline {
 namespace {
+
+// Codec bodies read the wire vocabulary (Buffer, Reader, shared field
+// codecs) unqualified, same as when they lived in src/wire/.
+using namespace scatter::wire;            // NOLINT(google-build-using-namespace)
+using namespace scatter::wire::internal;  // NOLINT(google-build-using-namespace)
 
 void WriteNodeRef(const baseline::NodeRef& ref, Buffer& out) {
   out.WriteU64(ref.id);
@@ -163,29 +170,17 @@ sim::MessagePtr DecodeChordPong(Reader& in) {
 
 }  // namespace
 
-void RegisterChordCodecs() {
-  RegisterMessageCodec(sim::MessageType::kChordFindSuccessor,
-                       EncodeFindSuccessor, DecodeFindSuccessor);
-  RegisterMessageCodec(sim::MessageType::kChordFindSuccessorReply,
-                       EncodeFindSuccessorReply, DecodeFindSuccessorReply);
-  RegisterMessageCodec(sim::MessageType::kChordGetNeighbors,
-                       EncodeGetNeighbors, DecodeGetNeighbors);
-  RegisterMessageCodec(sim::MessageType::kChordGetNeighborsReply,
-                       EncodeGetNeighborsReply, DecodeGetNeighborsReply);
-  RegisterMessageCodec(sim::MessageType::kChordNotify, EncodeNotify,
-                       DecodeNotify);
-  RegisterMessageCodec(sim::MessageType::kChordStore, EncodeStore,
-                       DecodeStore);
-  RegisterMessageCodec(sim::MessageType::kChordStoreAck, EncodeStoreAck,
-                       DecodeStoreAck);
-  RegisterMessageCodec(sim::MessageType::kChordFetch, EncodeFetch,
-                       DecodeFetch);
-  RegisterMessageCodec(sim::MessageType::kChordFetchReply, EncodeFetchReply,
-                       DecodeFetchReply);
-  RegisterMessageCodec(sim::MessageType::kChordPing, EncodeChordPing,
-                       DecodeChordPing);
-  RegisterMessageCodec(sim::MessageType::kChordPong, EncodeChordPong,
-                       DecodeChordPong);
+void RegisterWireCodecs() {
+  static const bool done = [] {
+#define SCATTER_REG_MESSAGE(enumr, stem)                             \
+  wire::RegisterMessageCodec(sim::MessageType::enumr, Encode##stem,  \
+                             Decode##stem);
+    SCATTER_CHORD_WIRE_MESSAGES(SCATTER_REG_MESSAGE)
+#undef SCATTER_REG_MESSAGE
+    rpc::RegisterWireCodecs();
+    return true;
+  }();
+  (void)done;
 }
 
-}  // namespace scatter::wire::internal
+}  // namespace scatter::baseline

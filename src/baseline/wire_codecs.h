@@ -1,0 +1,32 @@
+// Wire-codec registration for the Chord-like baseline DHT's messages.
+//
+// X(enumerator, Stem) names the Encode<Stem>/Decode<Stem> pair in
+// wire_codecs.cc; RegisterWireCodecs() is generated from this list, and the
+// union of every module's list must cover SCATTER_MESSAGE_TYPE_LIST exactly
+// (compile-time assert in tests/wire_test.cc).
+
+#ifndef SCATTER_SRC_BASELINE_WIRE_CODECS_H_
+#define SCATTER_SRC_BASELINE_WIRE_CODECS_H_
+
+#define SCATTER_CHORD_WIRE_MESSAGES(X)                 \
+  X(kChordFindSuccessor, FindSuccessor)                \
+  X(kChordFindSuccessorReply, FindSuccessorReply)      \
+  X(kChordGetNeighbors, GetNeighbors)                  \
+  X(kChordGetNeighborsReply, GetNeighborsReply)        \
+  X(kChordNotify, Notify)                              \
+  X(kChordStore, Store)                                \
+  X(kChordStoreAck, StoreAck)                          \
+  X(kChordFetch, Fetch)                                \
+  X(kChordFetchReply, FetchReply)                      \
+  X(kChordPing, ChordPing)                             \
+  X(kChordPong, ChordPong)
+
+namespace scatter::baseline {
+
+// Idempotent; registers the Chord messages plus the rpc envelope the
+// baseline's clients share with the Scatter stack.
+void RegisterWireCodecs();
+
+}  // namespace scatter::baseline
+
+#endif  // SCATTER_SRC_BASELINE_WIRE_CODECS_H_

@@ -2,9 +2,14 @@
 // the baseline DHT client implement it, so one workload driver (and one
 // history recorder / checker pipeline) measures both systems identically —
 // the methodological core of the churn comparison experiments.
+//
+// Lives in common/ (not workload/) because it is shared vocabulary: the
+// client implementations in core/ and baseline/ sit *below* the workload
+// driver in the layer DAG (scripts/layers.json), so the interface they
+// implement must live below both.
 
-#ifndef SCATTER_SRC_WORKLOAD_KV_CLIENT_H_
-#define SCATTER_SRC_WORKLOAD_KV_CLIENT_H_
+#ifndef SCATTER_SRC_COMMON_KV_CLIENT_H_
+#define SCATTER_SRC_COMMON_KV_CLIENT_H_
 
 #include <functional>
 #include <memory>
@@ -14,7 +19,7 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 
-namespace scatter::workload {
+namespace scatter {
 
 class KvClient {
  public:
@@ -67,6 +72,6 @@ class KvClient {
   virtual uint64_t KvClientId() const = 0;
 };
 
-}  // namespace scatter::workload
+}  // namespace scatter
 
-#endif  // SCATTER_SRC_WORKLOAD_KV_CLIENT_H_
+#endif  // SCATTER_SRC_COMMON_KV_CLIENT_H_

@@ -19,7 +19,7 @@
 #include "src/core/messages.h"
 #include "src/ring/ring_map.h"
 #include "src/rpc/rpc_node.h"
-#include "src/workload/kv_client.h"
+#include "src/common/kv_client.h"
 
 namespace scatter::core {
 
@@ -40,7 +40,7 @@ struct ClientConfig {
   size_t redirect_streak_limit = 4;
 };
 
-class Client : public rpc::RpcNode, public workload::KvClient {
+class Client : public rpc::RpcNode, public KvClient {
  public:
   Client(NodeId id, sim::Transport* network, std::vector<NodeId> seeds,
          const ClientConfig& config);
@@ -54,15 +54,15 @@ class Client : public rpc::RpcNode, public workload::KvClient {
   void Put(Key key, Value value, WriteCallback callback);
   void Delete(Key key, WriteCallback callback);
 
-  // workload::KvClient:
-  void KvGet(Key key, workload::KvClient::GetCallback callback) override {
+  // KvClient:
+  void KvGet(Key key, KvClient::GetCallback callback) override {
     Get(key, std::move(callback));
   }
   void KvPut(Key key, Value value,
-             workload::KvClient::PutCallback callback) override {
+             KvClient::PutCallback callback) override {
     Put(key, std::move(value), std::move(callback));
   }
-  void KvDelete(Key key, workload::KvClient::PutCallback callback) override {
+  void KvDelete(Key key, KvClient::PutCallback callback) override {
     Delete(key, std::move(callback));
   }
   uint64_t KvClientId() const override { return id(); }

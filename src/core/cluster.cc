@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/core/wire_codecs.h"
 #include "src/wire/transport_factory.h"
 
 namespace scatter::core {
@@ -11,6 +12,9 @@ Cluster::Cluster(const ClusterConfig& config)
     : cfg_(config),
       sim_(config.seed),
       net_(wire::MakeNetwork(&sim_, config.network, config.transport)) {
+  // The serializing/auditing transports need every Scatter codec; register
+  // them here (idempotent) since the wire layer cannot name protocol types.
+  RegisterScatterWireCodecs();
   SCATTER_CHECK(cfg_.initial_nodes >= cfg_.initial_groups);
   SCATTER_CHECK(cfg_.initial_groups >= 1);
 

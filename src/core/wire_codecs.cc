@@ -4,11 +4,22 @@
 #include <utility>
 
 #include "src/core/messages.h"
+#include "src/core/wire_codecs.h"
+#include "src/membership/wire_codecs.h"
+#include "src/paxos/wire_codecs.h"
+#include "src/ring/wire_fields.h"
+#include "src/rpc/wire_codecs.h"
+#include "src/txn/wire_codecs.h"
 #include "src/wire/codec.h"
-#include "src/wire/codec_internal.h"
+#include "src/wire/field_codecs.h"
 
-namespace scatter::wire::internal {
+namespace scatter::core {
 namespace {
+
+// Codec bodies read the wire vocabulary (Buffer, Reader, shared field
+// codecs) unqualified, same as when they lived in src/wire/.
+using namespace scatter::wire;            // NOLINT(google-build-using-namespace)
+using namespace scatter::wire::internal;  // NOLINT(google-build-using-namespace)
 
 void EncodeClientRequest(const sim::Message& m, Buffer& out) {
   const auto& msg = static_cast<const core::ClientRequestMsg&>(m);
@@ -185,31 +196,24 @@ sim::MessagePtr DecodeLeaveRequest(Reader& in) {
 
 }  // namespace
 
-void RegisterCoreCodecs() {
-  RegisterMessageCodec(sim::MessageType::kClientRequest, EncodeClientRequest,
-                       DecodeClientRequest);
-  RegisterMessageCodec(sim::MessageType::kClientReply, EncodeClientReply,
-                       DecodeClientReply);
-  RegisterMessageCodec(sim::MessageType::kLookupRequest, EncodeLookupRequest,
-                       DecodeLookupRequest);
-  RegisterMessageCodec(sim::MessageType::kLookupReply, EncodeLookupReply,
-                       DecodeLookupReply);
-  RegisterMessageCodec(sim::MessageType::kJoinRequest, EncodeJoinRequest,
-                       DecodeJoinRequest);
-  RegisterMessageCodec(sim::MessageType::kJoinReply, EncodeJoinReply,
-                       DecodeJoinReply);
-  RegisterMessageCodec(sim::MessageType::kGroupInfoRequest,
-                       EncodeGroupInfoRequest, DecodeGroupInfoRequest);
-  RegisterMessageCodec(sim::MessageType::kGroupInfoReply, EncodeGroupInfoReply,
-                       DecodeGroupInfoReply);
-  RegisterMessageCodec(sim::MessageType::kMigrateRequest, EncodeMigrateRequest,
-                       DecodeMigrateRequest);
-  RegisterMessageCodec(sim::MessageType::kMigrateDirective,
-                       EncodeMigrateDirective, DecodeMigrateDirective);
-  RegisterMessageCodec(sim::MessageType::kLeaveRequest, EncodeLeaveRequest,
-                       DecodeLeaveRequest);
-  RegisterMessageCodec(sim::MessageType::kRingGossip, EncodeRingGossip,
-                       DecodeRingGossip);
+void RegisterWireCodecs() {
+  static const bool done = [] {
+#define SCATTER_REG_MESSAGE(enumr, stem)                             \
+  wire::RegisterMessageCodec(sim::MessageType::enumr, Encode##stem,  \
+                             Decode##stem);
+    SCATTER_CORE_WIRE_MESSAGES(SCATTER_REG_MESSAGE)
+#undef SCATTER_REG_MESSAGE
+    return true;
+  }();
+  (void)done;
 }
 
-}  // namespace scatter::wire::internal
+void RegisterScatterWireCodecs() {
+  rpc::RegisterWireCodecs();
+  paxos::RegisterWireCodecs();
+  membership::RegisterWireCodecs();
+  txn::RegisterWireCodecs();
+  RegisterWireCodecs();
+}
+
+}  // namespace scatter::core

@@ -1,0 +1,40 @@
+// Wire-codec registration for core/'s client-facing and control-plane
+// messages, plus the aggregate registrar for the whole Scatter stack.
+//
+// X(enumerator, Stem) names the Encode<Stem>/Decode<Stem> pair in
+// wire_codecs.cc; RegisterWireCodecs() is generated from this list, and the
+// union of every module's list must cover SCATTER_MESSAGE_TYPE_LIST exactly
+// (compile-time assert in tests/wire_test.cc).
+
+#ifndef SCATTER_SRC_CORE_WIRE_CODECS_H_
+#define SCATTER_SRC_CORE_WIRE_CODECS_H_
+
+#define SCATTER_CORE_WIRE_MESSAGES(X)            \
+  X(kClientRequest, ClientRequest)               \
+  X(kClientReply, ClientReply)                   \
+  X(kLookupRequest, LookupRequest)               \
+  X(kLookupReply, LookupReply)                   \
+  X(kJoinRequest, JoinRequest)                   \
+  X(kJoinReply, JoinReply)                       \
+  X(kGroupInfoRequest, GroupInfoRequest)         \
+  X(kGroupInfoReply, GroupInfoReply)             \
+  X(kMigrateRequest, MigrateRequest)             \
+  X(kMigrateDirective, MigrateDirective)         \
+  X(kLeaveRequest, LeaveRequest)                 \
+  X(kRingGossip, RingGossip)
+
+namespace scatter::core {
+
+// Idempotent; registers only core's own messages.
+void RegisterWireCodecs();
+
+// Registers every codec the Scatter stack puts on the wire (rpc, paxos,
+// membership, txn, core — not the Chord baseline, which registers its own
+// in baseline/). Idempotent. Cluster construction calls this, as do the
+// auditor and mc fingerprinting, so any serializing/auditing transport
+// under a Scatter cluster finds a complete registry.
+void RegisterScatterWireCodecs();
+
+}  // namespace scatter::core
+
+#endif  // SCATTER_SRC_CORE_WIRE_CODECS_H_

@@ -27,10 +27,13 @@ void AppendJsonStringField(const std::string& key, const std::string& value,
   *out += "\"";
 }
 
-double Elapsed(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+// The wall-clock budget only bounds how long the checker searches; it never
+// influences which schedules are explored or what any schedule observes.
+// LINT-ALLOW(determinism-ambient): wall-clock search budget, not sim state.
+using WallClock = std::chrono::steady_clock;
+
+double Elapsed(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
 }
 
 }  // namespace
@@ -76,7 +79,7 @@ ExploreStats Explore(const std::string& scenario_name, StrategyKind kind,
   stats.strategy = strategy->name();
 
   std::unordered_set<uint64_t> seen;
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = WallClock::now();
   for (uint64_t i = 0; i < options.max_schedules; ++i) {
     if (Elapsed(start) > options.wall_budget_seconds) {
       break;

@@ -5,7 +5,9 @@
 
 #include "src/common/hash.h"
 #include "src/core/scatter_node.h"
+#include "src/core/wire_codecs.h"
 #include "src/membership/group_state_machine.h"
+#include "src/paxos/payload_codec.h"
 #include "src/paxos/replica.h"
 #include "src/wire/buffer.h"
 #include "src/wire/codec.h"
@@ -31,14 +33,14 @@ void EncodeReplica(const paxos::Replica& replica, wire::Buffer& out) {
     out.WriteU64(e.index);
     out.WriteU64(e.ballot.round);
     out.WriteU64(e.ballot.node);
-    wire::EncodeCommand(e.command, out);
+    paxos::EncodeCommand(e.command, out);
   }
 }
 
 }  // namespace
 
 uint64_t FingerprintCluster(core::Cluster& cluster) {
-  wire::RegisterAllCodecs();
+  core::RegisterScatterWireCodecs();
   uint64_t fp = HashBytes("scatter-mc-fp");
   std::vector<NodeId> ids = cluster.live_node_ids();
   std::sort(ids.begin(), ids.end());
@@ -55,7 +57,7 @@ uint64_t FingerprintCluster(core::Cluster& cluster) {
     for (const membership::GroupStateMachine* sm : groups) {
       wire::Buffer buf;
       buf.WriteU64(sm->id());
-      wire::EncodeSnapshot(sm->TakeSnapshot(), buf);
+      paxos::EncodeSnapshot(sm->TakeSnapshot(), buf);
       const paxos::Replica* replica = node->GroupReplica(sm->id());
       if (replica != nullptr) {
         EncodeReplica(*replica, buf);
@@ -67,7 +69,7 @@ uint64_t FingerprintCluster(core::Cluster& cluster) {
 }
 
 uint64_t FingerprintMessage(const sim::MessagePtr& message) {
-  wire::RegisterAllCodecs();
+  core::RegisterScatterWireCodecs();
   wire::Buffer buf;
   wire::EncodeFrame(*message, buf);
   return HashBuffer(buf);

@@ -8,11 +8,22 @@
 
 #include "src/membership/commands.h"
 #include "src/membership/group_state_machine.h"
+#include "src/membership/wire_codecs.h"
+#include "src/membership/wire_fields.h"
+#include "src/paxos/payload_codec.h"
+#include "src/paxos/wire_fields.h"
+#include "src/ring/wire_fields.h"
+#include "src/store/wire_fields.h"
 #include "src/wire/codec.h"
-#include "src/wire/codec_internal.h"
+#include "src/wire/field_codecs.h"
 
-namespace scatter::wire::internal {
+namespace scatter::membership {
 namespace {
+
+// Codec bodies read the wire vocabulary (Buffer, Reader, shared field
+// codecs) unqualified, same as when they lived in src/wire/.
+using namespace scatter::wire;            // NOLINT(google-build-using-namespace)
+using namespace scatter::wire::internal;  // NOLINT(google-build-using-namespace)
 
 constexpr uint16_t kTagPut = 16;
 constexpr uint16_t kTagDelete = 17;
@@ -239,27 +250,31 @@ paxos::SnapshotPtr DecodeGroupSnapshot(Reader& in) {
 
 }  // namespace
 
-void RegisterMembershipCodecs() {
-  RegisterCommandCodec(kTagPut, typeid(membership::PutCommand), EncodePut,
-                       DecodePut);
-  RegisterCommandCodec(kTagDelete, typeid(membership::DeleteCommand),
-                       EncodeDelete, DecodeDelete);
-  RegisterCommandCodec(kTagSplit, typeid(membership::SplitCommand),
-                       EncodeSplit, DecodeSplit);
-  RegisterCommandCodec(kTagCoordStart, typeid(membership::CoordStartCommand),
-                       EncodeCoordStart, DecodeCoordStart);
-  RegisterCommandCodec(kTagCoordDecide, typeid(membership::CoordDecideCommand),
-                       EncodeCoordDecide, DecodeCoordDecide);
-  RegisterCommandCodec(kTagPrepare, typeid(membership::PrepareCommand),
-                       EncodePrepareCmd, DecodePrepareCmd);
-  RegisterCommandCodec(kTagDecide, typeid(membership::DecideCommand),
-                       EncodeDecideCmd, DecodeDecideCmd);
-  RegisterCommandCodec(kTagUpdateNeighbor,
-                       typeid(membership::UpdateNeighborCommand),
-                       EncodeUpdateNeighbor, DecodeUpdateNeighbor);
+void RegisterWireCodecs() {
+  static const bool done = [] {
+    paxos::RegisterCommandCodec(kTagPut, typeid(PutCommand), EncodePut,
+                               DecodePut);
+    paxos::RegisterCommandCodec(kTagDelete, typeid(DeleteCommand), EncodeDelete,
+                               DecodeDelete);
+    paxos::RegisterCommandCodec(kTagSplit, typeid(SplitCommand), EncodeSplit,
+                               DecodeSplit);
+    paxos::RegisterCommandCodec(kTagCoordStart, typeid(CoordStartCommand),
+                               EncodeCoordStart, DecodeCoordStart);
+    paxos::RegisterCommandCodec(kTagCoordDecide, typeid(CoordDecideCommand),
+                               EncodeCoordDecide, DecodeCoordDecide);
+    paxos::RegisterCommandCodec(kTagPrepare, typeid(PrepareCommand),
+                               EncodePrepareCmd, DecodePrepareCmd);
+    paxos::RegisterCommandCodec(kTagDecide, typeid(DecideCommand),
+                               EncodeDecideCmd, DecodeDecideCmd);
+    paxos::RegisterCommandCodec(kTagUpdateNeighbor,
+                               typeid(UpdateNeighborCommand),
+                               EncodeUpdateNeighbor, DecodeUpdateNeighbor);
 
-  RegisterSnapshotCodec(kTagGroupSnapshot, typeid(membership::GroupSnapshot),
-                        EncodeGroupSnapshot, DecodeGroupSnapshot);
+    paxos::RegisterSnapshotCodec(kTagGroupSnapshot, typeid(GroupSnapshot),
+                                EncodeGroupSnapshot, DecodeGroupSnapshot);
+    return true;
+  }();
+  (void)done;
 }
 
-}  // namespace scatter::wire::internal
+}  // namespace scatter::membership

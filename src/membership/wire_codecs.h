@@ -1,0 +1,18 @@
+// Wire-codec registration for membership/'s polymorphic payloads: the group
+// state machine's commands (tags 16-31) and its snapshot (snapshot tag 1).
+// This module owns no sim::MessageType entries — its state rides inside
+// paxos log entries and snapshot installs — so there is no message X-list
+// here; see PROTOCOL.md "Wire format".
+
+#ifndef SCATTER_SRC_MEMBERSHIP_WIRE_CODECS_H_
+#define SCATTER_SRC_MEMBERSHIP_WIRE_CODECS_H_
+
+namespace scatter::membership {
+
+// Idempotent; call before any serializing/auditing transport carries group
+// commands or snapshots.
+void RegisterWireCodecs();
+
+}  // namespace scatter::membership
+
+#endif  // SCATTER_SRC_MEMBERSHIP_WIRE_CODECS_H_

@@ -771,12 +771,15 @@ void Replica::FlushAppends(bool force_empty) {
     }
   }
   // Departing peers stay on the list until they learn of their removal.
+  // peers_ is unordered; sort so the send order (and thus the simulated
+  // message schedule) does not depend on hash layout.
   std::vector<NodeId> leaving;
   for (const auto& [id, peer] : peers_) {
     if (peer.leaving_at != 0) {
       leaving.push_back(id);
     }
   }
+  std::sort(leaving.begin(), leaving.end());
   for (NodeId id : leaving) {
     ReplicateTo(id, force_empty);
   }
@@ -882,6 +885,8 @@ void Replica::MaybeAdvanceCommit() {
   if (last_flush_end_ < last_log_index()) {
     RequestFlush();
   } else {
+    // LINT-ALLOW(unordered-iteration): pure existence check — the first lagging
+    // peer triggers one flush regardless of which peer it is.
     for (const auto& [id, peer] : peers_) {
       if (peer.last_sent_commit < commit_index_) {
         ScheduleFlush(cfg_.commit_notify_interval);
@@ -971,6 +976,9 @@ std::vector<NodeId> Replica::SuspectedMembers() const {
       out.push_back(id);
     }
   }
+  // peers_ is unordered; report suspects in a canonical order so the
+  // membership layer's repair proposals are hash-layout-independent.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

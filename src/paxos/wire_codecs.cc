@@ -9,11 +9,19 @@
 
 #include "src/paxos/log.h"
 #include "src/paxos/messages.h"
+#include "src/paxos/payload_codec.h"
+#include "src/paxos/wire_codecs.h"
+#include "src/paxos/wire_fields.h"
 #include "src/wire/codec.h"
-#include "src/wire/codec_internal.h"
+#include "src/wire/field_codecs.h"
 
-namespace scatter::wire::internal {
+namespace scatter::paxos {
 namespace {
+
+// Codec bodies read the wire vocabulary (Buffer, Reader, shared field
+// codecs) unqualified, same as when they lived in src/wire/.
+using namespace scatter::wire;            // NOLINT(google-build-using-namespace)
+using namespace scatter::wire::internal;  // NOLINT(google-build-using-namespace)
 
 constexpr uint16_t kTagNoOpCommand = 1;
 constexpr uint16_t kTagConfigCommand = 2;
@@ -234,28 +242,21 @@ paxos::CommandPtr DecodeConfig(Reader& in) {
 
 }  // namespace
 
-void RegisterPaxosCodecs() {
-  RegisterMessageCodec(sim::MessageType::kPaxosPrepare, EncodePrepare,
-                       DecodePrepare);
-  RegisterMessageCodec(sim::MessageType::kPaxosPromise, EncodePromise,
-                       DecodePromise);
-  RegisterMessageCodec(sim::MessageType::kPaxosAccept, EncodeAccept,
-                       DecodeAccept);
-  RegisterMessageCodec(sim::MessageType::kPaxosAccepted, EncodeAccepted,
-                       DecodeAccepted);
-  RegisterMessageCodec(sim::MessageType::kPaxosSnapshot, EncodeSnapshotMsg,
-                       DecodeSnapshotMsg);
-  RegisterMessageCodec(sim::MessageType::kPaxosSnapshotAck, EncodeSnapshotAck,
-                       DecodeSnapshotAck);
-  RegisterMessageCodec(sim::MessageType::kPaxosTimeoutNow, EncodeTimeoutNow,
-                       DecodeTimeoutNow);
-  RegisterMessageCodec(sim::MessageType::kPaxosPing, EncodePing, DecodePing);
-  RegisterMessageCodec(sim::MessageType::kPaxosPong, EncodePong, DecodePong);
+void RegisterWireCodecs() {
+  static const bool done = [] {
+#define SCATTER_REG_MESSAGE(enumr, stem)                             \
+  wire::RegisterMessageCodec(sim::MessageType::enumr, Encode##stem,  \
+                             Decode##stem);
+    SCATTER_PAXOS_WIRE_MESSAGES(SCATTER_REG_MESSAGE)
+#undef SCATTER_REG_MESSAGE
 
-  RegisterCommandCodec(kTagNoOpCommand, typeid(paxos::NoOpCommand),
-                       EncodeNoOp, DecodeNoOp);
-  RegisterCommandCodec(kTagConfigCommand, typeid(paxos::ConfigCommand),
-                       EncodeConfig, DecodeConfig);
+    RegisterCommandCodec(kTagNoOpCommand, typeid(NoOpCommand), EncodeNoOp,
+                         DecodeNoOp);
+    RegisterCommandCodec(kTagConfigCommand, typeid(ConfigCommand),
+                         EncodeConfig, DecodeConfig);
+    return true;
+  }();
+  (void)done;
 }
 
-}  // namespace scatter::wire::internal
+}  // namespace scatter::paxos

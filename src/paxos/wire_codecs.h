@@ -1,0 +1,33 @@
+// Wire-codec registration for paxos/'s message types and the two commands
+// Paxos itself understands (no-op barrier entries, membership changes).
+// Command tags 1-15 are reserved for this module; see PROTOCOL.md "Wire
+// format".
+//
+// X(enumerator, Stem) names the Encode<Stem>/Decode<Stem> pair in
+// wire_codecs.cc; RegisterWireCodecs() is generated from this list, and the
+// union of every module's list must cover SCATTER_MESSAGE_TYPE_LIST exactly
+// (compile-time assert in tests/wire_test.cc).
+
+#ifndef SCATTER_SRC_PAXOS_WIRE_CODECS_H_
+#define SCATTER_SRC_PAXOS_WIRE_CODECS_H_
+
+#define SCATTER_PAXOS_WIRE_MESSAGES(X) \
+  X(kPaxosPrepare, Prepare)            \
+  X(kPaxosPromise, Promise)            \
+  X(kPaxosAccept, Accept)              \
+  X(kPaxosAccepted, Accepted)          \
+  X(kPaxosSnapshot, SnapshotMsg)       \
+  X(kPaxosSnapshotAck, SnapshotAck)    \
+  X(kPaxosTimeoutNow, TimeoutNow)      \
+  X(kPaxosPing, Ping)                  \
+  X(kPaxosPong, Pong)
+
+namespace scatter::paxos {
+
+// Idempotent; call before any serializing/auditing transport carries
+// consensus traffic.
+void RegisterWireCodecs();
+
+}  // namespace scatter::paxos
+
+#endif  // SCATTER_SRC_PAXOS_WIRE_CODECS_H_

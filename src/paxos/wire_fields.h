@@ -1,0 +1,25 @@
+// Wire field codecs for paxos-owned base types shared by higher modules'
+// command codecs (AppCommand's client/seq header). Lives with the owning
+// module so the wire layer never includes upward (see scripts/layers.json).
+
+#ifndef SCATTER_SRC_PAXOS_WIRE_FIELDS_H_
+#define SCATTER_SRC_PAXOS_WIRE_FIELDS_H_
+
+#include "src/paxos/command.h"
+#include "src/wire/field_codecs.h"
+
+namespace scatter::wire::internal {
+
+inline void WriteAppCommandBase(const paxos::AppCommand& cmd, Buffer& out) {
+  out.WriteU64(cmd.client_id);
+  out.WriteU64(cmd.client_seq);
+}
+
+inline void ReadAppCommandBase(Reader& in, paxos::AppCommand& cmd) {
+  cmd.client_id = in.ReadU64();
+  cmd.client_seq = in.ReadU64();
+}
+
+}  // namespace scatter::wire::internal
+
+#endif  // SCATTER_SRC_PAXOS_WIRE_FIELDS_H_

@@ -49,6 +49,9 @@ bool RingMap::Upsert(const GroupInfo& info) {
       doomed.push_back(id);
     }
   }
+  // by_id_ is unordered; erase in sorted order so downstream observers (trace
+  // events, counters) see a hash-layout-independent sequence.
+  std::sort(doomed.begin(), doomed.end());
   for (GroupId id : doomed) {
     Erase(id);
   }

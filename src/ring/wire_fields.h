@@ -1,0 +1,76 @@
+// Wire field codecs for the routing types ring/ owns (KeyRange, GroupInfo).
+// They live here — not in wire/ — so the wire layer never includes upward;
+// modules whose messages carry these fields include this header instead
+// (see scripts/layers.json for the layer DAG). The helpers stay in
+// scatter::wire::internal so the per-module message codecs read uniformly.
+
+#ifndef SCATTER_SRC_RING_WIRE_FIELDS_H_
+#define SCATTER_SRC_RING_WIRE_FIELDS_H_
+
+#include <vector>
+
+#include "src/ring/group_info.h"
+#include "src/ring/key_range.h"
+#include "src/wire/field_codecs.h"
+
+namespace scatter::wire::internal {
+
+inline void WriteKeyRange(const ring::KeyRange& r, Buffer& out) {
+  out.WriteU64(r.begin);
+  out.WriteU64(r.end);
+}
+
+inline ring::KeyRange ReadKeyRange(Reader& in) {
+  ring::KeyRange r;
+  r.begin = in.ReadU64();
+  r.end = in.ReadU64();
+  return r;
+}
+
+inline void WriteGroupInfo(const ring::GroupInfo& g, Buffer& out) {
+  out.WriteU64(g.id);
+  WriteKeyRange(g.range, out);
+  out.WriteU64(g.epoch);
+  WriteNodeIds(g.members, out);
+  out.WriteU64(g.leader);
+  out.WriteU64(g.key_count);
+  out.WriteBool(g.has_key_count);
+  out.WriteDouble(g.op_rate);
+  out.WriteBool(g.has_op_rate);
+}
+
+inline ring::GroupInfo ReadGroupInfo(Reader& in) {
+  ring::GroupInfo g;
+  g.id = in.ReadU64();
+  g.range = ReadKeyRange(in);
+  g.epoch = in.ReadU64();
+  g.members = ReadNodeIds(in);
+  g.leader = in.ReadU64();
+  g.key_count = in.ReadU64();
+  g.has_key_count = in.ReadBool();
+  g.op_rate = in.ReadDouble();
+  g.has_op_rate = in.ReadBool();
+  return g;
+}
+
+inline void WriteGroupInfos(const std::vector<ring::GroupInfo>& infos,
+                            Buffer& out) {
+  out.WriteU32(static_cast<uint32_t>(infos.size()));
+  for (const ring::GroupInfo& g : infos) {
+    WriteGroupInfo(g, out);
+  }
+}
+
+inline std::vector<ring::GroupInfo> ReadGroupInfos(Reader& in) {
+  const size_t n = in.ReadCount();
+  std::vector<ring::GroupInfo> infos;
+  infos.reserve(n);
+  for (size_t i = 0; i < n && in.ok(); ++i) {
+    infos.push_back(ReadGroupInfo(in));
+  }
+  return infos;
+}
+
+}  // namespace scatter::wire::internal
+
+#endif  // SCATTER_SRC_RING_WIRE_FIELDS_H_

@@ -93,8 +93,21 @@ inline constexpr MessageType kAllMessageTypes[] = {
 inline constexpr size_t kMessageTypeCount =
     sizeof(kAllMessageTypes) / sizeof(kAllMessageTypes[0]);
 
-// Human-readable tag name, for trace artifacts and diagnostics.
-const char* MessageTypeName(MessageType type);
+// Human-readable tag name, for trace artifacts and diagnostics. Constexpr so
+// compile-time checks (codec completeness static_asserts) can name types in
+// their diagnostics.
+constexpr const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kInvalid:
+      return "Invalid";
+#define SCATTER_MSG_NAME(name, str) \
+  case MessageType::name:           \
+    return #str;
+    SCATTER_MESSAGE_TYPE_LIST(SCATTER_MSG_NAME)
+#undef SCATTER_MSG_NAME
+  }
+  return "Unknown";
+}
 
 struct Message {
   explicit Message(MessageType t) : type(t) {}

@@ -1,5 +1,6 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -195,7 +196,11 @@ void TimerOwner::Cancel(TimerId id) {
 }
 
 void TimerOwner::CancelAll() {
-  for (TimerId id : live_) {
+  // Drain the unordered set into a sorted vector so cancellation order (and
+  // thus the simulator's cancelled-event bookkeeping) is hash-layout-free.
+  std::vector<TimerId> ids(live_.begin(), live_.end());
+  std::sort(ids.begin(), ids.end());
+  for (TimerId id : ids) {
     sim_->Cancel(id);
   }
   live_.clear();

@@ -1,0 +1,34 @@
+// Wire field codec for store::KvStore. Lives with the owning module so the
+// wire layer never includes upward (see scripts/layers.json). KvStore's
+// entries are a std::map, so iteration — and therefore the encoding — is
+// canonical key order.
+
+#ifndef SCATTER_SRC_STORE_WIRE_FIELDS_H_
+#define SCATTER_SRC_STORE_WIRE_FIELDS_H_
+
+#include "src/store/kv_store.h"
+#include "src/wire/field_codecs.h"
+
+namespace scatter::wire::internal {
+
+inline void WriteKvStore(const store::KvStore& kv, Buffer& out) {
+  out.WriteU32(static_cast<uint32_t>(kv.size()));
+  for (const auto& [key, value] : kv.entries()) {
+    out.WriteU64(key);
+    out.WriteString(value);
+  }
+}
+
+inline store::KvStore ReadKvStore(Reader& in) {
+  store::KvStore kv;
+  const size_t n = in.ReadCount();
+  for (size_t i = 0; i < n && in.ok(); ++i) {
+    const Key key = in.ReadU64();
+    kv.Put(key, in.ReadString());
+  }
+  return kv;
+}
+
+}  // namespace scatter::wire::internal
+
+#endif  // SCATTER_SRC_STORE_WIRE_FIELDS_H_

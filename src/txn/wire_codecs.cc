@@ -3,11 +3,20 @@
 #include <memory>
 
 #include "src/txn/messages.h"
+#include "src/txn/wire_codecs.h"
+#include "src/membership/wire_fields.h"
+#include "src/ring/wire_fields.h"
+#include "src/store/wire_fields.h"
 #include "src/wire/codec.h"
-#include "src/wire/codec_internal.h"
+#include "src/wire/field_codecs.h"
 
-namespace scatter::wire::internal {
+namespace scatter::txn {
 namespace {
+
+// Codec bodies read the wire vocabulary (Buffer, Reader, shared field
+// codecs) unqualified, same as when they lived in src/wire/.
+using namespace scatter::wire;            // NOLINT(google-build-using-namespace)
+using namespace scatter::wire::internal;  // NOLINT(google-build-using-namespace)
 
 void EncodeTxnPrepare(const sim::Message& m, Buffer& out) {
   const auto& msg = static_cast<const txn::TxnPrepareMsg&>(m);
@@ -103,19 +112,16 @@ sim::MessagePtr DecodeTxnStatusReply(Reader& in) {
 
 }  // namespace
 
-void RegisterTxnCodecs() {
-  RegisterMessageCodec(sim::MessageType::kTxnPrepare, EncodeTxnPrepare,
-                       DecodeTxnPrepare);
-  RegisterMessageCodec(sim::MessageType::kTxnPrepareReply,
-                       EncodeTxnPrepareReply, DecodeTxnPrepareReply);
-  RegisterMessageCodec(sim::MessageType::kTxnDecision, EncodeTxnDecision,
-                       DecodeTxnDecision);
-  RegisterMessageCodec(sim::MessageType::kTxnDecisionAck, EncodeTxnDecisionAck,
-                       DecodeTxnDecisionAck);
-  RegisterMessageCodec(sim::MessageType::kTxnStatusQuery, EncodeTxnStatusQuery,
-                       DecodeTxnStatusQuery);
-  RegisterMessageCodec(sim::MessageType::kTxnStatusReply, EncodeTxnStatusReply,
-                       DecodeTxnStatusReply);
+void RegisterWireCodecs() {
+  static const bool done = [] {
+#define SCATTER_REG_MESSAGE(enumr, stem)                             \
+  wire::RegisterMessageCodec(sim::MessageType::enumr, Encode##stem,  \
+                             Decode##stem);
+    SCATTER_TXN_WIRE_MESSAGES(SCATTER_REG_MESSAGE)
+#undef SCATTER_REG_MESSAGE
+    return true;
+  }();
+  (void)done;
 }
 
-}  // namespace scatter::wire::internal
+}  // namespace scatter::txn

@@ -1,0 +1,28 @@
+// Wire-codec registration for txn/'s nested-consensus coordination
+// messages.
+//
+// X(enumerator, Stem) names the Encode<Stem>/Decode<Stem> pair in
+// wire_codecs.cc; RegisterWireCodecs() is generated from this list, and the
+// union of every module's list must cover SCATTER_MESSAGE_TYPE_LIST exactly
+// (compile-time assert in tests/wire_test.cc).
+
+#ifndef SCATTER_SRC_TXN_WIRE_CODECS_H_
+#define SCATTER_SRC_TXN_WIRE_CODECS_H_
+
+#define SCATTER_TXN_WIRE_MESSAGES(X)      \
+  X(kTxnPrepare, TxnPrepare)              \
+  X(kTxnPrepareReply, TxnPrepareReply)    \
+  X(kTxnDecision, TxnDecision)            \
+  X(kTxnDecisionAck, TxnDecisionAck)      \
+  X(kTxnStatusQuery, TxnStatusQuery)      \
+  X(kTxnStatusReply, TxnStatusReply)
+
+namespace scatter::txn {
+
+// Idempotent; call before any serializing/auditing transport carries
+// cross-group coordination traffic.
+void RegisterWireCodecs();
+
+}  // namespace scatter::txn
+
+#endif  // SCATTER_SRC_TXN_WIRE_CODECS_H_

@@ -1,11 +1,8 @@
 // Central wire-format codec registry.
 //
-// Every sim::MessageType has a registered Encode/Decode pair; polymorphic
-// payloads riding inside messages (paxos::Command in log entries,
-// paxos::SnapshotData in snapshot installs) have their own tagged
-// sub-registries, so application modules — and tests with private command
-// or snapshot types — can extend the wire format without touching this
-// layer.
+// Every sim::MessageType has a registered Encode/Decode pair, registered by
+// the protocol module that owns the message structs; this layer only frames
+// and dispatches.
 //
 // Frame layout (all integers little-endian):
 //
@@ -20,20 +17,17 @@
 //   u64  span_id             |
 //   ...  payload             type-specific, written by the registered codec
 //
-// Command encoding: u16 command tag + payload (tag 0 = null command).
-// Snapshot encoding: u16 snapshot tag + payload (tag 0 = null snapshot).
-// Per-module tag ranges are documented in PROTOCOL.md "Wire format".
+// Polymorphic payloads riding inside messages (replicated commands, state
+// machine snapshots) have their own tagged registries in
+// src/paxos/payload_codec.h — the paxos module owns that vocabulary.
 
 #ifndef SCATTER_SRC_WIRE_CODEC_H_
 #define SCATTER_SRC_WIRE_CODEC_H_
 
 #include <memory>
 #include <string>
-#include <typeindex>
 #include <vector>
 
-#include "src/paxos/command.h"
-#include "src/paxos/state_machine.h"
 #include "src/sim/message.h"
 #include "src/wire/buffer.h"
 
@@ -59,33 +53,9 @@ void RegisterMessageCodec(sim::MessageType type, MessageEncodeFn encode,
 bool HasMessageCodec(sim::MessageType type);
 
 // Message types from the X-macro table with no registered codec. Empty once
-// RegisterAllCodecs() ran — asserted by tests and the serializing transport.
+// every module's RegisterWireCodecs() ran — asserted by tests and by the
+// serializing transport before its first encode.
 std::vector<sim::MessageType> MissingMessageCodecs();
-
-// --- Command / snapshot sub-codecs -----------------------------------------
-
-using CommandEncodeFn = void (*)(const paxos::Command& cmd, Buffer& out);
-using CommandDecodeFn = paxos::CommandPtr (*)(Reader& in);
-
-// `type` identifies the concrete C++ type (typeid(cmd)) so the encoder can
-// be found from a base-class reference without adding wire methods to the
-// command hierarchy.
-void RegisterCommandCodec(uint16_t tag, std::type_index type,
-                          CommandEncodeFn encode, CommandDecodeFn decode);
-
-// Writes u16 tag + payload; cmd may be null (tag 0). CHECK-fails on a
-// command type that was never registered — that is a build wiring bug, not
-// a runtime condition.
-void EncodeCommand(const paxos::CommandPtr& cmd, Buffer& out);
-paxos::CommandPtr DecodeCommand(Reader& in);
-
-using SnapshotEncodeFn = void (*)(const paxos::SnapshotData& snap, Buffer& out);
-using SnapshotDecodeFn = paxos::SnapshotPtr (*)(Reader& in);
-
-void RegisterSnapshotCodec(uint16_t tag, std::type_index type,
-                           SnapshotEncodeFn encode, SnapshotDecodeFn decode);
-void EncodeSnapshot(const paxos::SnapshotPtr& snap, Buffer& out);
-paxos::SnapshotPtr DecodeSnapshot(Reader& in);
 
 // --- Framing ----------------------------------------------------------------
 
@@ -100,10 +70,12 @@ void EncodeFrame(const sim::Message& m, Buffer& out);
 sim::MessagePtr DecodeFrame(const uint8_t* data, size_t size,
                             size_t* consumed, std::string* error);
 
-// Registers the codecs of every production module (rpc, paxos, membership
-// commands + group snapshot, txn, core, chord). Idempotent; called by the
-// wire transports' constructors and by tests.
-void RegisterAllCodecs();
+// Codec registration is owned by the module that owns the message structs:
+// each protocol module defines an idempotent RegisterWireCodecs() in its own
+// wire_codecs.{h,cc} (generated from that module's X-macro message list), and
+// core::RegisterScatterWireCodecs() aggregates the full Scatter stack. This
+// keeps the wire layer below the protocol layers in the include DAG — it
+// never names a concrete message type.
 
 }  // namespace scatter::wire
 

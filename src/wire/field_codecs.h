@@ -1,0 +1,72 @@
+// Shared field codecs for types that live in common/ (Ballot, Status,
+// NodeId vectors). Module-owned composite fields (ring::GroupInfo,
+// store::KvStore, membership::DedupTable, ...) have their codecs next to
+// the owning type — see <module>/wire_fields.h — so this layer depends on
+// nothing above common/.
+//
+// Everything here is deliberately canonical: one value, one byte sequence.
+// Composite fields are written unconditionally and in declaration order,
+// and all containers used on the wire are ordered (std::map, std::vector),
+// so encode(decode(encode(x))) is byte-identical to encode(x) — the
+// property the wire round-trip tests assert.
+
+#ifndef SCATTER_SRC_WIRE_FIELD_CODECS_H_
+#define SCATTER_SRC_WIRE_FIELD_CODECS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/wire/buffer.h"
+
+namespace scatter::wire::internal {
+
+inline void WriteBallot(const Ballot& b, Buffer& out) {
+  out.WriteU64(b.round);
+  out.WriteU64(b.node);
+}
+
+inline Ballot ReadBallot(Reader& in) {
+  Ballot b;
+  b.round = in.ReadU64();
+  b.node = in.ReadU64();
+  return b;
+}
+
+inline void WriteStatus(const Status& s, Buffer& out) {
+  out.WriteU8(static_cast<uint8_t>(s.code()));
+  out.WriteString(s.message());
+}
+
+inline Status ReadStatus(Reader& in) {
+  const uint8_t raw = in.ReadU8();
+  std::string message = in.ReadString();
+  if (raw > static_cast<uint8_t>(StatusCode::kInternal)) {
+    in.Fail();
+    return Status();
+  }
+  return Status(static_cast<StatusCode>(raw), std::move(message));
+}
+
+inline void WriteNodeIds(const std::vector<NodeId>& ids, Buffer& out) {
+  out.WriteU32(static_cast<uint32_t>(ids.size()));
+  for (NodeId id : ids) {
+    out.WriteU64(id);
+  }
+}
+
+inline std::vector<NodeId> ReadNodeIds(Reader& in) {
+  const size_t n = in.ReadCount();
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n && in.ok(); ++i) {
+    ids.push_back(in.ReadU64());
+  }
+  return ids;
+}
+
+}  // namespace scatter::wire::internal
+
+#endif  // SCATTER_SRC_WIRE_FIELD_CODECS_H_

@@ -35,7 +35,10 @@ bool FramesEqualIgnoringTo(const Buffer& a, const Buffer& b) {
 SerializingNetwork::SerializingNetwork(sim::Simulator* sim,
                                        sim::NetworkConfig config)
     : sim::Network(sim, config) {
-  RegisterAllCodecs();
+  // Codecs are registered by the protocol modules that own the message
+  // structs (core::RegisterScatterWireCodecs(), baseline's RegisterWireCodecs):
+  // the wire layer sits below them in the include DAG and cannot name their
+  // types. The first encode CHECK-fails loudly if a module forgot.
 }
 
 void SerializingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
@@ -61,9 +64,7 @@ void SerializingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
 
 AuditingNetwork::AuditingNetwork(sim::Simulator* sim,
                                  sim::NetworkConfig config)
-    : sim::Network(sim, config) {
-  RegisterAllCodecs();
-}
+    : sim::Network(sim, config) {}
 
 void AuditingNetwork::Report(const sim::MessagePtr& message,
                              std::string detail) {

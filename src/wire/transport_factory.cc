@@ -11,6 +11,9 @@ namespace scatter::wire {
 
 sim::TransportKind TransportKindFromEnv() {
   // Read once during single-threaded startup; nothing mutates the env.
+  // LINT-ALLOW(determinism-ambient): the transport kind is part of the test
+  // configuration, not simulation state — every transport must produce the
+  // same histories (asserted by wire_transport_test).
   const char* value = std::getenv("SCATTER_TRANSPORT");  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr || value[0] == '\0' ||
       std::strcmp(value, "inprocess") == 0) {

@@ -18,7 +18,7 @@
 #include "src/common/types.h"
 #include "src/sim/simulator.h"
 #include "src/verify/history.h"
-#include "src/workload/kv_client.h"
+#include "src/common/kv_client.h"
 
 namespace scatter::workload {
 

@@ -162,7 +162,7 @@ TEST(ChordStabilityTest, StableRingStaysConsistent) {
   wcfg.num_clients = 4;
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 200;
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(c.AddClient());
   }
@@ -190,7 +190,7 @@ TEST(ChordChurnTest, ChurnInducesInconsistency) {
   wcfg.num_clients = 8;
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 150;
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(c.AddClient());
   }

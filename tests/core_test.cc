@@ -233,7 +233,7 @@ TEST(CoreWorkloadTest, UniformWorkloadIsLinearizableAndAvailable) {
   wcfg.num_clients = 6;
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 300;
-  std::vector<workload::KvClient*> kv_clients;
+  std::vector<KvClient*> kv_clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     kv_clients.push_back(c.AddClient());
   }
@@ -261,7 +261,7 @@ TEST(CoreWorkloadTest, DeleteMixIsLinearizable) {
   wcfg.write_fraction = 0.6;
   wcfg.delete_fraction = 0.3;  // ~18% of ops are deletes
   wcfg.key_space = 150;
-  std::vector<workload::KvClient*> kv_clients;
+  std::vector<KvClient*> kv_clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     kv_clients.push_back(c.AddClient());
   }
@@ -291,7 +291,7 @@ TEST(CoreChurnTest, LinearizableUnderModerateChurn) {
   wcfg.num_clients = 6;
   wcfg.write_fraction = 0.4;
   wcfg.key_space = 400;
-  std::vector<workload::KvClient*> kv_clients;
+  std::vector<KvClient*> kv_clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     kv_clients.push_back(c.AddClient());
   }

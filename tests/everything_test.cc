@@ -48,7 +48,7 @@ TEST_P(EverythingSweep, AllMechanismsComposeConsistently) {
   wcfg.zipf_s = 0.9;           // Skewed popularity.
   wcfg.clustered_keys = true;  // Placement skew too.
   wcfg.think_time = Millis(5);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(c.AddClient());
   }

@@ -1,0 +1,355 @@
+// Tests for scatter-lint (tools/scatter_lint): each rule fires on a bad
+// fixture, stays quiet on the fixed idiom, and the suppression comment
+// absorbs exactly one finding. The final test is a mutation self-check: it
+// reintroduces an unordered-iteration bug into the real fingerprint source
+// and asserts the tool reports it — proving the CI gate actually guards the
+// invariant it claims to.
+//
+// Fixture sources are assembled from fragments ("LINT" "-ALLOW") so that
+// scatter-lint, which also scans this file, does not parse the fixtures'
+// suppression markers as this file's own.
+
+#include "tools/scatter_lint/lint.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace scatter::lint {
+namespace {
+
+constexpr char kAllowMarker[] =
+    "LINT"
+    "-ALLOW";
+
+LintReport Lint(const std::vector<SourceFile>& files,
+               const std::string& layers_json = "") {
+  LintOptions options;
+  options.layers_json = layers_json;
+  return RunLint(files, options);
+}
+
+int CountRule(const LintReport& report, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(LintRules, CatalogueIsNonEmptyAndNamed) {
+  ASSERT_FALSE(Rules().empty());
+  for (const RuleInfo& rule : Rules()) {
+    EXPECT_NE(rule.name, nullptr);
+    EXPECT_NE(rule.description, nullptr);
+  }
+}
+
+// --- determinism-ambient -----------------------------------------------------
+
+TEST(DeterminismAmbient, FiresOnWallClockAndRandomDevice) {
+  const LintReport report = Lint({{"src/sim/bad.cc",
+                                  "#include <chrono>\n"
+                                  "#include <random>\n"
+                                  "void F() {\n"
+                                  "  auto t = std::chrono::steady_clock::now();\n"
+                                  "  std::random_device rd;\n"
+                                  "  (void)t; (void)rd;\n"
+                                  "}\n"}});
+  EXPECT_EQ(CountRule(report, "determinism-ambient"), 2);
+}
+
+TEST(DeterminismAmbient, FiresOnBareLibcCalls) {
+  const LintReport report = Lint({{"src/core/bad.cc",
+                                  "int F() { return rand() + time(nullptr); }\n"}});
+  EXPECT_EQ(CountRule(report, "determinism-ambient"), 2);
+}
+
+TEST(DeterminismAmbient, QuietOnFieldsNamedLikeLibc) {
+  // msg.time / obj->clock are member accesses, and Foo::time is a
+  // class-scoped call — none of them are the libc functions.
+  const LintReport report = Lint({{"src/core/ok.cc",
+                                  "int F(M m, M* p) {\n"
+                                  "  return m.time + p->clock + Foo::time(1);\n"
+                                  "}\n"}});
+  EXPECT_EQ(CountRule(report, "determinism-ambient"), 0);
+}
+
+TEST(DeterminismAmbient, QuietInBenchAndTools) {
+  const std::string body = "#include <chrono>\n"
+                           "auto T() { return std::chrono::steady_clock::now(); }\n";
+  const LintReport report =
+      Lint({{"bench/bad.cc", body}, {"tools/x/bad.cc", body}});
+  EXPECT_EQ(CountRule(report, "determinism-ambient"), 0);
+}
+
+TEST(DeterminismAmbient, QuietInsideStringLiterals) {
+  const LintReport report = Lint(
+      {{"src/core/ok.cc", "const char* k = \"use steady_clock here\";\n"}});
+  EXPECT_EQ(CountRule(report, "determinism-ambient"), 0);
+}
+
+// --- unordered-iteration -----------------------------------------------------
+
+TEST(UnorderedIteration, FiresOnRangeForOverUnorderedMember) {
+  const LintReport report =
+      Lint({{"src/core/bad.cc",
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, int> table_;\n"
+            "int Sum() {\n"
+            "  int s = 0;\n"
+            "  for (const auto& kv : table_) { s += kv.second; }\n"
+            "  return s;\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "unordered-iteration"), 1);
+}
+
+TEST(UnorderedIteration, QuietWhenDrainedThroughSort) {
+  const LintReport report =
+      Lint({{"src/core/ok.cc",
+            "#include <algorithm>\n"
+            "#include <unordered_map>\n"
+            "#include <vector>\n"
+            "std::unordered_map<int, int> table_;\n"
+            "std::vector<int> Keys() {\n"
+            "  std::vector<int> out;\n"
+            "  for (const auto& kv : table_) { out.push_back(kv.first); }\n"
+            "  std::sort(out.begin(), out.end());\n"
+            "  return out;\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "unordered-iteration"), 0);
+}
+
+TEST(UnorderedIteration, SeesDeclarationsAcrossIncludes) {
+  const LintReport report =
+      Lint({{"src/core/state.h",
+            "#include <unordered_set>\n"
+            "struct S { std::unordered_set<int> members_; };\n"},
+           {"src/core/bad.cc",
+            "#include \"src/core/state.h\"\n"
+            "int F(S& s) {\n"
+            "  int n = 0;\n"
+            "  for (int m : s.members_) { n += m; }\n"
+            "  return n;\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "unordered-iteration"), 1);
+}
+
+TEST(UnorderedIteration, AmbiguousNameWithOrderedDeclElsewhereIsQuiet) {
+  // `pending_` is unordered in one header and a deque in another; iterating
+  // the deque must not be flagged just because the name collides.
+  const LintReport report =
+      Lint({{"src/rpc/client.h",
+            "#include <unordered_map>\n"
+            "struct C { std::unordered_map<int, int> pending_; };\n"},
+           {"src/mc/harness.h",
+            "#include <deque>\n"
+            "struct H { std::deque<int> pending_; };\n"},
+           {"src/mc/ok.cc",
+            "#include \"src/mc/harness.h\"\n"
+            "#include \"src/rpc/client.h\"\n"
+            "int F(H& h) {\n"
+            "  int n = 0;\n"
+            "  for (int m : h.pending_) { n += m; }\n"
+            "  return n;\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "unordered-iteration"), 0);
+}
+
+// --- check-side-effects ------------------------------------------------------
+
+TEST(CheckSideEffects, FiresOnIncrementAndAssignment) {
+  const LintReport report =
+      Lint({{"src/core/bad.cc",
+            "void F(int i, int j) {\n"
+            "  SCATTER_CHECK(++i > 0);\n"
+            "  SCATTER_CHECK(j = 1);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "check-side-effects"), 2);
+}
+
+TEST(CheckSideEffects, FiresOnMutatingCall) {
+  const LintReport report =
+      Lint({{"src/core/bad.cc",
+            "void F(std::vector<int>& v) {\n"
+            "  SCATTER_CHECK(v.erase(v.begin()) != v.end());\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "check-side-effects"), 1);
+}
+
+TEST(CheckSideEffects, QuietOnComparisonsAndConstCalls) {
+  const LintReport report =
+      Lint({{"src/core/ok.cc",
+            "void F(int i, const std::vector<int>& v) {\n"
+            "  SCATTER_CHECK(i == 1);\n"
+            "  SCATTER_CHECK(i >= 0 && i <= 9);\n"
+            "  SCATTER_CHECK(v.size() != 0);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "check-side-effects"), 0);
+}
+
+// --- layer-dag ---------------------------------------------------------------
+
+constexpr char kLayers[] =
+    "{\"layers\": {\"common\": [], \"sim\": [\"common\"],"
+    " \"wire\": [\"common\", \"sim\"]}}";
+
+TEST(LayerDag, FiresOnBackEdge) {
+  // sim including wire is a back-edge: wire sits above sim.
+  const LintReport report =
+      Lint({{"src/sim/bad.cc", "#include \"src/wire/codec.h\"\n"}}, kLayers);
+  EXPECT_EQ(CountRule(report, "layer-dag"), 1);
+}
+
+TEST(LayerDag, QuietOnDeclaredDependencyAndOwnModule) {
+  const LintReport report =
+      Lint({{"src/wire/ok.cc",
+            "#include \"src/common/logging.h\"\n"
+            "#include \"src/sim/message.h\"\n"
+            "#include \"src/wire/codec.h\"\n"
+            "#include <vector>\n"},
+           {"tests/free.cc", "#include \"src/wire/codec.h\"\n"}},
+          kLayers);
+  EXPECT_EQ(CountRule(report, "layer-dag"), 0);
+}
+
+TEST(LayerDag, FiresOnUndeclaredModule) {
+  const LintReport report =
+      Lint({{"src/mystery/x.cc", "int x;\n"}}, kLayers);
+  EXPECT_EQ(CountRule(report, "layer-dag"), 1);
+}
+
+TEST(LayerDag, RejectsCyclicTable) {
+  const LintReport report = Lint(
+      {{"src/sim/x.cc", "int x;\n"}},
+      "{\"layers\": {\"sim\": [\"wire\"], \"wire\": [\"sim\"]}}");
+  ASSERT_EQ(CountRule(report, "layer-dag"), 1);
+  EXPECT_NE(report.findings[0].message.find("cyclic"), std::string::npos);
+}
+
+TEST(LayerDag, RealLayersFileIsAcceptedAndAcyclic) {
+  std::ifstream in(std::string(SCATTER_SOURCE_DIR) + "/scripts/layers.json");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const LintReport report = Lint({{"src/common/ok.cc", "int x;\n"}}, ss.str());
+  EXPECT_EQ(CountRule(report, "layer-dag"), 0);
+}
+
+// --- transport-seam ----------------------------------------------------------
+
+TEST(TransportSeam, FiresOutsideSimAndWire) {
+  const LintReport report =
+      Lint({{"src/core/bad.cc",
+            "void F(Node* n, MessagePtr m) { n->HandleMessage(m); }\n"}});
+  EXPECT_EQ(CountRule(report, "transport-seam"), 1);
+}
+
+TEST(TransportSeam, QuietInSimWireAndTests) {
+  const std::string body =
+      "void F(Node* n, MessagePtr m) { n->HandleMessage(m); }\n";
+  const LintReport report = Lint({{"src/sim/ok.cc", body},
+                                 {"src/wire/ok.cc", body},
+                                 {"tests/ok.cc", body}});
+  EXPECT_EQ(CountRule(report, "transport-seam"), 0);
+}
+
+// --- suppression semantics ---------------------------------------------------
+
+TEST(Suppression, AllowAbsorbsExactlyOneFinding) {
+  // Two findings on consecutive lines; the allow above the first covers only
+  // that line, so exactly one finding survives.
+  const std::string src = std::string("void F(int i, int j) {\n") +
+                          "  // " + kAllowMarker +
+                          "(check-side-effects): fixture exercises one.\n"
+                          "  SCATTER_CHECK(++i > 0);\n"
+                          "  SCATTER_CHECK(++j > 0);\n"
+                          "}\n";
+  const LintReport report = Lint({{"src/core/two.cc", src}});
+  EXPECT_EQ(CountRule(report, "check-side-effects"), 1);
+  EXPECT_EQ(report.fired.at("check-side-effects"), 2);
+  EXPECT_EQ(report.suppressed.at("check-side-effects"), 1);
+  EXPECT_EQ(CountRule(report, "unused-suppression"), 0);
+}
+
+TEST(Suppression, TrailingAllowCoversItsOwnLine) {
+  const std::string src = std::string("void F(int i) {\n") +
+                          "  SCATTER_CHECK(++i > 0);  // " + kAllowMarker +
+                          "(check-side-effects): fixture.\n"
+                          "}\n";
+  const LintReport report = Lint({{"src/core/trail.cc", src}});
+  EXPECT_EQ(CountRule(report, "check-side-effects"), 0);
+  EXPECT_EQ(report.suppressed.at("check-side-effects"), 1);
+}
+
+TEST(Suppression, UnusedAllowIsItselfAFinding) {
+  const std::string src = std::string("// ") + kAllowMarker +
+                          "(determinism-ambient): nothing here needs it.\n"
+                          "int x = 1;\n";
+  const LintReport report = Lint({{"src/core/stale.cc", src}});
+  ASSERT_EQ(CountRule(report, "unused-suppression"), 1);
+}
+
+TEST(Suppression, UnknownRuleNameIsAFinding) {
+  const std::string src =
+      std::string("// ") + kAllowMarker + "(no-such-rule): typo.\n int x;\n";
+  const LintReport report = Lint({{"src/core/typo.cc", src}});
+  ASSERT_EQ(CountRule(report, "unused-suppression"), 1);
+  EXPECT_NE(report.findings[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(Suppression, WrongRuleDoesNotSuppress) {
+  const std::string src = std::string("void F(int i) {\n") + "  // " +
+                          kAllowMarker +
+                          "(determinism-ambient): wrong rule for this line.\n"
+                          "  SCATTER_CHECK(++i > 0);\n"
+                          "}\n";
+  const LintReport report = Lint({{"src/core/wrong.cc", src}});
+  EXPECT_EQ(CountRule(report, "check-side-effects"), 1);
+  EXPECT_EQ(CountRule(report, "unused-suppression"), 1);
+}
+
+// --- mutation self-check -----------------------------------------------------
+
+// Reintroduce the unordered-iteration bug class into the real fingerprint
+// source and assert scatter-lint catches it. This guards the guard: if the
+// rule engine regresses, this test fails before a real mutation could slip
+// through CI.
+TEST(MutationSelfCheck, LintCatchesUnorderedIterationInFingerprint) {
+  const std::string path =
+      std::string(SCATTER_SOURCE_DIR) + "/src/mc/fingerprint.cc";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+
+  // The real file is clean.
+  const LintReport before = Lint({{"src/mc/fingerprint.cc", content}});
+  EXPECT_EQ(CountRule(before, "unordered-iteration"), 0);
+
+  // Mutation: append a helper that feeds unordered_map iteration order
+  // straight into a fingerprint without a sorted drain.
+  content +=
+      "\nnamespace scatter::mc {\n"
+      "std::unordered_map<uint64_t, uint64_t> mutation_table_;\n"
+      "uint64_t MutatedFingerprint() {\n"
+      "  uint64_t h = 0;\n"
+      "  for (const auto& kv : mutation_table_) {\n"
+      "    h = h * 31 + kv.second;\n"
+      "  }\n"
+      "  return h;\n"
+      "}\n"
+      "}  // namespace scatter::mc\n";
+  const LintReport after = Lint({{"src/mc/fingerprint.cc", content}});
+  EXPECT_EQ(CountRule(after, "unordered-iteration"), 1)
+      << "scatter-lint failed to catch a hash-order-dependent fingerprint";
+}
+
+}  // namespace
+}  // namespace scatter::lint

@@ -60,7 +60,7 @@ TEST(PartitionTest, MajoritySideKeepsServingLinearizably) {
   wcfg.num_clients = 1;
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 100;
-  std::vector<workload::KvClient*> clients{client};
+  std::vector<KvClient*> clients{client};
   workload::WorkloadDriver driver(&c.sim(), clients, wcfg);
   driver.Start();
   c.RunFor(Seconds(5));

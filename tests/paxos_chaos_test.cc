@@ -390,7 +390,7 @@ TEST(BatchChurnTest, AuditedClusterSurvivesLeaderCrashesUnderLoad) {
   wcfg.num_clients = 6;
   wcfg.write_fraction = 0.6;
   wcfg.key_space = 200;
-  std::vector<workload::KvClient*> kv_clients;
+  std::vector<KvClient*> kv_clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     kv_clients.push_back(c.AddClient());
   }

@@ -18,9 +18,12 @@
 #include "src/common/types.h"
 #include "src/paxos/command.h"
 #include "src/paxos/messages.h"
+#include "src/paxos/payload_codec.h"
 #include "src/paxos/replica.h"
 #include "src/paxos/state_machine.h"
+#include "src/paxos/wire_codecs.h"
 #include "src/rpc/rpc_node.h"
+#include "src/rpc/wire_codecs.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/sim/transport.h"
@@ -40,7 +43,7 @@ struct SeqCommand : AppCommand {
 // Tags from 256 up are reserved for tests (production modules own 1-255).
 inline void RegisterPaxosTestCodecs() {
   static const bool done = [] {
-    wire::RegisterCommandCodec(
+    paxos::RegisterCommandCodec(
         256, typeid(SeqCommand),
         [](const Command& cmd, wire::Buffer& out) {
           const auto& seq = static_cast<const SeqCommand&>(cmd);
@@ -104,7 +107,7 @@ class RecordingStateMachine : public StateMachine {
 
 inline void RegisterPaxosTestSnapshotCodec() {
   static const bool done = [] {
-    wire::RegisterSnapshotCodec(
+    paxos::RegisterSnapshotCodec(
         256, typeid(RecordingStateMachine::Snap),
         [](const SnapshotData& snap, wire::Buffer& out) {
           const auto& s = static_cast<const RecordingStateMachine::Snap&>(snap);
@@ -196,6 +199,10 @@ class PaxosCluster {
         net_(wire::MakeNetwork(&sim_, net_config)),
         config_(config),
         group_(1) {
+    // The serializing/audit transports (selected via SCATTER_TRANSPORT) need
+    // the production paxos + rpc codecs as well as the test-only ones.
+    paxos::RegisterWireCodecs();
+    rpc::RegisterWireCodecs();
     RegisterPaxosTestCodecs();
     RegisterPaxosTestSnapshotCodec();
     std::vector<NodeId> members;

@@ -31,7 +31,7 @@ double ProbeWriteLatency(Cluster& c, uint64_t salt) {
   wcfg.key_space = 200;
   wcfg.record_history = false;
   wcfg.think_time = Millis(20);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(c.AddClient());
   }
@@ -102,7 +102,7 @@ TEST(LeaderPlacementTest, LinearizableThroughoutTransfers) {
   wcfg.num_clients = 4;
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 150;
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(c.AddClient());
   }

@@ -190,7 +190,7 @@ TEST_P(ScatterChurnSweep, ConsistentAtEveryChurnLevel) {
   wcfg.write_fraction = 0.5;
   wcfg.key_space = 250;
   wcfg.think_time = Millis(10);
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(c.AddClient());
   }

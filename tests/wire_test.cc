@@ -17,17 +17,59 @@
 #include <gtest/gtest.h>
 
 #include "src/baseline/chord_messages.h"
+#include "src/baseline/wire_codecs.h"
 #include "src/core/messages.h"
+#include "src/core/wire_codecs.h"
 #include "src/membership/commands.h"
 #include "src/membership/group_state_machine.h"
+#include "src/membership/wire_codecs.h"
 #include "src/paxos/messages.h"
+#include "src/paxos/payload_codec.h"
+#include "src/paxos/wire_codecs.h"
 #include "src/rpc/rpc_node.h"
+#include "src/rpc/wire_codecs.h"
 #include "src/txn/messages.h"
+#include "src/txn/wire_codecs.h"
 #include "src/wire/buffer.h"
 #include "src/wire/codec.h"
 
 namespace scatter::wire {
 namespace {
+
+// --- Compile-time codec completeness -----------------------------------------
+//
+// The union of the per-module X-macro message lists (each module's
+// wire_codecs.h) must cover the transport's SCATTER_MESSAGE_TYPE_LIST
+// exactly once. RegisterWireCodecs() is macro-generated from those same
+// lists, so proving list coverage here proves registration coverage at
+// compile time: a message type added to the transport table without a home
+// in exactly one module list fails a static_assert, not a runtime test.
+
+constexpr size_t CodecOwnerCount(sim::MessageType t) {
+  size_t n = 0;
+#define SCATTER_CLAIM(enumr, stem) n += (sim::MessageType::enumr == t) ? 1 : 0;
+  SCATTER_RPC_WIRE_MESSAGES(SCATTER_CLAIM)
+  SCATTER_PAXOS_WIRE_MESSAGES(SCATTER_CLAIM)
+  SCATTER_TXN_WIRE_MESSAGES(SCATTER_CLAIM)
+  SCATTER_CORE_WIRE_MESSAGES(SCATTER_CLAIM)
+  SCATTER_CHORD_WIRE_MESSAGES(SCATTER_CLAIM)
+#undef SCATTER_CLAIM
+  return n;
+}
+
+constexpr bool EveryMessageTypeHasExactlyOneCodecOwner() {
+  for (sim::MessageType t : sim::kAllMessageTypes) {
+    if (CodecOwnerCount(t) != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+static_assert(EveryMessageTypeHasExactlyOneCodecOwner(),
+              "every SCATTER_MESSAGE_TYPE_LIST entry must appear in exactly "
+              "one module's SCATTER_*_WIRE_MESSAGES list (rpc, paxos, txn, "
+              "core, chord)");
 
 using Rng = std::mt19937_64;
 
@@ -536,7 +578,10 @@ void ExpectRoundTrips(const sim::MessagePtr& m) {
 
 class WireTest : public ::testing::Test {
  protected:
-  void SetUp() override { RegisterAllCodecs(); }
+  void SetUp() override {
+    core::RegisterScatterWireCodecs();
+    baseline::RegisterWireCodecs();
+  }
 };
 
 // --- Tests -------------------------------------------------------------------
@@ -729,9 +774,9 @@ TEST_F(WireTest, RejectsCorruptedFrameLength) {
 TEST_F(WireTest, NullAndUnknownCommandTags) {
   {
     Buffer out;
-    EncodeCommand(nullptr, out);  // tag 0
+    paxos::EncodeCommand(nullptr, out);  // tag 0
     Reader in(out);
-    EXPECT_EQ(DecodeCommand(in), nullptr);
+    EXPECT_EQ(paxos::DecodeCommand(in), nullptr);
     EXPECT_TRUE(in.ok());
     EXPECT_TRUE(in.AtEnd());
   }
@@ -739,21 +784,21 @@ TEST_F(WireTest, NullAndUnknownCommandTags) {
     Buffer out;
     out.WriteU16(0x7777);  // never registered
     Reader in(out);
-    EXPECT_EQ(DecodeCommand(in), nullptr);
+    EXPECT_EQ(paxos::DecodeCommand(in), nullptr);
     EXPECT_FALSE(in.ok());
   }
   {
     Buffer out;
-    EncodeSnapshot(nullptr, out);
+    paxos::EncodeSnapshot(nullptr, out);
     Reader in(out);
-    EXPECT_EQ(DecodeSnapshot(in), nullptr);
+    EXPECT_EQ(paxos::DecodeSnapshot(in), nullptr);
     EXPECT_TRUE(in.ok());
   }
   {
     Buffer out;
     out.WriteU16(0x7777);
     Reader in(out);
-    EXPECT_EQ(DecodeSnapshot(in), nullptr);
+    EXPECT_EQ(paxos::DecodeSnapshot(in), nullptr);
     EXPECT_FALSE(in.ok());
   }
 }

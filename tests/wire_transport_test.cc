@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "src/baseline/chord_messages.h"
+#include "src/baseline/wire_codecs.h"
 #include "src/common/hash.h"
 #include "src/core/cluster.h"
 #include "src/sim/network.h"
@@ -53,6 +54,7 @@ sim::MessagePtr MakeStore(NodeId from, NodeId to, const Value& value) {
 }
 
 TEST(SerializingNetworkTest, DeliversFreshDecodedCopies) {
+  baseline::RegisterWireCodecs();
   sim::Simulator sim(1);
   SerializingNetwork net(&sim, sim::NetworkConfig{});
   RecordingEndpoint a;
@@ -77,6 +79,7 @@ TEST(SerializingNetworkTest, DeliversFreshDecodedCopies) {
 }
 
 TEST(AuditingNetworkTest, CleanHandlerProducesNoViolations) {
+  baseline::RegisterWireCodecs();
   sim::Simulator sim(1);
   AuditingNetwork net(&sim, sim::NetworkConfig{});
   RecordingEndpoint a;
@@ -92,6 +95,7 @@ TEST(AuditingNetworkTest, CleanHandlerProducesNoViolations) {
 }
 
 TEST(AuditingNetworkTest, DetectsHandlerMutatingDeliveredMessage) {
+  baseline::RegisterWireCodecs();
   sim::Simulator sim(1);
   AuditingNetwork net(&sim, sim::NetworkConfig{});
   net.set_fail_on_violation(false);  // inspect instead of dying

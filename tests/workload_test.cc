@@ -32,7 +32,7 @@ TEST(WorkloadDriverTest, StatsAccountForEveryOperation) {
   wcfg.num_clients = 4;
   wcfg.write_fraction = 0.3;
   wcfg.key_space = 100;
-  std::vector<workload::KvClient*> clients;
+  std::vector<KvClient*> clients;
   for (size_t i = 0; i < wcfg.num_clients; ++i) {
     clients.push_back(c.AddClient());
   }
@@ -60,7 +60,7 @@ TEST(WorkloadDriverTest, StatsAccountForEveryOperation) {
 TEST(KvClientTest, MultiPutCoalescesAndReportsPerOpStatus) {
   core::Cluster c(SmallConfig(5));
   c.RunFor(Seconds(2));
-  workload::KvClient* client = c.AddClient();
+  KvClient* client = c.AddClient();
 
   // All puts are issued in one event-loop turn, so a batching-aware leader
   // can ride them on a single Accept round.
@@ -114,7 +114,7 @@ TEST(WorkloadDriverTest, ClusteredKeysLandInOneArc) {
   wcfg.key_space = 1000;
   wcfg.clustered_keys = true;
   core::Cluster c(SmallConfig(2));
-  std::vector<workload::KvClient*> clients{c.AddClient()};
+  std::vector<KvClient*> clients{c.AddClient()};
   workload::WorkloadDriver driver(&c.sim(), clients, wcfg);
   Key lo = ~uint64_t{0};
   Key hi = 0;
@@ -131,7 +131,7 @@ TEST(WorkloadDriverTest, HashedKeysSpread) {
   workload::WorkloadConfig wcfg;
   wcfg.key_space = 1000;
   core::Cluster c(SmallConfig(3));
-  std::vector<workload::KvClient*> clients{c.AddClient()};
+  std::vector<KvClient*> clients{c.AddClient()};
   workload::WorkloadDriver driver(&c.sim(), clients, wcfg);
   size_t top_quarter = 0;
   for (uint64_t r = 0; r < wcfg.key_space; ++r) {
@@ -236,7 +236,7 @@ TEST(DeterminismTest, IdenticalSeedsProduceIdenticalRuns) {
     workload::WorkloadConfig wcfg;
     wcfg.num_clients = 4;
     wcfg.key_space = 100;
-    std::vector<workload::KvClient*> clients;
+    std::vector<KvClient*> clients;
     for (size_t i = 0; i < wcfg.num_clients; ++i) {
       clients.push_back(c.AddClient());
     }

@@ -1,0 +1,66 @@
+// scatter-lint rule engine.
+//
+// Runs determinism, layering and protocol-hygiene rules over a set of
+// in-memory source files (the CLI loads them from disk via
+// compile_commands.json + a header walk; tests feed fixture strings
+// directly). See DESIGN.md "Static analysis" for the rule catalogue.
+
+#ifndef SCATTER_TOOLS_SCATTER_LINT_LINT_H_
+#define SCATTER_TOOLS_SCATTER_LINT_LINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scatter::lint {
+
+// A file to lint. `path` is repo-root-relative with forward slashes
+// (e.g. "src/paxos/replica.cc") — rules use it for module/layer decisions
+// and to resolve `#include "src/..."` directives against other files in
+// the same batch.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+};
+
+struct LintOptions {
+  // Directory prefixes where ambient nondeterminism is tolerated without a
+  // suppression (benchmark mains, developer tools, examples): they run
+  // outside the simulation and may read wall clocks or the environment.
+  std::vector<std::string> ambient_allow_dirs = {"bench/", "tools/",
+                                                 "examples/"};
+  // Content of scripts/layers.json. Empty disables the layer-dag rule.
+  std::string layers_json;
+};
+
+struct LintReport {
+  // Findings that survived suppression, in file/line order.
+  std::vector<Finding> findings;
+  // Per-rule counts: every finding a rule produced (suppressed or not), and
+  // how many of those a LINT-ALLOW absorbed.
+  std::map<std::string, int> fired;
+  std::map<std::string, int> suppressed;
+  int files_scanned = 0;
+};
+
+// The rule catalogue, for --list-rules and documentation.
+const std::vector<RuleInfo>& Rules();
+
+LintReport RunLint(const std::vector<SourceFile>& files,
+                   const LintOptions& options);
+
+}  // namespace scatter::lint
+
+#endif  // SCATTER_TOOLS_SCATTER_LINT_LINT_H_

@@ -1,0 +1,259 @@
+#include "tools/scatter_lint/tokenizer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace scatter::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Multi-char operators the rules care about, longest first so maximal munch
+// keeps `==` from splitting into `=` `=` (the check-side-effects rule
+// depends on that distinction).
+constexpr const char* kOperators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "==", "!=",
+    "<=",  ">=",  "&&",  "||",  "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",
+};
+
+// Parses a suppression marker — rule name in parens, then a reason — out of
+// a comment body, if present. (The marker is spelled out in DESIGN.md; it is
+// not written literally here because this file lints itself.)
+bool ParseAllow(const std::string& body, int line, AllowComment* out) {
+  const size_t at = body.find("LINT-ALLOW(");
+  if (at == std::string::npos) {
+    return false;
+  }
+  const size_t open = at + std::string("LINT-ALLOW").size();
+  const size_t close = body.find(')', open);
+  if (close == std::string::npos) {
+    return false;
+  }
+  out->rule = body.substr(open + 1, close - open - 1);
+  size_t reason_at = close + 1;
+  while (reason_at < body.size() &&
+         (body[reason_at] == ':' || body[reason_at] == ' ')) {
+    ++reason_at;
+  }
+  out->reason = body.substr(reason_at);
+  // The comment may span lines; anchor on the line containing the marker.
+  int marker_line = line;
+  for (size_t i = 0; i < at; ++i) {
+    if (body[i] == '\n') {
+      ++marker_line;
+    }
+  }
+  out->line = marker_line;
+  out->target_line = 0;  // filled in once the next token is seen
+  return true;
+}
+
+}  // namespace
+
+TokenizedFile Tokenize(const std::string& content) {
+  TokenizedFile out;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  // Allow-comments whose target (next code line) is still unknown.
+  std::vector<size_t> pending_allows;
+
+  auto note_token_line = [&](int token_line) {
+    for (size_t idx : pending_allows) {
+      out.allows[idx].target_line = token_line;
+    }
+    pending_allows.clear();
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directives: capture #include, then consume the logical
+    // line (honoring backslash continuations) without tokenizing it — macro
+    // bodies are scanned separately by rules that care.
+    if (c == '#') {
+      size_t j = i + 1;
+      while (j < n && (content[j] == ' ' || content[j] == '\t')) {
+        ++j;
+      }
+      const bool is_include = content.compare(j, 7, "include") == 0;
+      if (is_include) {
+        j += 7;
+        while (j < n && (content[j] == ' ' || content[j] == '\t')) {
+          ++j;
+        }
+        if (j < n && (content[j] == '"' || content[j] == '<')) {
+          const char closing = content[j] == '"' ? '"' : '>';
+          const size_t start = j + 1;
+          size_t end = start;
+          while (end < n && content[end] != closing && content[end] != '\n') {
+            ++end;
+          }
+          out.includes.push_back(IncludeDirective{
+              content.substr(start, end - start), closing == '>', line});
+        }
+        // The directive itself is consumed; fall through to end-of-line.
+        while (i < n && content[i] != '\n') {
+          ++i;
+        }
+        continue;
+      }
+      // Other directives (#define and friends): tokenize their bodies so
+      // rules see identifiers inside macros too. Emit '#' and continue.
+      out.tokens.push_back(Token{TokenKind::kPunct, "#", line});
+      note_token_line(line);
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t start = i + 2;
+      size_t end = start;
+      while (end < n && content[end] != '\n') {
+        ++end;
+      }
+      AllowComment allow;
+      if (ParseAllow(content.substr(start, end - start), line, &allow)) {
+        // A trailing comment covers its own line.
+        allow.target_line = allow.line;
+        out.allows.push_back(allow);
+        if (out.tokens.empty() || out.tokens.back().line != line) {
+          // Leading comment: retarget to the next code line.
+          out.allows.back().target_line = 0;
+          pending_allows.push_back(out.allows.size() - 1);
+        }
+      }
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const size_t start = i + 2;
+      size_t end = start;
+      int end_line = line;
+      while (end + 1 < n && !(content[end] == '*' && content[end + 1] == '/')) {
+        if (content[end] == '\n') {
+          ++end_line;
+        }
+        ++end;
+      }
+      AllowComment allow;
+      if (ParseAllow(content.substr(start, end - start), line, &allow)) {
+        allow.target_line = allow.line;
+        out.allows.push_back(allow);
+        if (out.tokens.empty() || out.tokens.back().line != line) {
+          out.allows.back().target_line = 0;
+          pending_allows.push_back(out.allows.size() - 1);
+        }
+      }
+      i = (end + 1 < n) ? end + 2 : n;
+      line = end_line;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && content[j] != '(' && delim.size() < 16) {
+        delim.push_back(content[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const size_t close_at = content.find(closer, j);
+      const size_t end = close_at == std::string::npos
+                             ? n
+                             : close_at + closer.size();
+      out.tokens.push_back(Token{TokenKind::kString, "", line});
+      note_token_line(line);
+      for (size_t k = i; k < end && k < n; ++k) {
+        if (content[k] == '\n') {
+          ++line;
+        }
+      }
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) {
+          ++j;
+        }
+        if (content[j] == '\n') {
+          ++line;
+        }
+        ++j;
+      }
+      out.tokens.push_back(Token{
+          quote == '"' ? TokenKind::kString : TokenKind::kChar, "", line});
+      note_token_line(line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(content[j])) {
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{TokenKind::kIdentifier, content.substr(i, j - i), line});
+      note_token_line(line);
+      i = j;
+      continue;
+    }
+    // Number (good enough: digits, dots, exponents, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i + 1;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.' ||
+                       ((content[j] == '+' || content[j] == '-') &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E' ||
+                         content[j - 1] == 'p' || content[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{TokenKind::kNumber, content.substr(i, j - i), line});
+      note_token_line(line);
+      i = j;
+      continue;
+    }
+    // Operator: maximal munch over the multi-char table.
+    bool matched = false;
+    for (const char* op : kOperators) {
+      const size_t len = std::char_traits<char>::length(op);
+      if (content.compare(i, len, op) == 0) {
+        out.tokens.push_back(Token{TokenKind::kPunct, op, line});
+        note_token_line(line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    out.tokens.push_back(Token{TokenKind::kPunct, std::string(1, c), line});
+    note_token_line(line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace scatter::lint

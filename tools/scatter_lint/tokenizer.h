@@ -1,0 +1,66 @@
+// Preprocessor-aware C++ tokenizer for scatter-lint.
+//
+// This is deliberately not a compiler frontend: the lint rules operate on
+// identifier/operator streams plus include directives, which a lexer
+// recovers exactly. Comments and string/char literals are consumed (so a
+// banned identifier inside a string never fires), but LINT-ALLOW
+// suppression comments are captured with their anchor line so the rule
+// engine can match them against findings.
+
+#ifndef SCATTER_TOOLS_SCATTER_LINT_TOKENIZER_H_
+#define SCATTER_TOOLS_SCATTER_LINT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace scatter::lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kPunct,  // operators/punctuation, maximal munch for multi-char operators
+  kString,
+  kChar,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+// A suppression comment (rule name in parens, then a reason — see DESIGN.md
+// "Static analysis" for the exact spelling). `line` is where the comment
+// starts; `target_line` is the line of the first token after the comment —
+// the line whose finding the suppression covers. A trailing comment on a
+// code line covers that same line.
+struct AllowComment {
+  std::string rule;
+  std::string reason;
+  int line = 0;
+  int target_line = 0;
+  bool used = false;
+};
+
+// An `#include "..."` or `#include <...>` directive.
+struct IncludeDirective {
+  std::string path;  // verbatim between the delimiters
+  bool angled = false;
+  int line = 0;
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<AllowComment> allows;
+  std::vector<IncludeDirective> includes;
+};
+
+// Tokenizes `content`. Handles //- and /* */-comments, raw strings
+// (R"delim(...)delim"), string/char literals with escapes, preprocessor
+// line continuations, and digraph-free modern C++. Never fails: unexpected
+// bytes become single-char punct tokens.
+TokenizedFile Tokenize(const std::string& content);
+
+}  // namespace scatter::lint
+
+#endif  // SCATTER_TOOLS_SCATTER_LINT_TOKENIZER_H_

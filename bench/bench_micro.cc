@@ -19,12 +19,16 @@
 #include "src/core/wire_codecs.h"
 #include "src/membership/commands.h"
 #include "src/paxos/messages.h"
+#include "src/paxos/payload_codec.h"
 #include "src/ring/ring_map.h"
 #include "src/sim/simulator.h"
 #include "src/store/kv_store.h"
 #include "src/verify/linearizability.h"
 #include "src/wire/buffer.h"
+#include "src/wire/buffer_pool.h"
 #include "src/wire/codec.h"
+#include "src/wire/frame_view.h"
+#include "src/wire/serializing_network.h"
 
 namespace scatter {
 namespace {
@@ -200,6 +204,89 @@ void BM_WireAcceptRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_WireAcceptRoundTrip);
 
+// Builds the representative batched Accept used by the wire benches:
+// `entries` small puts sharing one ballot, the shape ReplicateTo emits on
+// the commit path.
+paxos::AcceptMsg MakeBatchedAccept(uint64_t entries) {
+  paxos::AcceptMsg msg(1);
+  msg.from = 1;
+  msg.to = 2;
+  msg.ballot = Ballot{3, 1};
+  msg.commit_index = 100;
+  for (uint64_t i = 0; i < entries; ++i) {
+    paxos::LogEntry e;
+    e.index = 100 + i;
+    e.ballot = msg.ballot;
+    auto cmd = std::make_shared<membership::PutCommand>(i, "value-payload");
+    cmd->client_id = 9;
+    cmd->client_seq = i;
+    e.command = std::move(cmd);
+    msg.entries.push_back(std::move(e));
+  }
+  return msg;
+}
+
+// Scatter-gather encode in isolation: the same N-entry batched Accept
+// encoded into pooled buffers over and over, the shape of ReplicateTo
+// fanning one batch out to peers and retransmitting. After the first
+// iteration every command's canonical bytes come from its wire memo, so
+// steady state measures header+metadata writes plus one memcpy per command.
+// Counters (from the obs-side pool stats and the payload-codec memo stats):
+//   allocs_per_op      fresh buffer allocations per encode (pool misses)
+//   memo_bytes_per_op  payload bytes served from memos instead of re-encoded
+//   bytes_per_op       total frame bytes produced per encode
+void BM_WireEncodeBatched(benchmark::State& state) {
+  core::RegisterScatterWireCodecs();
+  paxos::AcceptMsg msg = MakeBatchedAccept(static_cast<uint64_t>(state.range(0)));
+  wire::BufferPool pool{wire::BufferPool::Config{.enabled = true,
+                                                 .max_buffers_per_class = 4}};
+  const paxos::PayloadEncodeStats before = paxos::GetPayloadEncodeStats();
+  const uint64_t misses_before = pool.misses();
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    wire::BufferPool::Handle frame = pool.Acquire(msg.ByteSize() + 64);
+    wire::EncodeFrame(msg, *frame);
+    bytes += frame.size();
+    benchmark::DoNotOptimize(frame.data());
+  }
+  const paxos::PayloadEncodeStats after = paxos::GetPayloadEncodeStats();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["allocs_per_op"] =
+      static_cast<double>(pool.misses() - misses_before) / iters;
+  state.counters["memo_bytes_per_op"] =
+      static_cast<double>(after.memo_bytes_reused - before.memo_bytes_reused) /
+      iters;
+  state.counters["bytes_per_op"] = static_cast<double>(bytes) / iters;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireEncodeBatched)->Arg(1)->Arg(8)->Arg(64);
+
+// Lazy decode in isolation on the same batched Accept frame. Arg 0: header
+// peek only (what routing/tracing/frame-compare consumers pay under
+// FrameView). Arg 1: peek + materialize (the full decode a handler-bound
+// delivery pays). The spread between the two is the cost lazy decode avoids
+// for frames whose payload is never inspected.
+void BM_WireDecodeLazy(benchmark::State& state) {
+  core::RegisterScatterWireCodecs();
+  const bool materialize = state.range(0) != 0;
+  paxos::AcceptMsg msg = MakeBatchedAccept(8);
+  wire::Buffer frame;
+  wire::EncodeFrame(msg, frame);
+  for (auto _ : state) {
+    wire::FrameView view;
+    const bool ok = view.Parse(frame.data(), frame.size());
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(view.to());
+    if (materialize) {
+      benchmark::DoNotOptimize(view.Materialize());
+    }
+  }
+  state.counters["payload_bytes"] = static_cast<double>(frame.size());
+  state.SetLabel(materialize ? "peek+materialize" : "peek");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireDecodeLazy)->Arg(0)->Arg(1);
+
 // Transport A/B on the full commit path: identical seeded cluster and
 // closed-loop put workload (concurrency 8), carried either by the zero-copy
 // in-process transport (arg 0) or the serializing transport (arg 1). The
@@ -228,6 +315,18 @@ void BM_TransportCommit(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (const auto* ser =
+          dynamic_cast<const wire::SerializingNetwork*>(&cluster.net())) {
+    const double iters = static_cast<double>(state.iterations());
+    state.counters["frames_per_op"] =
+        static_cast<double>(ser->frames_serialized()) / iters;
+    state.counters["wire_bytes_per_op"] =
+        static_cast<double>(ser->bytes_serialized()) / iters;
+    const auto& pool = ser->buffer_pool();
+    state.counters["pool_hit_rate"] =
+        static_cast<double>(pool.hits()) /
+        static_cast<double>(pool.hits() + pool.misses());
+  }
   state.SetLabel(cluster.net().transport_name());
 }
 BENCHMARK(BM_TransportCommit)->Arg(0)->Arg(1);
@@ -291,4 +390,17 @@ BENCHMARK(BM_LinearizabilityCheckSequential)->Arg(64)->Arg(512);
 }  // namespace
 }  // namespace scatter
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the report carries the build type of the repo
+// code under test (see bench::kScatterBuildType for why the library's own
+// "library_build_type" field can't be trusted for this).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("scatter_build_type",
+                              scatter::bench::kScatterBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -155,6 +155,20 @@ inline void ExportObservability(sim::Simulator& sim) {
   }
 }
 
+// How THIS binary's repo code was compiled. google-benchmark's own
+// "library_build_type" context field describes the benchmark *library*
+// (the system package is built without NDEBUG, so it always says "debug")
+// and says nothing about the code under test. Benchmark mains report this
+// via benchmark::AddCustomContext("scatter_build_type", ...), and
+// scripts/bench_snapshot.sh refuses to record a baseline unless it reads
+// "release".
+inline constexpr const char* kScatterBuildType =
+#ifdef NDEBUG
+    "release";
+#else
+    "debug";
+#endif
+
 inline void Banner(const char* id, const char* what) {
   std::printf("\n##############################################################\n");
   std::printf("## %s — %s\n", id, what);

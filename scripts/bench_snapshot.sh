@@ -4,7 +4,15 @@
 # so perf regressions show up as diffs), then smoke-runs bench_scale so the
 # commit-path counters stay exercised.
 #
-#   scripts/bench_snapshot.sh              # full run (default build tree)
+# Baselines are only meaningful from an optimized build, so this script
+# maintains its own Release tree (build-bench/) instead of trusting whatever
+# build/ happens to contain, and it refuses to record a report from a binary
+# whose self-reported "scatter_build_type" is not "release". (The benchmark
+# library's own "library_build_type" field describes the system libbenchmark
+# package — built without NDEBUG, it always says "debug" — not the repo code
+# under test, which is how a debug baseline once slipped into the record.)
+#
+#   scripts/bench_snapshot.sh              # full run (dedicated Release tree)
 #   BUILD_DIR=build-foo scripts/bench_snapshot.sh
 #
 # The pinned google-benchmark takes --benchmark_min_time as a plain number
@@ -12,21 +20,41 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build}"
-MIN_TIME="${MIN_TIME:-0.5}"
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+MIN_TIME="${MIN_TIME:-0.3}"
+REPETITIONS="${REPETITIONS:-12}"
 
-if [[ ! -x "$BUILD_DIR/bench/bench_micro" ]]; then
-  echo "bench_micro not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
+echo "=== configure + build Release ($BUILD_DIR) ==="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+    --target bench_micro bench_scale mc_explore
 
-echo "=== bench_micro -> BENCH_micro.json (min_time=${MIN_TIME}s) ==="
+echo "=== bench_micro -> BENCH_micro.json (min_time=${MIN_TIME}s, ${REPETITIONS} interleaved repetitions) ==="
+# Repetitions with random interleaving + median aggregates: this machine's
+# ambient load swings single-shot timings by tens of percent, and medians
+# over interleaved repetitions are the only numbers that reproduce.
 "$BUILD_DIR/bench/bench_micro" \
   --benchmark_min_time="$MIN_TIME" \
-  --benchmark_format=json > BENCH_micro.json
-# Human-readable echo of the headline numbers.
+  --benchmark_repetitions="$REPETITIONS" \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > BENCH_micro.json.tmp
+
+# Refuse a baseline from an unoptimized binary. The binary stamps its own
+# compile mode into the report context; anything but "release" means the
+# numbers are garbage and must not overwrite the committed baseline.
+if ! grep -q '"scatter_build_type": "release"' BENCH_micro.json.tmp; then
+  echo "bench_snapshot: refusing to record baseline — bench_micro does not" >&2
+  echo "report scatter_build_type=release (found: $(grep -o '"scatter_build_type": "[a-z]*"' BENCH_micro.json.tmp || echo missing))" >&2
+  rm -f BENCH_micro.json.tmp
+  exit 1
+fi
+mv BENCH_micro.json.tmp BENCH_micro.json
+
+# Human-readable echo of the headline numbers (medians only).
 grep -E '"(name|items_per_second|avg_batch|msgs_per_op)"' BENCH_micro.json |
-  sed 's/^ *//' || true
+  grep -v "_mean\"\|_stddev\"\|_cv\"" | sed 's/^ *//' || true
 
 echo "=== bench_scale smoke -> BENCH_metrics.json ==="
 # The metrics registry snapshot rides along with the perf baseline: counter
@@ -39,10 +67,6 @@ echo "=== mc_explore throughput -> BENCH_mc.json ==="
 # Explorer throughput baseline: a fixed delay-bounded exploration of the
 # split scenario (schedule count is deterministic; only the timing varies).
 # schedules_per_sec and dedup_hits regressions show up as diffs here.
-if [[ ! -x "$BUILD_DIR/tools/mc_explore" ]]; then
-  echo "mc_explore not built; run: cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
 "$BUILD_DIR/tools/mc_explore" --scenario split --strategy delay \
     --budget-seconds 60 --counterexample none > BENCH_mc.json
 cat BENCH_mc.json

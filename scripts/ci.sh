@@ -9,7 +9,7 @@
 #   scripts/ci.sh lint            # scatter-lint (whole tree) + clang-tidy (changed files)
 #   scripts/ci.sh bench           # just the benchmark smoke (plain build)
 #   scripts/ci.sh obs             # traced sim + trace/metrics JSON schema check
-#   scripts/ci.sh wire            # full suite over the serializing + audit transports
+#   scripts/ci.sh wire            # full suite over serializing + audit, pool on/off
 #   scripts/ci.sh mc              # model-checker smoke (delay-bounded split scenario)
 #
 # Build trees go to build-asan/ and build-ubsan/ so they never disturb the
@@ -70,16 +70,22 @@ run_wire() {
   # and again with the re-decoded copy compared against the original
   # (audit). Clusters and harnesses construct their transport via
   # wire::MakeNetwork, which honors SCATTER_TRANSPORT, so no test needs to
-  # know this is happening.
+  # know this is happening. Each transport runs with the frame-buffer pool
+  # on and off (SCATTER_WIRE_POOL): pooling changes where frame bytes live,
+  # never what they contain, so both legs must produce the same green suite.
   local bdir="${BUILD_DIR:-build}"
-  echo "=== wire: full ctest over the serializing transport ($bdir) ==="
   if [[ ! -d "$bdir" ]]; then
     cmake -B "$bdir" -S .
   fi
   cmake --build "$bdir" -j "$JOBS"
-  ( cd "$bdir" && SCATTER_TRANSPORT=serializing ctest --output-on-failure -j "$JOBS" )
-  echo "=== wire: full ctest over the audit transport ($bdir) ==="
-  ( cd "$bdir" && SCATTER_TRANSPORT=audit ctest --output-on-failure -j "$JOBS" )
+  local transport pool
+  for transport in serializing audit; do
+    for pool in on off; do
+      echo "=== wire: full ctest, transport=$transport pool=$pool ($bdir) ==="
+      ( cd "$bdir" && SCATTER_TRANSPORT="$transport" SCATTER_WIRE_POOL="$pool" \
+            ctest --output-on-failure -j "$JOBS" )
+    done
+  done
 }
 
 run_mc() {

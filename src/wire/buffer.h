@@ -6,6 +6,14 @@
 // one byte sequence — which is what makes the round-trip stability property
 // (encode(decode(encode(m))) == encode(m)) testable byte-for-byte.
 //
+// Buffer owns raw growable storage rather than a std::vector: every Write*
+// on the encode hot path is one capacity branch and an unchecked store,
+// with no value-initialization of bytes that are about to be overwritten.
+// Under AddressSanitizer the unwritten tail [size, capacity) is manually
+// poisoned (mirroring libstdc++'s container annotations), so a stale
+// pointer into a pooled, recycled buffer faults instead of silently
+// reading the next tenant's bytes.
+//
 // Reader is a bounds-checked cursor over an immutable byte span. A short or
 // malformed read flips a sticky failure flag instead of crashing: decoders
 // run to completion on garbage input and the frame decoder rejects the
@@ -15,15 +23,62 @@
 #define SCATTER_SRC_WIRE_BUFFER_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SCATTER_WIRE_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define SCATTER_WIRE_ASAN 1
+#endif
+
+#ifdef SCATTER_WIRE_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace scatter::wire {
+
+namespace internal {
+inline void AsanPoison(const void* p, size_t n) {
+#ifdef SCATTER_WIRE_ASAN
+  if (n != 0) {
+    ASAN_POISON_MEMORY_REGION(p, n);
+  }
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+inline void AsanUnpoison(const void* p, size_t n) {
+#ifdef SCATTER_WIRE_ASAN
+  if (n != 0) {
+    ASAN_UNPOISON_MEMORY_REGION(p, n);
+  }
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+}  // namespace internal
 
 class Buffer {
  public:
-  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  Buffer() = default;
+  // Buffers are written in place and shared by reference (or pooled via
+  // BufferPool); an accidental copy of frame bytes is a hot-path bug, so
+  // copies don't compile.
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  ~Buffer() {
+    internal::AsanUnpoison(bytes_, cap_);
+    std::free(bytes_);
+  }
+
+  void WriteU8(uint8_t v) { *Grow(1) = v; }
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
   void WriteU16(uint16_t v) { AppendLe(v); }
   void WriteU32(uint32_t v) { AppendLe(v); }
@@ -37,16 +92,18 @@ class Buffer {
   }
   void WriteString(const std::string& s) {
     WriteU32(static_cast<uint32_t>(s.size()));
-    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
   void WriteBytes(const uint8_t* data, size_t size) {
-    bytes_.insert(bytes_.end(), data, data + size);
+    if (size != 0) {
+      std::memcpy(Grow(size), data, size);
+    }
   }
 
   // Reserves a u32 slot (for a length prefix) and returns its offset;
   // PatchU32 fills it in once the enclosed content is written.
   size_t ReserveU32() {
-    const size_t at = bytes_.size();
+    const size_t at = size_;
     WriteU32(0);
     return at;
   }
@@ -56,26 +113,92 @@ class Buffer {
     }
   }
 
-  const uint8_t* data() const { return bytes_.data(); }
-  size_t size() const { return bytes_.size(); }
-  bool empty() const { return bytes_.empty(); }
-  void clear() { bytes_.clear(); }
-
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
-
-  friend bool operator==(const Buffer& a, const Buffer& b) {
-    return a.bytes_ == b.bytes_;
+  const uint8_t* data() const { return bytes_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void clear() {
+    internal::AsanPoison(bytes_, cap_);
+    size_ = 0;
   }
 
- private:
-  template <typename T>
-  void AppendLe(T v) {
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  // Grows the backing store up front so a burst of writes doesn't reallocate
+  // mid-frame. Pooled buffers (buffer_pool.h) keep their grown capacity
+  // across acquire/release cycles, which is what makes reuse pay.
+  void Reserve(size_t capacity) {
+    if (capacity > cap_) {
+      Reallocate(capacity);
+    }
+  }
+  size_t capacity() const { return cap_; }
+
+  // Overwrites the current contents with `fill` (the pool poisons released
+  // buffers in debug/sanitized builds so a stale pointer reads a recognizable
+  // pattern instead of the previous frame).
+  void Poison(uint8_t fill) {
+    if (size_ != 0) {
+      std::memset(bytes_, fill, size_);
     }
   }
 
-  std::vector<uint8_t> bytes_;
+  // Materialized copy of the contents; for tests and diagnostics, not the
+  // hot path.
+  std::vector<uint8_t> bytes() const {
+    return std::vector<uint8_t>(bytes_, bytes_ + size_);
+  }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.bytes_, b.bytes_, a.size_) == 0);
+  }
+
+ private:
+  // Returns the write cursor for `n` fresh bytes and bumps the size; the
+  // bytes are uninitialized (every caller overwrites them immediately).
+  uint8_t* Grow(size_t n) {
+    if (n > cap_ - size_) {
+      GrowSlow(n);
+    }
+    uint8_t* at = bytes_ + size_;
+    internal::AsanUnpoison(at, n);
+    size_ += n;
+    return at;
+  }
+
+  void GrowSlow(size_t n) {
+    size_t cap = cap_ < 32 ? 64 : cap_ * 2;
+    if (cap < size_ + n) {
+      cap = size_ + n;
+    }
+    Reallocate(cap);
+  }
+
+  void Reallocate(size_t cap) {
+    auto* grown = static_cast<uint8_t*>(std::malloc(cap));
+    if (size_ != 0) {
+      std::memcpy(grown, bytes_, size_);
+    }
+    internal::AsanPoison(grown + size_, cap - size_);
+    internal::AsanUnpoison(bytes_, cap_);
+    std::free(bytes_);
+    bytes_ = grown;
+    cap_ = cap;
+  }
+
+  // Byte-wise shift decomposition compiles to a single little-endian store
+  // through the unchecked write cursor (the vector-based per-field insert
+  // was the hottest line of the encode path before the wire hot-path
+  // rework).
+  template <typename T>
+  void AppendLe(T v) {
+    uint8_t* at = Grow(sizeof(T));
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      at[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  uint8_t* bytes_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
 };
 
 class Reader {

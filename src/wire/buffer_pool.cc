@@ -1,0 +1,140 @@
+#include "src/wire/buffer_pool.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+// Poison released buffers whenever asserts are live or ASan is watching.
+// The memset makes a stale read through a kept pointer visibly wrong; the
+// clear() that follows lets the libstdc++ container annotations mark the
+// whole [0, capacity) region unaddressable under ASan, so the same mistake
+// becomes a hard error there.
+#if !defined(NDEBUG) || defined(__SANITIZE_ADDRESS__)
+#define SCATTER_WIRE_POOL_POISON 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SCATTER_WIRE_POOL_POISON 1
+#endif
+#endif
+
+namespace scatter::wire {
+namespace {
+
+// Capacities chosen against the frame population: most protocol frames
+// (heartbeats, promises, acks) fit in 128–512 bytes; batched Accepts with
+// command payloads land in the 2–8 KiB classes; the top class covers large
+// snapshots. Anything bigger is served unpooled.
+constexpr size_t kClassCapacities[] = {128, 512, 2048, 8192, 32768, 131072};
+constexpr size_t kNumClasses =
+    sizeof(kClassCapacities) / sizeof(kClassCapacities[0]);
+constexpr size_t kNoClass = static_cast<size_t>(-1);
+
+size_t ClassIndexFor(size_t size) {
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    if (size <= kClassCapacities[i]) {
+      return i;
+    }
+  }
+  return kNoClass;
+}
+
+}  // namespace
+
+bool WirePoolEnabledFromEnv() {
+  // Read once during single-threaded startup; nothing mutates the env.
+  static const bool enabled = [] {
+    // LINT-ALLOW(determinism-ambient): pooling changes where frame bytes
+    // live, never what they contain — seeded runs are bit-identical with the
+    // pool on or off (asserted by the ci.sh wire stage), so this is test
+    // configuration, not simulation state.
+    const char* value = std::getenv("SCATTER_WIRE_POOL");  // NOLINT(concurrency-mt-unsafe)
+    if (value == nullptr || value[0] == '\0' || std::strcmp(value, "on") == 0) {
+      return true;
+    }
+    if (std::strcmp(value, "off") == 0) {
+      return false;
+    }
+    SCATTER_ERROR() << "SCATTER_WIRE_POOL=" << value << " is not on|off";
+    SCATTER_CHECK(false);
+    return true;
+  }();
+  return enabled;
+}
+
+BufferPool::BufferPool() : BufferPool(Config{}) {}
+
+BufferPool::BufferPool(Config config, obs::MetricsRegistry* metrics)
+    : config_(config), classes_(kNumClasses) {
+  if (metrics != nullptr) {
+    hits_ = &metrics->GetCounter("wire.pool.hit");
+    misses_ = &metrics->GetCounter("wire.pool.miss");
+    discards_ = &metrics->GetCounter("wire.pool.discard");
+  } else {
+    hits_ = &local_hits_;
+    misses_ = &local_misses_;
+    discards_ = &local_discards_;
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+size_t BufferPool::ClassCapacity(size_t size_hint) {
+  const size_t idx = ClassIndexFor(size_hint);
+  return idx == kNoClass ? size_hint : kClassCapacities[idx];
+}
+
+BufferPool::Handle BufferPool::Acquire(size_t size_hint) {
+  const size_t idx = ClassIndexFor(size_hint);
+  if (config_.enabled && idx != kNoClass) {
+    // A larger class serves a smaller request fine, so scan upward from the
+    // hinted class. This matters when ByteSize() hints low: the buffer grows
+    // mid-encode and Release re-bins it into a bigger class, and without the
+    // fallback the hinted class would stay empty forever — every Acquire a
+    // fresh allocation plus a mid-encode realloc, with the grown buffers
+    // piling up unused.
+    for (size_t i = idx; i < classes_.size(); ++i) {
+      if (!classes_[i].empty()) {
+        Buffer* buffer = classes_[i].back().release();
+        classes_[i].pop_back();
+        ++*hits_;
+        return Handle(this, buffer);
+      }
+    }
+  }
+  ++*misses_;
+  auto buffer = std::make_unique<Buffer>();
+  buffer->Reserve(ClassCapacity(size_hint));
+  return Handle(this, buffer.release());
+}
+
+void BufferPool::Release(Buffer* raw) {
+  std::unique_ptr<Buffer> buffer(raw);
+  // Re-bin by what the buffer actually grew to, not what was hinted: a
+  // buffer that expanded mid-encode must land in the class whose next
+  // Acquire can use that capacity without another growth.
+  const size_t idx = ClassIndexFor(buffer->capacity());
+  if (!config_.enabled || idx == kNoClass ||
+      classes_[idx].size() >= config_.max_buffers_per_class) {
+    ++*discards_;
+    return;
+  }
+#ifdef SCATTER_WIRE_POOL_POISON
+  buffer->Poison(0xA5);
+#endif
+  buffer->clear();
+  classes_[idx].push_back(std::move(buffer));
+}
+
+size_t BufferPool::pooled_buffers() const {
+  size_t total = 0;
+  for (const auto& freelist : classes_) {
+    total += freelist.size();
+  }
+  return total;
+}
+
+}  // namespace scatter::wire

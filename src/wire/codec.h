@@ -77,6 +77,22 @@ sim::MessagePtr DecodeFrame(const uint8_t* data, size_t size,
 // keeps the wire layer below the protocol layers in the include DAG — it
 // never names a concrete message type.
 
+// Shared between the eager frame decoder and the lazy FrameView
+// (frame_view.h); not part of the module API.
+namespace internal {
+
+// Header flag bits (u8 on the wire).
+inline constexpr uint8_t kFlagIsResponse = 1u << 0;
+
+// Registered payload decoder for a raw type tag, or nullptr.
+MessageDecodeFn FindMessageDecoder(uint16_t raw_type);
+
+// CHECK with context: codec registration/encoding failures are build wiring
+// bugs; die loudly with the offending type in the message.
+[[noreturn]] void WireCodecFailure(const std::string& why);
+
+}  // namespace internal
+
 }  // namespace scatter::wire
 
 #endif  // SCATTER_SRC_WIRE_CODEC_H_

@@ -3,10 +3,17 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/sim/simulator.h"
 #include "src/wire/codec.h"
+#include "src/wire/frame_view.h"
 
 namespace scatter::wire {
 namespace {
+
+// Length prefix + fixed header; added to the message's self-reported payload
+// estimate to pick the pool size class.
+constexpr size_t kFrameOverhead = 4 + kFrameHeaderSize;
 
 // Compares two encoded frames ignoring the fixed `to` header slot:
 // RpcNode::Forward legitimately rewrites `to` on a delivered message to
@@ -34,7 +41,11 @@ bool FramesEqualIgnoringTo(const Buffer& a, const Buffer& b) {
 
 SerializingNetwork::SerializingNetwork(sim::Simulator* sim,
                                        sim::NetworkConfig config)
-    : sim::Network(sim, config) {
+    : sim::Network(sim, config),
+      pool_(BufferPool::Config{.enabled = WirePoolEnabledFromEnv()},
+            &sim->metrics()),
+      frames_(&sim->metrics().GetCounter("wire.frames_serialized")),
+      bytes_(&sim->metrics().GetCounter("wire.bytes_serialized")) {
   // Codecs are registered by the protocol modules that own the message
   // structs (core::RegisterScatterWireCodecs(), baseline's RegisterWireCodecs):
   // the wire layer sits below them in the include DAG and cannot name their
@@ -43,28 +54,35 @@ SerializingNetwork::SerializingNetwork(sim::Simulator* sim,
 
 void SerializingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
                                            const sim::MessagePtr& message) {
-  Buffer frame;
-  EncodeFrame(*message, frame);
-  frames_++;
-  bytes_ += frame.size();
+  BufferPool::Handle frame = pool_.Acquire(message->ByteSize() + kFrameOverhead);
+  EncodeFrame(*message, *frame);
+  ++*frames_;
+  *bytes_ += frame->size();
 
-  size_t consumed = 0;
   std::string error;
-  sim::MessagePtr copy =
-      DecodeFrame(frame.data(), frame.size(), &consumed, &error);
+  FrameView view;
+  if (!view.Parse(frame.data(), frame.size(), &error)) {
+    SCATTER_ERROR() << "serializing transport: self-encoded "
+                    << sim::MessageTypeName(message->type)
+                    << " frame failed header peek: " << error;
+    SCATTER_CHECK(false);
+  }
+  SCATTER_CHECK(view.frame_size() == frame.size());
+  const sim::MessagePtr& copy = view.Materialize(&error);
   if (copy == nullptr) {
     SCATTER_ERROR() << "serializing transport: self-encoded "
                     << sim::MessageTypeName(message->type)
                     << " frame failed to decode: " << error;
     SCATTER_CHECK(copy != nullptr);
   }
-  SCATTER_CHECK(consumed == frame.size());
   endpoint->HandleMessage(copy);
 }
 
 AuditingNetwork::AuditingNetwork(sim::Simulator* sim,
                                  sim::NetworkConfig config)
-    : sim::Network(sim, config) {}
+    : sim::Network(sim, config),
+      pool_(BufferPool::Config{.enabled = WirePoolEnabledFromEnv()},
+            &sim->metrics()) {}
 
 void AuditingNetwork::Report(const sim::MessagePtr& message,
                              std::string detail) {
@@ -80,22 +98,28 @@ void AuditingNetwork::Report(const sim::MessagePtr& message,
 
 void AuditingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
                                         const sim::MessagePtr& message) {
-  Buffer before;
-  EncodeFrame(*message, before);
+  BufferPool::Handle before =
+      pool_.Acquire(message->ByteSize() + kFrameOverhead);
+  EncodeFrame(*message, *before);
 
-  // Round-trip stability: decode the frame and re-encode; any divergence is
-  // a codec dropping or mangling a field.
-  size_t consumed = 0;
+  // Round-trip stability: decode a fresh copy of the frame and re-encode;
+  // any divergence is a codec dropping or mangling a field. The decoded
+  // copy carries no payload memos, so the re-encode exercises the real
+  // per-type encoders even when `before` itself was served from a memo.
   std::string error;
-  sim::MessagePtr copy =
-      DecodeFrame(before.data(), before.size(), &consumed, &error);
-  if (copy == nullptr) {
-    Report(message, "self-encoded frame failed to decode: " + error);
+  FrameView view;
+  if (!view.Parse(before.data(), before.size(), &error)) {
+    Report(message, "self-encoded frame failed header peek: " + error);
   } else {
-    Buffer reencoded;
-    EncodeFrame(*copy, reencoded);
-    if (!(reencoded == before)) {
-      Report(message, "encode -> decode -> encode is not byte-identical");
+    const sim::MessagePtr& copy = view.Materialize(&error);
+    if (copy == nullptr) {
+      Report(message, "self-encoded frame failed to decode: " + error);
+    } else {
+      BufferPool::Handle reencoded = pool_.Acquire(before.size());
+      EncodeFrame(*copy, *reencoded);
+      if (!(*reencoded == *before)) {
+        Report(message, "encode -> decode -> encode is not byte-identical");
+      }
     }
   }
 
@@ -104,10 +128,11 @@ void AuditingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
   // Delivered messages may be shared across broadcast fan-out and with the
   // sender's retransmission state; a handler that mutates one corrupts
   // state it does not own. Forward's `to` rewrite is the sanctioned
-  // exception.
-  Buffer after;
-  EncodeFrame(*message, after);
-  if (!FramesEqualIgnoringTo(before, after)) {
+  // exception. Byte-level comparison of the re-encoded frame — no decode
+  // needed on this leg.
+  BufferPool::Handle after = pool_.Acquire(before.size());
+  EncodeFrame(*message, *after);
+  if (!FramesEqualIgnoringTo(*before, *after)) {
     Report(message, "handler mutated a delivered message");
   }
 }

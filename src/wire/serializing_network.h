@@ -13,6 +13,11 @@
 //                       it before and after the handler runs, catching
 //                       handlers that mutate a delivered (possibly shared)
 //                       message, plus any codec that fails to round-trip.
+//
+// Hot-path mechanics (see DESIGN.md "wire hot path"): frame bytes live in
+// pooled buffers (BufferPool, SCATTER_WIRE_POOL), header routing fields are
+// read through a lazy FrameView, and both transports publish their traffic
+// and pool counters ("wire.*") in the simulation's metrics registry.
 
 #ifndef SCATTER_SRC_WIRE_SERIALIZING_NETWORK_H_
 #define SCATTER_SRC_WIRE_SERIALIZING_NETWORK_H_
@@ -20,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/histogram.h"
 #include "src/sim/network.h"
+#include "src/wire/buffer_pool.h"
 
 namespace scatter::wire {
 
@@ -30,16 +37,20 @@ class SerializingNetwork : public sim::Network {
 
   const char* transport_name() const override { return "serializing"; }
 
-  uint64_t frames_serialized() const { return frames_; }
-  uint64_t bytes_serialized() const { return bytes_; }
+  uint64_t frames_serialized() const { return *frames_; }
+  uint64_t bytes_serialized() const { return *bytes_; }
+  const BufferPool& buffer_pool() const { return pool_; }
 
  protected:
   void DeliverToEndpoint(sim::Endpoint* endpoint,
                          const sim::MessagePtr& message) override;
 
  private:
-  uint64_t frames_ = 0;
-  uint64_t bytes_ = 0;
+  BufferPool pool_;
+  // Registry cells ("wire.frames_serialized" / "wire.bytes_serialized"),
+  // bound once at construction — same pattern as Replica::Stats.
+  Counter* frames_ = nullptr;
+  Counter* bytes_ = nullptr;
 };
 
 class AuditingNetwork : public sim::Network {
@@ -62,6 +73,8 @@ class AuditingNetwork : public sim::Network {
   // violations() instead.
   void set_fail_on_violation(bool fail) { fail_on_violation_ = fail; }
 
+  const BufferPool& buffer_pool() const { return pool_; }
+
  protected:
   void DeliverToEndpoint(sim::Endpoint* endpoint,
                          const sim::MessagePtr& message) override;
@@ -69,6 +82,7 @@ class AuditingNetwork : public sim::Network {
  private:
   void Report(const sim::MessagePtr& message, std::string detail);
 
+  BufferPool pool_;
   bool fail_on_violation_ = true;
   std::vector<Violation> violations_;
 };

@@ -259,6 +259,59 @@ TEST(TransportSeam, QuietInSimWireAndTests) {
   EXPECT_EQ(CountRule(report, "transport-seam"), 0);
 }
 
+// --- wire-hot-alloc ----------------------------------------------------------
+
+TEST(WireHotAlloc, FiresOnNewAndRawByteVectorInWire) {
+  const LintReport report =
+      Lint({{"src/wire/bad.cc",
+            "#include <vector>\n"
+            "void Encode() {\n"
+            "  std::vector<uint8_t> frame;\n"
+            "  auto* b = new int(0);\n"
+            "  (void)b;\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "wire-hot-alloc"), 2);
+}
+
+TEST(WireHotAlloc, QuietOutsideWireAndInPoolSources) {
+  const std::string body =
+      "#include <vector>\n"
+      "std::vector<uint8_t> Copy() { return std::vector<uint8_t>(); }\n";
+  const LintReport report = Lint({{"src/core/ok.cc", body},
+                                 {"src/wire/buffer.h", body},
+                                 {"src/wire/buffer_pool.cc", body},
+                                 {"tests/ok.cc", body}});
+  EXPECT_EQ(CountRule(report, "wire-hot-alloc"), 0);
+}
+
+TEST(WireHotAlloc, QuietOnPooledIdiomAndOtherVectors) {
+  const LintReport report =
+      Lint({{"src/wire/ok.cc",
+            "#include <vector>\n"
+            "#include \"src/wire/buffer_pool.h\"\n"
+            "void Encode(BufferPool& pool) {\n"
+            "  BufferPool::Handle frame = pool.Acquire(64);\n"
+            "  std::vector<int> offsets;\n"
+            "  (void)frame; (void)offsets;\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "wire-hot-alloc"), 0);
+}
+
+TEST(WireHotAlloc, AllowAbsorbsStartupAllocation) {
+  const std::string src =
+      std::string("struct Registry {};\n"
+                  "Registry* Get() {\n"
+                  "  // ") +
+      kAllowMarker +
+      "(wire-hot-alloc): one-time static registry, not per-frame.\n"
+      "  static Registry* r = new Registry();\n"
+      "  return r;\n"
+      "}\n";
+  const LintReport report = Lint({{"src/wire/reg.cc", src}});
+  EXPECT_EQ(CountRule(report, "wire-hot-alloc"), 0);
+  EXPECT_EQ(report.suppressed.at("wire-hot-alloc"), 1);
+}
+
 // --- suppression semantics ---------------------------------------------------
 
 TEST(Suppression, AllowAbsorbsExactlyOneFinding) {

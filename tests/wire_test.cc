@@ -32,6 +32,7 @@
 #include "src/txn/wire_codecs.h"
 #include "src/wire/buffer.h"
 #include "src/wire/codec.h"
+#include "src/wire/frame_view.h"
 
 namespace scatter::wire {
 namespace {
@@ -801,6 +802,223 @@ TEST_F(WireTest, NullAndUnknownCommandTags) {
     EXPECT_EQ(paxos::DecodeSnapshot(in), nullptr);
     EXPECT_FALSE(in.ok());
   }
+}
+
+// --- Lazy decode (FrameView) -------------------------------------------------
+
+// The lazy path must be observationally identical to the eager decoder on
+// every accepted input: same header fields at peek time, same message after
+// materialization (checked byte-for-byte through re-encode), same consumed
+// size.
+TEST_F(WireTest, LazyViewMatchesEagerDecodeOnEveryType) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    for (const auto& m : SampleMessages(rng)) {
+      Buffer frame;
+      EncodeFrame(*m, frame);
+
+      size_t consumed = 0;
+      std::string eager_error;
+      sim::MessagePtr eager =
+          DecodeFrame(frame.data(), frame.size(), &consumed, &eager_error);
+      ASSERT_NE(eager, nullptr)
+          << sim::MessageTypeName(m->type) << ": " << eager_error;
+
+      FrameView view;
+      std::string lazy_error;
+      ASSERT_TRUE(view.Parse(frame.data(), frame.size(), &lazy_error))
+          << sim::MessageTypeName(m->type) << ": " << lazy_error;
+      // Header peek alone must expose the routing/tracing fields.
+      EXPECT_FALSE(view.materialized());
+      EXPECT_EQ(view.type(), m->type);
+      EXPECT_EQ(view.from(), m->from);
+      EXPECT_EQ(view.to(), m->to);
+      EXPECT_EQ(view.rpc_id(), m->rpc_id);
+      EXPECT_EQ(view.is_response(), m->is_response);
+      EXPECT_EQ(view.trace_id(), m->trace_id);
+      EXPECT_EQ(view.span_id(), m->span_id);
+      EXPECT_EQ(view.frame_size(), consumed);
+      EXPECT_EQ(view.frame_size(), 4 + kFrameHeaderSize + view.payload_size());
+
+      const sim::MessagePtr& lazy = view.Materialize(&lazy_error);
+      ASSERT_NE(lazy, nullptr)
+          << sim::MessageTypeName(m->type) << ": " << lazy_error;
+      EXPECT_TRUE(view.materialized());
+      // Byte-identical re-encode pins lazy == eager on every field without
+      // per-type comparison code.
+      Buffer from_eager;
+      EncodeFrame(*eager, from_eager);
+      Buffer from_lazy;
+      EncodeFrame(*lazy, from_lazy);
+      EXPECT_EQ(from_eager.bytes(), from_lazy.bytes())
+          << sim::MessageTypeName(m->type);
+      // Materialize is cached: same object back, no second decode.
+      EXPECT_EQ(view.Materialize().get(), lazy.get());
+    }
+  }
+}
+
+// Header-level rejections happen at peek time: Parse fails before any
+// payload work, with the same error string the eager decoder reports.
+TEST_F(WireTest, HeaderPeekRejectsUnknownVersionTypeAndTruncation) {
+  Rng rng(13);
+  auto m = std::make_shared<core::ClientRequestMsg>();
+  m->op = core::ClientOp::kPut;
+  m->key = 42;
+  m->value = "peek-reject";
+  Buffer frame;
+  EncodeFrame(*Finish(m, rng), frame);
+
+  auto expect_same_rejection = [](const uint8_t* data, size_t size) {
+    size_t consumed = 1;
+    std::string eager_error;
+    ASSERT_EQ(DecodeFrame(data, size, &consumed, &eager_error), nullptr);
+    ASSERT_EQ(consumed, 0u);
+    FrameView view;
+    std::string lazy_error;
+    EXPECT_FALSE(view.Parse(data, size, &lazy_error));
+    EXPECT_EQ(lazy_error, eager_error);
+  };
+
+  {
+    std::vector<uint8_t> bytes(frame.data(), frame.data() + frame.size());
+    bytes[4] = 0xff;  // version u16 lives right after the length prefix
+    bytes[5] = 0xff;
+    expect_same_rejection(bytes.data(), bytes.size());
+  }
+  {
+    std::vector<uint8_t> bytes(frame.data(), frame.data() + frame.size());
+    bytes[6] = 0xff;  // type u16 follows the version
+    bytes[7] = 0x7f;
+    expect_same_rejection(bytes.data(), bytes.size());
+  }
+  // Every truncation that cuts the length prefix or fixed header must be
+  // rejected by Parse; payload truncations parse but fail to materialize.
+  for (size_t n = 0; n < 4 + kFrameHeaderSize; ++n) {
+    expect_same_rejection(frame.data(), n);
+  }
+}
+
+// Exhaustive lazy-vs-eager agreement on hostile input: truncations at every
+// byte boundary and garbage payloads across all message types must produce
+// the same verdict AND the same error text on both paths.
+TEST_F(WireTest, LazyViewFuzzAgreesWithEagerDecode) {
+  Rng rng(17);
+
+  auto expect_agreement = [](const uint8_t* data, size_t size,
+                             const char* what) {
+    size_t consumed = 1;
+    std::string eager_error;
+    sim::MessagePtr eager = DecodeFrame(data, size, &consumed, &eager_error);
+
+    FrameView view;
+    std::string lazy_error;
+    sim::MessagePtr lazy;
+    if (view.Parse(data, size, &lazy_error)) {
+      lazy = view.Materialize(&lazy_error);
+    }
+    ASSERT_EQ(eager == nullptr, lazy == nullptr)
+        << what << ": eager=" << eager_error << " lazy=" << lazy_error;
+    if (eager == nullptr) {
+      EXPECT_EQ(lazy_error, eager_error) << what;
+    } else {
+      EXPECT_EQ(view.frame_size(), consumed) << what;
+      Buffer a;
+      EncodeFrame(*eager, a);
+      Buffer b;
+      EncodeFrame(*lazy, b);
+      EXPECT_EQ(a.bytes(), b.bytes()) << what;
+    }
+  };
+
+  // Truncations of a real frame of every sampled type.
+  for (const auto& m : SampleMessages(rng)) {
+    Buffer frame;
+    EncodeFrame(*m, frame);
+    for (size_t n = 0; n <= frame.size(); n += 1 + n / 8) {
+      expect_agreement(frame.data(), n, sim::MessageTypeName(m->type));
+    }
+  }
+  // Garbage payloads under a valid header.
+  for (int round = 0; round < 200; ++round) {
+    const sim::MessageType type =
+        sim::kAllMessageTypes[rng() % sim::kMessageTypeCount];
+    Buffer b;
+    const size_t at = b.ReserveU32();
+    b.WriteU16(kWireVersion);
+    b.WriteU16(static_cast<uint16_t>(type));
+    const size_t garbage = rng() % 128;
+    for (size_t i = 0; i < garbage; ++i) {
+      b.WriteU8(static_cast<uint8_t>(rng() % 256));
+    }
+    b.PatchU32(at, static_cast<uint32_t>(b.size() - 4));
+    expect_agreement(b.data(), b.size(), sim::MessageTypeName(type));
+  }
+}
+
+// --- Encode-side payload memo ------------------------------------------------
+
+// The scatter-gather encode invariants: a command's canonical bytes are
+// produced once and reused on every later encode (byte-identically), and the
+// memo never crosses to the decode side — a decoded copy re-encodes through
+// the real per-type encoder, which is what keeps the audit transport's
+// stability check honest.
+TEST_F(WireTest, CommandEncodeMemoReusesBytesOnFanOut) {
+  auto cmd = std::make_shared<membership::PutCommand>(7, "memo-me");
+  cmd->client_id = 3;
+  cmd->client_seq = 11;
+  const paxos::CommandPtr shared = cmd;
+  ASSERT_EQ(shared->wire_memo, nullptr);
+
+  const paxos::PayloadEncodeStats before = paxos::GetPayloadEncodeStats();
+  Buffer first;
+  paxos::EncodeCommand(shared, first);
+  ASSERT_NE(shared->wire_memo, nullptr);
+  EXPECT_EQ(shared->wire_memo->size(), first.size());
+
+  // Fan-out: five more encodes of the same object, as ReplicateTo does when
+  // replicating one entry to five peers. All served from the memo, all
+  // byte-identical.
+  for (int peer = 0; peer < 5; ++peer) {
+    Buffer again;
+    paxos::EncodeCommand(shared, again);
+    EXPECT_EQ(again.bytes(), first.bytes());
+  }
+  const paxos::PayloadEncodeStats after = paxos::GetPayloadEncodeStats();
+  EXPECT_EQ(after.memo_fills - before.memo_fills, 1u);
+  EXPECT_EQ(after.memo_hits - before.memo_hits, 5u);
+  EXPECT_EQ(after.memo_bytes_reused - before.memo_bytes_reused,
+            5 * first.size());
+
+  // Decode side: fresh object, no memo attached.
+  Reader in(first);
+  paxos::CommandPtr decoded = paxos::DecodeCommand(in);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_TRUE(in.ok());
+  EXPECT_EQ(decoded->wire_memo, nullptr);
+  // And its re-encode (through the real encoder) matches the memo bytes.
+  Buffer re;
+  paxos::EncodeCommand(decoded, re);
+  EXPECT_EQ(re.bytes(), first.bytes());
+}
+
+TEST_F(WireTest, SnapshotEncodeMemoReusesBytes) {
+  Rng rng(19);
+  auto snap = RandGroupSnapshot(rng);
+  ASSERT_NE(snap, nullptr);
+  ASSERT_EQ(snap->wire_memo, nullptr);
+  Buffer first;
+  paxos::EncodeSnapshot(snap, first);
+  ASSERT_NE(snap->wire_memo, nullptr);
+  Buffer again;
+  paxos::EncodeSnapshot(snap, again);
+  EXPECT_EQ(again.bytes(), first.bytes());
+
+  Reader in(first);
+  paxos::SnapshotPtr decoded = paxos::DecodeSnapshot(in);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_TRUE(in.ok());
+  EXPECT_EQ(decoded->wire_memo, nullptr);
 }
 
 TEST_F(WireTest, GarbagePayloadNeverCrashes) {

@@ -36,6 +36,10 @@ const std::vector<RuleInfo> kRules = {
     {"unused-suppression",
      "a LINT-ALLOW comment that suppressed nothing is itself a finding — "
      "stale suppressions hide future regressions"},
+    {"wire-hot-alloc",
+     "flags direct std::vector<uint8_t> construction or `new` in src/wire/ "
+     "encode/decode paths outside the buffer pool — per-frame byte storage "
+     "must come from wire::BufferPool so the hot path stays allocation-free"},
 };
 
 // --- Shared analysis state ---------------------------------------------------
@@ -655,6 +659,44 @@ void RunTransportSeam(Engine& eng, const FileState& fs) {
   }
 }
 
+// --- Rule: wire-hot-alloc ----------------------------------------------------
+
+// The wire layer's per-frame byte storage must come from wire::BufferPool:
+// a stray `new` or a fresh std::vector<uint8_t> in an encode/decode path
+// reintroduces the per-delivery allocation the pool exists to remove. The
+// pool itself and Buffer (whose vector IS the pooled storage) are the
+// sanctioned owners; startup-time allocations (e.g. the codec registry)
+// carry a LINT-ALLOW with the reason.
+void RunWireHotAlloc(Engine& eng, const FileState& fs) {
+  const std::string& path = fs.source.path;
+  if (!HasPrefix(path, "src/wire/")) {
+    return;
+  }
+  if (path == "src/wire/buffer.h" || path == "src/wire/buffer_pool.h" ||
+      path == "src/wire/buffer_pool.cc") {
+    return;
+  }
+  const std::vector<Token>& toks = fs.tok.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    if (toks[i].text == "new") {
+      eng.Report("wire-hot-alloc", path, toks[i].line,
+                 "`new` in the wire layer — frame storage must be acquired "
+                 "from wire::BufferPool (LINT-ALLOW for one-time startup "
+                 "allocations)");
+    } else if (toks[i].text == "vector" && i + 3 < toks.size() &&
+               toks[i + 1].text == "<" && toks[i + 2].text == "uint8_t" &&
+               (toks[i + 3].text == ">" || toks[i + 3].text == ">>")) {
+      eng.Report("wire-hot-alloc", path, toks[i].line,
+                 "raw std::vector<uint8_t> in the wire layer — use a pooled "
+                 "wire::Buffer (BufferPool::Acquire) so encode/decode paths "
+                 "do not allocate per frame");
+    }
+  }
+}
+
 // --- Suppression + meta-rule -------------------------------------------------
 
 const std::set<std::string>& KnownRuleNames() {
@@ -700,6 +742,7 @@ LintReport RunLint(const std::vector<SourceFile>& files,
     RunUnorderedIteration(eng, fs);
     RunCheckSideEffects(eng, fs);
     RunTransportSeam(eng, fs);
+    RunWireHotAlloc(eng, fs);
   }
   RunLayerDag(eng);
 

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -40,6 +41,13 @@ Result RunOne(bool load_aware, uint64_t seed) {
   cfg.scatter.policy.repartition_imbalance = 2.0;
   cfg.scatter.policy.repartition_min_keys = 32;
   cfg.scatter.policy.repartition_min_rate = 100.0;
+  // The operator's-view hook: SCATTER_BENCH_OBS=on (or just asking for a
+  // timeline file) runs the workload with the health monitor + timeline
+  // live, and the scatter.timeline.v1 export below feeds scatter-top.
+  const bool obs = bench::ObsEnabledFromEnv() ||
+                   std::getenv("SCATTER_TIMELINE_JSON") != nullptr;
+  cfg.enable_health_monitor = obs;
+  cfg.enable_timeline = obs;
   core::Cluster cluster(cfg);
   cluster.RunFor(kWarmup);
 
@@ -79,6 +87,9 @@ Result RunOne(bool load_aware, uint64_t seed) {
         static_cast<double>(total) / static_cast<double>(loads.size());
     out.imbalance = mean > 0 ? static_cast<double>(max_load) / mean : 0;
   }
+  // Successive RunOne calls overwrite the timeline/trace files, so the
+  // recorded operator's view is the last (load-aware) configuration.
+  bench::ExportObservability(cluster.sim());
   return out;
 }
 

@@ -139,7 +139,16 @@ void BM_PaxosCommit(benchmark::State& state) {
   cfg.seed = 77;
   cfg.initial_nodes = 5;
   cfg.initial_groups = 1;
+  // SCATTER_BENCH_OBS=on: the monitoring-overhead leg of the A/B that
+  // scripts/bench_snapshot.sh records — tracing, health monitor and
+  // timeline all live while the commit path is measured.
+  const bool obs = bench::ObsEnabledFromEnv();
+  cfg.enable_health_monitor = obs;
+  cfg.enable_timeline = obs;
   core::Cluster cluster(cfg);
+  if (obs) {
+    cluster.sim().EnableTracing();
+  }
   cluster.RunFor(Seconds(2));
   core::Client* client = cluster.AddClient();
   uint64_t issued = 0;

@@ -14,6 +14,7 @@
 
 #include "src/common/types.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
@@ -128,9 +129,11 @@ struct CommitPathSummary {
 
 // Flight-recorder export hooks, driven by environment variables so every
 // bench binary gets them without per-bench flag plumbing:
-//   SCATTER_METRICS_JSON=<path>  append the sim's metrics registry snapshot
-//   SCATTER_TRACE_JSON=<path>    write the recorded causal trace (only if
-//                                the bench enabled tracing on the sim)
+//   SCATTER_METRICS_JSON=<path>   append the sim's metrics registry snapshot
+//   SCATTER_TRACE_JSON=<path>     write the recorded causal trace (only if
+//                                 the bench enabled tracing on the sim)
+//   SCATTER_TIMELINE_JSON=<path>  write the scatter.timeline.v1 document
+//                                 (only if the bench enabled the timeline)
 // Call after the measured run, before tearing the simulator down.
 inline void ExportObservability(sim::Simulator& sim) {
   if (const char* path = std::getenv("SCATTER_METRICS_JSON");
@@ -153,6 +156,31 @@ inline void ExportObservability(sim::Simulator& sim) {
       }
     }
   }
+  if (const char* path = std::getenv("SCATTER_TIMELINE_JSON");
+      path != nullptr && *path != '\0') {
+    if (obs::TimelineRecorder* timeline = sim.timeline()) {
+      // Capture one final snapshot at the current instant so the file covers
+      // the tail of the run even when it ended mid-period.
+      timeline->Capture(sim.now(), sim.tracer());
+      std::ofstream out(path);
+      if (out) {
+        out << timeline->ToJson() << "\n";
+      } else {
+        std::fprintf(stderr, "bench: cannot write timeline json to %s\n",
+                     path);
+      }
+    }
+  }
+}
+
+// SCATTER_BENCH_OBS=on asks benchmarks that call this to run with the full
+// observability stack live — causal tracing, health monitor and timeline.
+// This is the A/B lever scripts/bench_snapshot.sh pulls to record what
+// monitoring costs on the commit path; the default (off) leg measures the
+// same binary with the stack compiled in but dormant.
+inline bool ObsEnabledFromEnv() {
+  const char* v = std::getenv("SCATTER_BENCH_OBS");
+  return v != nullptr && (std::string(v) == "on" || std::string(v) == "1");
 }
 
 // How THIS binary's repo code was compiled. google-benchmark's own

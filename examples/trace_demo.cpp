@@ -1,10 +1,12 @@
-// Flight-recorder demo: runs a small two-group cluster with causal tracing
-// enabled, issues a few client operations, then drives a cross-group merge
-// so the trace contains a multi-group transaction tree. Exports the trace
-// as Chrome trace-event JSON (open in https://ui.perfetto.dev) and the
-// metrics registry as JSON.
+// Flight-recorder demo: runs a small two-group cluster with causal tracing,
+// the health monitor and the obs timeline enabled, issues a few client
+// operations, then drives a cross-group merge so the trace contains a
+// multi-group transaction tree. Exports the trace as Chrome trace-event
+// JSON (open in https://ui.perfetto.dev), the metrics registry as JSON, and
+// the periodic load/health snapshots as scatter.timeline.v1 JSON (render
+// with tools/scatter_top).
 //
-// Usage: trace_demo [trace.json] [metrics.json]
+// Usage: trace_demo [trace.json] [metrics.json] [timeline.json]
 
 #include <cstdio>
 #include <fstream>
@@ -13,13 +15,16 @@
 
 #include "src/common/hash.h"
 #include "src/core/cluster.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 
 namespace scatter {
 namespace {
 
-int Run(const std::string& trace_path, const std::string& metrics_path) {
+int Run(const std::string& trace_path, const std::string& metrics_path,
+        const std::string& timeline_path) {
   core::ClusterConfig cfg;
   cfg.seed = 42;
   cfg.initial_nodes = 10;
@@ -30,6 +35,8 @@ int Run(const std::string& trace_path, const std::string& metrics_path) {
   cfg.scatter.policy.enable_migration = false;
   cfg.scatter.policy.min_group_size = 1;
   cfg.scatter.policy.max_group_size = 64;
+  cfg.enable_health_monitor = true;
+  cfg.enable_timeline = true;
   core::Cluster cluster(cfg);
   cluster.sim().EnableTracing();
   cluster.RunFor(Seconds(2));
@@ -108,9 +115,27 @@ int Run(const std::string& trace_path, const std::string& metrics_path) {
     }
     out << cluster.sim().metrics().ToJson();
   }
-  std::printf("trace_demo: wrote %s and %s (%zu spans recorded)\n",
-              trace_path.c_str(), metrics_path.c_str(),
-              cluster.sim().tracer()->spans().size());
+  {
+    // Final capture at the current instant so the document covers the tail
+    // of the run even though it ended between period boundaries.
+    obs::TimelineRecorder* timeline = cluster.sim().timeline();
+    timeline->Capture(cluster.sim().now(), cluster.sim().tracer());
+    std::ofstream out(timeline_path);
+    if (!out) {
+      std::fprintf(stderr, "trace_demo: cannot write %s\n",
+                   timeline_path.c_str());
+      return 1;
+    }
+    out << timeline->ToJson() << "\n";
+  }
+  const obs::HealthMonitor* monitor = cluster.sim().health_monitor();
+  std::printf(
+      "trace_demo: wrote %s, %s and %s (%zu spans, %zu timeline snapshots, "
+      "%llu health raises)\n",
+      trace_path.c_str(), metrics_path.c_str(), timeline_path.c_str(),
+      cluster.sim().tracer()->spans().size(),
+      cluster.sim().timeline()->snapshots().size(),
+      static_cast<unsigned long long>(monitor->raises_total()));
   std::printf("view the trace at https://ui.perfetto.dev\n");
   return 0;
 }
@@ -122,5 +147,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = argc > 1 ? argv[1] : "trace_demo_trace.json";
   const std::string metrics_path =
       argc > 2 ? argv[2] : "trace_demo_metrics.json";
-  return scatter::Run(trace_path, metrics_path);
+  const std::string timeline_path =
+      argc > 3 ? argv[3] : "trace_demo_timeline.json";
+  return scatter::Run(trace_path, metrics_path, timeline_path);
 }

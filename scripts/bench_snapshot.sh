@@ -56,6 +56,49 @@ mv BENCH_micro.json.tmp BENCH_micro.json
 grep -E '"(name|items_per_second|avg_batch|msgs_per_op)"' BENCH_micro.json |
   grep -v "_mean\"\|_stddev\"\|_cv\"" | sed 's/^ *//' || true
 
+echo "=== obs A/B on BM_PaxosCommit -> BENCH_obs_ab.json ==="
+# Monitoring-overhead baseline: the same commit-path benchmark with the full
+# observability stack live (SCATTER_BENCH_OBS=on: tracing + health monitor +
+# timeline) vs dormant. The committed report records both Release medians
+# and the overhead ratio, so a hot-path instrumentation regression shows up
+# as a diff. Budget: enabled <= 5% over disabled.
+for obs_leg in off on; do
+  SCATTER_BENCH_OBS="$obs_leg" "$BUILD_DIR/bench/bench_micro" \
+    --benchmark_filter='^BM_PaxosCommit/8$' \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions="$REPETITIONS" \
+    --benchmark_enable_random_interleaving=true \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "BENCH_obs_${obs_leg}.json.tmp"
+done
+python3 - <<'PYEOF'
+import json
+
+def median(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for b in doc["benchmarks"]:
+        if b["name"].endswith("_median"):
+            return b["real_time"]
+    raise SystemExit(f"bench_snapshot: no median aggregate in {path}")
+
+off = median("BENCH_obs_off.json.tmp")
+on = median("BENCH_obs_on.json.tmp")
+overhead = (on - off) / off
+report = {
+    "benchmark": "BM_PaxosCommit/8",
+    "median_ns_obs_off": off,
+    "median_ns_obs_on": on,
+    "obs_overhead_fraction": round(overhead, 4),
+}
+with open("BENCH_obs_ab.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"obs off: {off:.0f} ns  obs on: {on:.0f} ns  "
+      f"overhead: {overhead * 100:+.2f}% (budget: <= 5%)")
+PYEOF
+rm -f BENCH_obs_off.json.tmp BENCH_obs_on.json.tmp
+
 echo "=== bench_scale smoke -> BENCH_metrics.json ==="
 # The metrics registry snapshot rides along with the perf baseline: counter
 # regressions (e.g. a batching change blowing up accepts_sent) show up as

@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
 """Validates the flight recorder's exported JSON against its stable schemas.
 
-Usage: check_obs_json.py TRACE_JSON METRICS_JSON
+Usage: check_obs_json.py TRACE_JSON METRICS_JSON [TIMELINE_JSON]
 
 Checks (stdlib only, no third-party deps):
-  trace   - Chrome trace-event shape (traceEvents list, ph/ts/pid/tid
-            fields), schema tag scatter.trace.v1, span ids unique, every
-            parent_span_id resolves within the same trace, child spans
-            start at or after their parent (simulated time), and at least
-            one multi-group transaction (txn.coordinate) whose span tree is
-            a single connected tree spanning >= 2 distinct groups.
-  metrics - schema tag scatter.metrics.v1, counters/gauges/histograms
-            arrays with stable cell shape, histogram summaries carry the
-            full quantile set, and the core paxos/txn counters are present
-            and non-zero for a run that committed operations.
+  trace    - Chrome trace-event shape (traceEvents list, ph/ts/pid/tid
+             fields), schema tag scatter.trace.v1, span ids unique, every
+             parent_span_id resolves within the same trace, child spans
+             start at or after their parent (simulated time), and at least
+             one multi-group transaction (txn.coordinate) whose span tree is
+             a single connected tree spanning >= 2 distinct groups.
+  metrics  - schema tag scatter.metrics.v1, counters/gauges/windows/
+             histograms arrays with stable cell shape, histogram summaries
+             carry the full quantile set with a sane ordering (count >= 0,
+             min <= p50 <= p90 <= p99 <= p100 <= max — a negative-width
+             quantile bucket means a broken merge), sliding windows carry
+             positive bucket widths and non-negative sums, and the core
+             paxos/txn counters are present and non-zero for a run that
+             committed operations.
+  timeline - (optional third argument) schema tag scatter.timeline.v1,
+             snapshot timestamps strictly increasing, group/node rows with
+             stable shape, all rates finite and non-negative, p50 <= p99.
+
+Every number anywhere in every document must be finite: NaN/Infinity are
+not JSON, and a single one poisons downstream aggregation silently.
 """
 
 import json
+import math
 import sys
 
 
@@ -25,9 +36,34 @@ def fail(msg):
     sys.exit(1)
 
 
+def load_strict(text, what):
+    """json.loads that rejects the NaN/Infinity extensions."""
+    def reject(token):
+        fail(f"{what}: non-finite number literal {token!r}")
+    try:
+        return json.loads(text, parse_constant=reject)
+    except json.JSONDecodeError as e:
+        fail(f"{what}: invalid JSON: {e}")
+
+
+def check_finite(value, what, path="$"):
+    """Recursively rejects non-finite floats (belt to parse_constant's
+    suspenders: a float that *parsed* but is inf/nan, e.g. 1e999)."""
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            fail(f"{what}: non-finite number at {path}")
+    elif isinstance(value, dict):
+        for k, v in value.items():
+            check_finite(v, what, f"{path}.{k}")
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            check_finite(v, what, f"{path}[{i}]")
+
+
 def check_trace(path):
     with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+        doc = load_strict(f.read(), "trace")
+    check_finite(doc, "trace")
     if doc.get("otherData", {}).get("schema") != "scatter.trace.v1":
         fail("trace: missing schema tag scatter.trace.v1")
     events = doc.get("traceEvents")
@@ -96,30 +132,75 @@ def check_trace(path):
           f"{len(coords)} coordinated txns)")
 
 
+def check_hist_summary(hist, ctx):
+    for key in ("count", "min", "max", "mean", "p50", "p90", "p99", "p100"):
+        if key not in hist:
+            fail(f"{ctx}: histogram summary missing {key!r}: {hist}")
+    if hist["count"] < 0:
+        fail(f"{ctx}: negative histogram count: {hist}")
+    if hist["count"] == 0:
+        return
+    # Quantiles must be monotone and bracketed by min/max: an inversion is a
+    # negative-width quantile bucket, the signature of a corrupted merge.
+    order = [("min", hist["min"]), ("p50", hist["p50"]),
+             ("p90", hist["p90"]), ("p99", hist["p99"]),
+             ("p100", hist["p100"]), ("max", hist["max"])]
+    for (lo_name, lo), (hi_name, hi) in zip(order, order[1:]):
+        if lo > hi:
+            fail(f"{ctx}: histogram {lo_name} > {hi_name} "
+                 f"({lo} > {hi}): {hist}")
+
+
+def check_window(window, ctx):
+    for key in ("bucket_width_us", "num_buckets", "total", "ewma",
+                "buckets"):
+        if key not in window:
+            fail(f"{ctx}: window missing {key!r}: {window}")
+    if window["bucket_width_us"] <= 0:
+        fail(f"{ctx}: non-positive window bucket width: {window}")
+    if window["num_buckets"] <= 0:
+        fail(f"{ctx}: non-positive window bucket count: {window}")
+    if window["ewma"] < 0:
+        fail(f"{ctx}: negative window ewma: {window}")
+    prev_epoch = None
+    for bucket in window["buckets"]:
+        for key in ("epoch", "sum"):
+            if key not in bucket:
+                fail(f"{ctx}: window bucket missing {key!r}: {bucket}")
+        if bucket["epoch"] < 0 or bucket["sum"] < 0:
+            fail(f"{ctx}: negative window bucket field: {bucket}")
+        if prev_epoch is not None and bucket["epoch"] <= prev_epoch:
+            fail(f"{ctx}: window bucket epochs not increasing: {window}")
+        prev_epoch = bucket["epoch"]
+
+
 def check_metrics(path):
     with open(path, encoding="utf-8") as f:
         # bench_util appends one snapshot per line; validate the last one.
         lines = [ln for ln in f.read().splitlines() if ln.strip()]
     if not lines:
         fail("metrics: file empty")
-    doc = json.loads(lines[-1])
+    doc = load_strict(lines[-1], "metrics")
+    check_finite(doc, "metrics")
     if doc.get("schema") != "scatter.metrics.v1":
         fail("metrics: missing schema tag scatter.metrics.v1")
-    for section in ("counters", "gauges", "histograms"):
+    for section in ("counters", "gauges", "windows", "histograms"):
         if not isinstance(doc.get(section), list):
             fail(f"metrics: {section} missing")
     for cell in doc["counters"] + doc["gauges"]:
         for key in ("name", "node", "group", "value"):
             if key not in cell:
                 fail(f"metrics: cell missing {key!r}: {cell}")
+    for cell in doc["windows"]:
+        for key in ("name", "node", "group", "window"):
+            if key not in cell:
+                fail(f"metrics: window cell missing {key!r}: {cell}")
+        check_window(cell["window"], f"metrics: {cell['name']}")
     for cell in doc["histograms"]:
         for key in ("name", "node", "group", "hist"):
             if key not in cell:
                 fail(f"metrics: histogram cell missing {key!r}: {cell}")
-        for key in ("count", "min", "max", "mean", "p50", "p90", "p99",
-                    "p100"):
-            if key not in cell["hist"]:
-                fail(f"metrics: histogram summary missing {key!r}: {cell}")
+        check_hist_summary(cell["hist"], f"metrics: {cell['name']}")
 
     def total(name):
         return sum(c["value"] for c in doc["counters"] if c["name"] == name)
@@ -130,15 +211,72 @@ def check_metrics(path):
         fail("metrics: txn.txns_committed is zero")
     print(f"check_obs_json: metrics ok ({len(doc['counters'])} counter cells, "
           f"{len(doc['gauges'])} gauge cells, "
+          f"{len(doc['windows'])} window cells, "
           f"{len(doc['histograms'])} histogram cells)")
 
 
+def check_timeline(path):
+    with open(path, encoding="utf-8") as f:
+        doc = load_strict(f.read(), "timeline")
+    check_finite(doc, "timeline")
+    if doc.get("schema") != "scatter.timeline.v1":
+        fail("timeline: missing schema tag scatter.timeline.v1")
+    if not isinstance(doc.get("period_us"), int) or doc["period_us"] <= 0:
+        fail("timeline: period_us missing or non-positive")
+    snapshots = doc.get("snapshots")
+    if not isinstance(snapshots, list) or not snapshots:
+        fail("timeline: snapshots missing or empty")
+
+    group_rows = 0
+    node_rows = 0
+    prev_ts = None
+    rate_keys_group = ("ops_per_sec", "bytes_per_sec", "commits_per_sec")
+    rate_keys_node = ("frames_per_sec", "wire_bytes_per_sec",
+                      "pool_miss_per_sec")
+    for snap in snapshots:
+        for key in ("ts_us", "groups", "nodes"):
+            if key not in snap:
+                fail(f"timeline: snapshot missing {key!r}")
+        if prev_ts is not None and snap["ts_us"] <= prev_ts:
+            fail(f"timeline: snapshot timestamps not increasing "
+                 f"({prev_ts} -> {snap['ts_us']})")
+        prev_ts = snap["ts_us"]
+        for row in snap["groups"]:
+            for key in ("group", "node", "p50_us", "p99_us",
+                        "health") + rate_keys_group:
+                if key not in row:
+                    fail(f"timeline: group row missing {key!r}: {row}")
+            for key in rate_keys_group:
+                if row[key] < 0:
+                    fail(f"timeline: negative rate {key}: {row}")
+            if row["p50_us"] > row["p99_us"]:
+                fail(f"timeline: p50 > p99 in group row: {row}")
+            if not isinstance(row["health"], list):
+                fail(f"timeline: health not a list: {row}")
+            group_rows += 1
+        for row in snap["nodes"]:
+            for key in ("node", "health") + rate_keys_node:
+                if key not in row:
+                    fail(f"timeline: node row missing {key!r}: {row}")
+            for key in rate_keys_node:
+                if row[key] < 0:
+                    fail(f"timeline: negative rate {key}: {row}")
+            if not isinstance(row["health"], list):
+                fail(f"timeline: health not a list: {row}")
+            node_rows += 1
+
+    print(f"check_obs_json: timeline ok ({len(snapshots)} snapshots, "
+          f"{group_rows} group rows, {node_rows} node rows)")
+
+
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     check_trace(sys.argv[1])
     check_metrics(sys.argv[2])
+    if len(sys.argv) == 4:
+        check_timeline(sys.argv[3])
     print("check_obs_json: all checks passed")
 
 

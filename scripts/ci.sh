@@ -48,20 +48,26 @@ run_bench_smoke() {
 }
 
 run_obs_check() {
-  # Flight-recorder gate: run a short traced sim (two-group cluster, client
-  # ops, a cross-group merge) and validate the exported Chrome trace-event
-  # JSON and metrics JSON against their stable schemas.
+  # Flight-recorder gate: run a short traced + health-monitored sim
+  # (two-group cluster, client ops, a cross-group merge) over the
+  # serializing transport, and validate the exported Chrome trace-event
+  # JSON, metrics JSON and scatter.timeline.v1 timeline against their
+  # stable schemas. scatter-top must then render the recorded timeline.
   local bdir="${BUILD_DIR:-build}"
   echo "=== obs check ($bdir) ==="
-  if [[ ! -x "$bdir/examples/trace_demo" ]]; then
+  if [[ ! -x "$bdir/examples/trace_demo" || ! -x "$bdir/tools/scatter_top" ]]; then
     cmake -B "$bdir" -S .
     cmake --build "$bdir" -j "$JOBS"
   fi
   local tmp
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' RETURN
-  "$bdir/examples/trace_demo" "$tmp/trace.json" "$tmp/metrics.json"
-  python3 scripts/check_obs_json.py "$tmp/trace.json" "$tmp/metrics.json"
+  SCATTER_TRANSPORT=serializing "$bdir/examples/trace_demo" \
+      "$tmp/trace.json" "$tmp/metrics.json" "$tmp/timeline.json"
+  python3 scripts/check_obs_json.py \
+      "$tmp/trace.json" "$tmp/metrics.json" "$tmp/timeline.json"
+  echo "=== obs check: scatter-top render ==="
+  "$bdir/tools/scatter_top" "$tmp/timeline.json"
 }
 
 run_wire() {

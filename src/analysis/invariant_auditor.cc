@@ -343,6 +343,45 @@ class StoreContainmentChecker : public Checker {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Health quietness
+// ---------------------------------------------------------------------------
+
+// A clean run (no injected faults) must not trip any health detector: a
+// raise during an audited healthy run means either the cluster misbehaved
+// below the safety radar or a detector threshold is mis-tuned — both worth
+// failing loudly. No-ops when the simulator has no HealthMonitor; chaos
+// scenarios that expect raises narrow `properties` to exclude "health".
+class HealthQuietChecker : public Checker {
+ public:
+  const char* name() const override { return "health"; }
+
+  void Check(core::Cluster& cluster,
+             std::vector<std::string>* problems) override {
+    const obs::HealthMonitor* monitor = cluster.sim().health_monitor();
+    if (monitor == nullptr) {
+      return;
+    }
+    const uint64_t raises = monitor->raises_total();
+    if (raises <= last_raises_) {
+      return;
+    }
+    last_raises_ = raises;
+    std::string active;
+    for (const obs::HealthMonitor::ActiveCondition& condition :
+         monitor->ActiveConditions()) {
+      active += " " + condition.condition + "(" + NodeTag(condition.node) +
+                (condition.group != 0 ? "/" + GroupTag(condition.group) : "") +
+                ")";
+    }
+    problems->push_back("health detector raised (" + std::to_string(raises) +
+                        " total); active:" + (active.empty() ? " none" : active));
+  }
+
+ private:
+  uint64_t last_raises_ = 0;
+};
+
 }  // namespace
 
 std::unique_ptr<Checker> MakePaxosSafetyChecker() {
@@ -357,11 +396,14 @@ std::unique_ptr<Checker> MakeGroupOpChecker() {
 std::unique_ptr<Checker> MakeStoreContainmentChecker() {
   return std::make_unique<StoreContainmentChecker>();
 }
+std::unique_ptr<Checker> MakeHealthQuietChecker() {
+  return std::make_unique<HealthQuietChecker>();
+}
 
 std::vector<std::unique_ptr<Checker>> MakeStandardCheckers(
     const std::vector<std::string>& properties) {
   static const std::vector<std::string> kAll = {"paxos", "ring", "groupop",
-                                                "store"};
+                                                "store", "health"};
   std::vector<std::unique_ptr<Checker>> checkers;
   for (const std::string& name : properties.empty() ? kAll : properties) {
     if (name == "paxos") {
@@ -372,6 +414,8 @@ std::vector<std::unique_ptr<Checker>> MakeStandardCheckers(
       checkers.push_back(MakeGroupOpChecker());
     } else if (name == "store") {
       checkers.push_back(MakeStoreContainmentChecker());
+    } else if (name == "health") {
+      checkers.push_back(MakeHealthQuietChecker());
     } else {
       SCATTER_CHECK(false && "unknown auditor property");
     }

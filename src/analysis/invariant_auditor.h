@@ -25,6 +25,10 @@
 //             inside txn::GroupOpDriver.
 //   store   — every key held by a replica's KvStore lies inside its group's
 //             claimed range.
+//   health  — when the simulator runs an obs::HealthMonitor, no health
+//             detector has raised (clean audited runs must be quiet; chaos
+//             scenarios that inject faults and expect raises narrow the
+//             property set to exclude this). No-op without a monitor.
 //
 // On violation the auditor dumps the last K annotated simulator events plus
 // the run's seed as a replayable trace artifact, then aborts the run
@@ -56,9 +60,9 @@ struct AuditorOptions {
   // dumped here as Chrome trace-event JSON alongside the artifact.
   std::string trace_json_path = "scatter_audit_trace.json";
   // Which standard properties to register: any subset of
-  // {"paxos", "ring", "groupop", "store"}. Empty = all of them. The model
-  // checker narrows this per scenario; RegisterChecker still adds custom
-  // checkers on top.
+  // {"paxos", "ring", "groupop", "store", "health"}. Empty = all of them.
+  // The model checker narrows this per scenario; RegisterChecker still adds
+  // custom checkers on top.
   std::vector<std::string> properties;
 };
 
@@ -85,9 +89,11 @@ std::unique_ptr<Checker> MakePaxosSafetyChecker();
 std::unique_ptr<Checker> MakeRingSafetyChecker();
 std::unique_ptr<Checker> MakeGroupOpChecker();
 std::unique_ptr<Checker> MakeStoreContainmentChecker();
+std::unique_ptr<Checker> MakeHealthQuietChecker();
 
-// The standard property set by name ("paxos", "ring", "groupop", "store").
-// An empty selection returns all four; unknown names CHECK-fail. Fresh
+// The standard property set by name ("paxos", "ring", "groupop", "store",
+// "health"). An empty selection returns all of them; unknown names
+// CHECK-fail. Fresh
 // checker instances each call — checkers keep cross-call state (e.g.
 // ballot monotonicity watermarks), so they must never be shared between
 // runs.

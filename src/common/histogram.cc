@@ -76,6 +76,32 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  Histogram delta;
+  if (count_ <= earlier.count_) {
+    return delta;  // nothing recorded in the interval
+  }
+  size_t lowest = buckets_.size();
+  size_t highest = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t d = buckets_[i] - earlier.buckets_[i];
+    delta.buckets_[i] = d;
+    if (d > 0) {
+      lowest = std::min(lowest, i);
+      highest = std::max(highest, i);
+    }
+  }
+  delta.count_ = count_ - earlier.count_;
+  delta.sum_ = sum_ - earlier.sum_;
+  // Approximate extrema from the populated buckets, clamped to the lifetime
+  // extrema (which bound anything in the interval).
+  delta.min_ = std::max(
+      lowest == 0 ? int64_t{0} : BucketUpperBound(lowest - 1) + 1, min_);
+  delta.max_ = std::min(BucketUpperBound(highest), max_);
+  delta.min_ = std::min(delta.min_, delta.max_);
+  return delta;
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

@@ -20,6 +20,13 @@ class Histogram {
   void Merge(const Histogram& other);
   void Reset();
 
+  // Bucket-wise difference against an earlier copy of this histogram:
+  // returns a histogram of only the samples recorded after `earlier` was
+  // snapshotted. min/max are approximated from the populated delta buckets
+  // (the exact extrema of the interval aren't recoverable from two
+  // cumulative states). `earlier` must be a prefix of *this.
+  Histogram DeltaSince(const Histogram& earlier) const;
+
   uint64_t count() const { return count_; }
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return count_ == 0 ? 0 : max_; }

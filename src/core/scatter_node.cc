@@ -33,6 +33,7 @@ ScatterNode::ScatterNode(NodeId id, sim::Transport* network,
                          std::vector<NodeId> seeds)
     : RpcNode(id, network), cfg_(config), seeds_(std::move(seeds)) {
   last_hosted_at_ = now();
+  ring_.BindMetrics(&simulator()->metrics(), id);
   // Stagger policy ticks across nodes.
   timers().Schedule(cfg_.policy.policy_interval + rng().Range(0, Millis(500)),
                     [this]() { PolicyTick(); });
@@ -65,6 +66,9 @@ ScatterNode::Hosted* ScatterNode::CreateHosted(
       [replica = h.replica.get()]() { return replica->AppliedConfig(); });
   h.driver = std::make_unique<txn::GroupOpDriver>(
       simulator(), this, h.replica.get(), h.sm.get(), cfg_.txn);
+  h.load = std::make_unique<store::GroupLoadStats>(&simulator()->metrics(),
+                                                   id(), group);
+  h.load->SetRange(h.sm->range());
   last_hosted_at_ = now();
   simulator()->metrics().GetGauge("core.hosted_groups", id()).Add(1);
   return &h;
@@ -275,8 +279,15 @@ void ScatterNode::OnGroupsFounded(GroupId retired,
 }
 
 void ScatterNode::OnStructuralChange(GroupId group) {
-  if (Hosted* h = FindHosted(group); h != nullptr && h->driver != nullptr) {
-    h->driver->Poke();
+  if (Hosted* h = FindHosted(group); h != nullptr) {
+    if (h->load != nullptr) {
+      // Splits/merges/repartitions change the arc; the sub-range buckets
+      // must re-divide the new responsibility.
+      h->load->SetRange(h->sm->range());
+    }
+    if (h->driver != nullptr) {
+      h->driver->Poke();
+    }
   }
 }
 
@@ -387,6 +398,9 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
 
   const GroupId gid = h->sm->id();
   h->window_ops++;
+  const TimeMicros accepted_at = now();
+  h->load->RecordOp(accepted_at, req.key, req.ByteSize(),
+                    /*is_write=*/req.op != ClientOp::kGet);
   // Node-side span: child of the client op's span (restored from the
   // delivered request), parent of the paxos spans the read/write produces.
   obs::TraceRecorder* tr = simulator()->tracer();
@@ -399,10 +413,13 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
   }
   obs::ScopedContext trace_scope(node_span.valid() ? tr : nullptr, node_span);
   if (req.op == ClientOp::kGet) {
-    h->replica->LinearizableRead([this, message, gid, node_span,
+    h->replica->LinearizableRead([this, message, gid, node_span, accepted_at,
                                   key = req.key](Status status) {
       auto reply = std::make_shared<ClientReplyMsg>();
       Hosted* cur = FindHosted(gid);
+      if (cur != nullptr && cur->load != nullptr) {
+        cur->load->RecordLatency(now() - accepted_at);
+      }
       if (cur == nullptr || cur->sm->IsRetired() ||
           !cur->sm->range().Contains(key)) {
         reply->code = StatusCode::kWrongGroup;
@@ -451,10 +468,14 @@ void ScatterNode::HandleClientRequest(const MessagePtr& message) {
   cmd->client_id = req.client_id;
   cmd->client_seq = req.client_seq;
   h->replica->Propose(
-      cmd, [this, message, gid, node_span, client = req.client_id,
+      cmd, [this, message, gid, node_span, accepted_at,
+            client = req.client_id,
             seq = req.client_seq](StatusOr<uint64_t> result) {
         auto reply = std::make_shared<ClientReplyMsg>();
         Hosted* cur = FindHosted(gid);
+        if (cur != nullptr && cur->load != nullptr) {
+          cur->load->RecordLatency(now() - accepted_at);
+        }
         if (!result.ok()) {
           reply->code = result.status().code();
         } else if (cur == nullptr) {
@@ -1364,6 +1385,11 @@ const paxos::Replica* ScatterNode::GroupReplica(GroupId id) const {
 const txn::GroupOpDriver* ScatterNode::GroupDriver(GroupId id) const {
   auto it = hosted_.find(id);
   return it == hosted_.end() ? nullptr : it->second.driver.get();
+}
+
+const store::GroupLoadStats* ScatterNode::GroupLoad(GroupId id) const {
+  auto it = hosted_.find(id);
+  return it == hosted_.end() ? nullptr : it->second.load.get();
 }
 
 paxos::Replica* ScatterNode::MutableGroupReplicaForTest(GroupId id) {

@@ -28,6 +28,7 @@
 #include "src/paxos/replica.h"
 #include "src/ring/ring_map.h"
 #include "src/rpc/rpc_node.h"
+#include "src/store/load_stats.h"
 #include "src/txn/group_op_driver.h"
 #include "src/txn/messages.h"
 
@@ -70,6 +71,8 @@ class ScatterNode : public rpc::RpcNode,
   const paxos::Replica* GroupReplica(GroupId id) const;
   // The structural-op driver of a hosted group (auditor introspection).
   const txn::GroupOpDriver* GroupDriver(GroupId id) const;
+  // Windowed load accounting of a hosted group (tests, scatter-top live mode).
+  const store::GroupLoadStats* GroupLoad(GroupId id) const;
   const ring::RingMap& ring_cache() const { return ring_; }
   bool HostsAnyGroup() const;
 
@@ -124,6 +127,9 @@ class ScatterNode : public rpc::RpcNode,
     std::unique_ptr<membership::GroupStateMachine> sm;
     std::unique_ptr<txn::GroupOpDriver> driver;
     std::unique_ptr<paxos::Replica> replica;
+    // Windowed op/byte/sub-range accounting in the metrics registry; the
+    // range is re-pointed on every structural change.
+    std::unique_ptr<store::GroupLoadStats> load;
     bool teardown_scheduled = false;
     TimeMicros last_neighbor_refresh = 0;
     // Load tracking for the policy engine (leader only): ops served in the

@@ -1,0 +1,149 @@
+// Health detectors: periodic derivation of per-node/per-group conditions
+// from metrics registry cells, with hysteresis.
+//
+// The monitor is passive and sim-time driven: the simulator (or a test)
+// calls Tick(now_us) at a fixed period; the monitor never reads a wall
+// clock, never schedules anything itself, and touches only registry cells —
+// so it composes with determinism the same way every other obs component
+// does (the obs layer cannot even include sim/). Detection is
+// Spinnaker-style: replica lag, leader liveness, and churn signals derived
+// from state the data path already publishes, so the detectors cost nothing
+// on the hot path.
+//
+// Each condition instance is keyed (condition, node, group) and passes
+// through a streak-based hysteresis: `raise_after` consecutive unhealthy
+// ticks to raise, `clear_after` consecutive healthy ticks to clear. Raised
+// conditions are exported three ways: a `health.<condition>` gauge (1/0) in
+// the registry, an unconditional trace marker (`health.raise.<condition>` /
+// `health.clear.<condition>`), and the ActiveConditions() snapshot the obs
+// timeline and scatter-top read.
+//
+// Catalogue (inputs -> condition):
+//   follower_lag     max(paxos.commit_index) over group minus this node's
+//                    exceeds lag_entries
+//   stalled_proposer is_leader && proposals_pending > 0 && no
+//                    entries_committed delta this window
+//   election_churn   elections_started delta >= churn_elections in a window
+//   snapshot_stuck   snapshots_inflight > 0 for raise_after windows
+//   pool_miss_spike  wire.pool.miss delta >= pool_miss_threshold in a window
+
+#ifndef SCATTER_SRC_OBS_HEALTH_H_
+#define SCATTER_SRC_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace scatter::obs {
+
+struct HealthConfig {
+  // Monitoring window: the period the owner ticks the monitor at. Also the
+  // denominator of every "per window" threshold below.
+  int64_t period_us = 250'000;
+
+  // follower_lag: entries a follower's commit index may trail the group max.
+  int64_t lag_entries = 64;
+  // election_churn: elections started within one window to count as churn.
+  uint64_t churn_elections = 3;
+  // pool_miss_spike: pool misses on one node within one window. When the
+  // frame-buffer pool is administratively disabled (SCATTER_WIRE_POOL=off)
+  // every acquire counts as a miss by design, so the owner enabling the
+  // monitor clears this flag instead of letting the detector cry wolf.
+  uint64_t pool_miss_threshold = 256;
+  bool pool_miss_spike_enabled = true;
+
+  // Hysteresis, in consecutive windows. raise_after=1 means "raises within
+  // one monitoring window of the signal appearing".
+  struct Hysteresis {
+    int raise_after = 1;
+    int clear_after = 2;
+  };
+  Hysteresis follower_lag{1, 2};
+  // A proposer with in-flight proposals legitimately commits nothing for the
+  // tail of a window; require two consecutive dry windows before raising.
+  Hysteresis stalled_proposer{2, 1};
+  Hysteresis election_churn{1, 2};
+  // In-flight snapshots are normal; only a transfer pinned across several
+  // windows is stuck.
+  Hysteresis snapshot_stuck{4, 1};
+  Hysteresis pool_miss_spike{1, 2};
+};
+
+class HealthMonitor {
+ public:
+  struct ActiveCondition {
+    std::string condition;
+    NodeId node = 0;
+    GroupId group = 0;
+    int64_t raised_at_us = 0;
+  };
+
+  HealthMonitor(const HealthConfig& config, MetricsRegistry* registry);
+
+  // Evaluates every detector at simulated time `now_us`. Idempotent per
+  // timestamp (a second call with the same now_us is a no-op), so a lazy
+  // caller — the timeline capturing right before its own snapshot — can
+  // tick defensively without double-counting windows. `tracer` may be null.
+  void Tick(int64_t now_us, TraceRecorder* tracer = nullptr);
+
+  // Currently-raised conditions, ordered (condition, node, group).
+  std::vector<ActiveCondition> ActiveConditions() const;
+  // Condition names active for one (node, group) cell, sorted. Node-scoped
+  // conditions (group == 0) are reported for group 0 only.
+  std::vector<std::string> ActiveFor(NodeId node, GroupId group) const;
+
+  // Lifetime transition counts. A condition that raised and cleared between
+  // two observations still shows in raises_total() — this is what the
+  // invariant auditor's quiet-run check reads.
+  uint64_t raises_total() const { return raises_total_; }
+  uint64_t clears_total() const { return clears_total_; }
+  bool quiet() const { return raises_total_ == 0; }
+
+  const HealthConfig& config() const { return config_; }
+  int64_t last_tick_us() const { return last_tick_us_; }
+
+ private:
+  // One hysteresis state machine per (condition, node, group).
+  struct Streak {
+    int bad = 0;
+    int good = 0;
+    bool active = false;
+    int64_t raised_at_us = 0;
+  };
+  using CellKey = std::tuple<std::string, NodeId, GroupId>;
+
+  // Feeds one observation into the streak for (condition, node, group) and
+  // performs the raise/clear transition, exports included.
+  void Observe(const std::string& condition,
+               const HealthConfig::Hysteresis& hysteresis, NodeId node,
+               GroupId group, bool unhealthy, int64_t now_us,
+               TraceRecorder* tracer);
+
+  // Counter delta since the previous tick (0 on first sight).
+  uint64_t Delta(const std::string& name, NodeId node, GroupId group,
+                 uint64_t current);
+
+  void CheckFollowerLag(int64_t now_us, TraceRecorder* tracer);
+  void CheckStalledProposer(int64_t now_us, TraceRecorder* tracer);
+  void CheckElectionChurn(int64_t now_us, TraceRecorder* tracer);
+  void CheckSnapshotStuck(int64_t now_us, TraceRecorder* tracer);
+  void CheckPoolMissSpike(int64_t now_us, TraceRecorder* tracer);
+
+  HealthConfig config_;
+  MetricsRegistry* registry_;
+  int64_t last_tick_us_ = -1;
+  std::map<CellKey, Streak> streaks_;
+  std::map<CellKey, uint64_t> prev_counters_;
+  uint64_t raises_total_ = 0;
+  uint64_t clears_total_ = 0;
+};
+
+}  // namespace scatter::obs
+
+#endif  // SCATTER_SRC_OBS_HEALTH_H_

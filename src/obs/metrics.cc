@@ -67,6 +67,84 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name, NodeId node,
   return histograms_[Key(name, node, group)];
 }
 
+SlidingWindow& MetricsRegistry::GetWindow(const std::string& name, NodeId node,
+                                          GroupId group,
+                                          const SlidingWindow::Params& params) {
+  auto it = windows_.find(Key(name, node, group));
+  if (it == windows_.end()) {
+    it = windows_.emplace(Key(name, node, group), SlidingWindow(params)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+// Range scan over one metric name: the index is ordered by
+// (name, node, group), so all cells of a name are contiguous.
+template <typename Map, typename Fn>
+void ForName(const Map& map, const std::string& name, const Fn& fn) {
+  using K = typename Map::key_type;
+  for (auto it = map.lower_bound(K(name, 0, 0));
+       it != map.end() && std::get<0>(it->first) == name; ++it) {
+    fn(std::get<1>(it->first), std::get<2>(it->first), it->second);
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::ForEachCounter(
+    const std::string& name,
+    const std::function<void(NodeId, GroupId, const Counter&)>& fn) const {
+  ForName(counters_, name,
+          [&fn](NodeId n, GroupId g, const Counter* c) { fn(n, g, *c); });
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::string& name,
+    const std::function<void(NodeId, GroupId, const Gauge&)>& fn) const {
+  ForName(gauges_, name,
+          [&fn](NodeId n, GroupId g, const Gauge* c) { fn(n, g, *c); });
+}
+
+void MetricsRegistry::ForEachWindow(
+    const std::string& name,
+    const std::function<void(NodeId, GroupId, const SlidingWindow&)>& fn)
+    const {
+  ForName(windows_, name, fn);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::string& name,
+    const std::function<void(NodeId, GroupId, const Histogram&)>& fn) const {
+  ForName(histograms_, name, fn);
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            NodeId node, GroupId group) const {
+  auto it = counters_.find(Key(name, node, group));
+  return it == counters_.end() ? nullptr : it->second;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name, NodeId node,
+                                        GroupId group) const {
+  auto it = gauges_.find(Key(name, node, group));
+  return it == gauges_.end() ? nullptr : it->second;
+}
+
+const SlidingWindow* MetricsRegistry::FindWindow(const std::string& name,
+                                                 NodeId node,
+                                                 GroupId group) const {
+  auto it = windows_.find(Key(name, node, group));
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                NodeId node,
+                                                GroupId group) const {
+  auto it = histograms_.find(Key(name, node, group));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
   for (const auto& [key, counter] : other.counters_) {
     GetCounter(std::get<0>(key), std::get<1>(key), std::get<2>(key)).value +=
@@ -78,6 +156,11 @@ void MetricsRegistry::Merge(const MetricsRegistry& other) {
   }
   for (const auto& [key, hist] : other.histograms_) {
     histograms_[key].Merge(hist);
+  }
+  for (const auto& [key, window] : other.windows_) {
+    GetWindow(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+              window.params())
+        .Merge(window);
   }
 }
 
@@ -101,6 +184,14 @@ std::string MetricsRegistry::ToJson() const {
     std::snprintf(buf, sizeof(buf), ",\"value\":%" PRId64 "}", gauge->value);
     out += CellPrefix(std::get<0>(key), std::get<1>(key), std::get<2>(key));
     out += buf;
+  }
+  out += "],\"windows\":[";
+  first = true;
+  for (const auto& [key, window] : windows_) {
+    if (!first) out += ",";
+    first = false;
+    out += CellPrefix(std::get<0>(key), std::get<1>(key), std::get<2>(key));
+    out += ",\"window\":" + window.ToJson() + "}";
   }
   out += "],\"histograms\":[";
   first = true;

@@ -106,6 +106,16 @@ void TraceRecorder::AddInstant(const std::string& name, NodeId node,
   instants_.push_back(std::move(inst));
 }
 
+void TraceRecorder::AddMarker(const std::string& name, NodeId node,
+                              GroupId group) {
+  Instant inst;
+  inst.name = name;
+  inst.node = node;
+  inst.group = group;
+  inst.ts_us = NowUs();
+  instants_.push_back(std::move(inst));
+}
+
 const TraceRecorder::Span* TraceRecorder::FindSpan(uint64_t span_id) const {
   if (span_id == 0 || span_id > spans_.size()) {
     return nullptr;

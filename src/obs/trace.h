@@ -83,6 +83,11 @@ class TraceRecorder {
   // so unsolicited log noise outside any traced operation stays out).
   void AddInstant(const std::string& name, NodeId node, GroupId group);
 
+  // Point event recorded unconditionally, outside any trace (trace_id 0).
+  // For cluster-level state transitions — health raises/clears — that must
+  // land on the timeline even when no operation is in flight.
+  void AddMarker(const std::string& name, NodeId node, GroupId group);
+
   TraceContext current() const { return current_; }
   void SetCurrent(TraceContext ctx) { current_ = ctx; }
 

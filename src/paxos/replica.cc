@@ -39,7 +39,33 @@ Replica::Stats::Stats(obs::MetricsRegistry& registry, NodeId node,
           registry.GetCounter("paxos.accept_entries_sent", node, group)),
       acks_sent(registry.GetCounter("paxos.acks_sent", node, group)),
       acks_coalesced(registry.GetCounter("paxos.acks_coalesced", node, group)),
-      messages_sent(registry.GetCounter("paxos.messages_sent", node, group)) {}
+      messages_sent(registry.GetCounter("paxos.messages_sent", node, group)),
+      commit_index(registry.GetGauge("paxos.commit_index", node, group)),
+      applied_index(registry.GetGauge("paxos.applied_index", node, group)),
+      is_leader(registry.GetGauge("paxos.is_leader", node, group)),
+      proposals_pending(
+          registry.GetGauge("paxos.proposals_pending", node, group)),
+      snapshots_inflight(
+          registry.GetGauge("paxos.snapshots_inflight", node, group)),
+      window_commits(registry.GetWindow("paxos.window.commits", node, group)),
+      window_commit_bytes(
+          registry.GetWindow("paxos.window.commit_bytes", node, group)),
+      window_elections(
+          registry.GetWindow("paxos.window.elections", node, group)) {}
+
+void Replica::UpdateHealthGauges() {
+  stats_.commit_index.Set(static_cast<int64_t>(commit_index_));
+  stats_.applied_index.Set(static_cast<int64_t>(applied_index_));
+  stats_.is_leader.Set(role_ == Role::kLeader ? 1 : 0);
+  stats_.proposals_pending.Set(
+      static_cast<int64_t>(pending_proposals_.size()));
+  int64_t inflight = 0;
+  // LINT-ALLOW(unordered-iteration): pure count, order-independent.
+  for (const auto& [peer_id, peer] : peers_) {
+    if (peer.snapshot_inflight) inflight++;
+  }
+  stats_.snapshots_inflight.Set(inflight);
+}
 
 Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
                  StateMachine* state_machine, const PaxosConfig& config,
@@ -152,6 +178,7 @@ void Replica::StartElection() {
   promised_ = Ballot{max_round_seen_, self_};
   votes_ = {self_};
   stats_.elections_started++;
+  stats_.window_elections.Record(sim_->now());
   SCATTER_TRACE() << "g" << group_ << " n" << self_ << " campaigning at "
                   << promised_.ToString();
   if (votes_.size() >= QuorumSize()) {
@@ -174,6 +201,7 @@ void Replica::StartElection() {
     transfer_election_ = false;
   }
   ResetElectionTimer();  // Retry with a fresh ballot if this one stalls.
+  UpdateHealthGauges();
 }
 
 void Replica::BecomeLeader() {
@@ -249,6 +277,7 @@ void Replica::OnMessage(const std::shared_ptr<PaxosMessage>& message) {
     default:
       SCATTER_CHECK(false);
   }
+  UpdateHealthGauges();
 }
 
 void Replica::HandlePrepare(const PrepareMsg& m) {
@@ -447,6 +476,7 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
   const uint64_t new_commit =
       std::min<uint64_t>(m.commit_index, last_log_index());
   if (new_commit > commit_index_) {
+    stats_.window_commits.Record(sim_->now(), new_commit - commit_index_);
     commit_index_ = new_commit;
     ApplyCommitted();
   }
@@ -873,6 +903,7 @@ void Replica::MaybeAdvanceCommit() {
     }
   }
   stats_.entries_committed += best - commit_index_;
+  stats_.window_commits.Record(sim_->now(), best - commit_index_);
   commit_index_ = best;
   ApplyCommitted();
   ServePendingReads();
@@ -921,6 +952,9 @@ void Replica::OnHeartbeatTimer() {
   }
   heartbeat_timer_ = timers_.Schedule(cfg_.heartbeat_interval,
                                       [this]() { OnHeartbeatTimer(); });
+  // Snapshot transfers start from this timer path (ReplicateTo), so refresh
+  // the gauges here too — a fully partitioned leader sees no messages.
+  UpdateHealthGauges();
 }
 
 void Replica::CheckQuorumConnectivity() {
@@ -1149,6 +1183,7 @@ void Replica::Propose(CommandPtr command, CommitCallback callback) {
   // next flush, coalescing every proposal that lands before it.
   RequestFlush();
   MaybeAdvanceCommit();  // Single-node groups commit synchronously.
+  UpdateHealthGauges();
 }
 
 void Replica::ProposeConfigChange(ConfigCommand::Op op, NodeId node,
@@ -1196,6 +1231,7 @@ void Replica::ProposeConfigChange(ConfigCommand::Op op, NodeId node,
   }
   RequestFlush();
   MaybeAdvanceCommit();
+  UpdateHealthGauges();
 }
 
 void Replica::LinearizableRead(ReadCallback callback) {
@@ -1228,6 +1264,7 @@ void Replica::LinearizableRead(ReadCallback callback) {
       });
   RequestFlush();
   MaybeAdvanceCommit();
+  UpdateHealthGauges();
 }
 
 // ---------------------------------------------------------------------------
@@ -1247,6 +1284,7 @@ void Replica::ApplyCommitted() {
     SCATTER_CHECK(entry != nullptr);
     const CommandPtr command = entry->command;  // Keep alive across apply.
     applied_index_ = index;
+    stats_.window_commit_bytes.Record(sim_->now(), command->ByteSize());
     // Leader side, the apply span parents to the proposal's span; follower
     // side there is none, so it parents to the delivered Accept's context.
     obs::TraceContext apply_span;

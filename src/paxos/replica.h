@@ -193,6 +193,17 @@ class Replica {
     Counter& acks_sent;            // AcceptedMsgs actually sent
     Counter& acks_coalesced;       // acks merged into a pending one
     Counter& messages_sent;        // every outgoing protocol message
+    // Health-detector inputs (obs::HealthMonitor reads these cells by name):
+    // levels refreshed by UpdateHealthGauges after every protocol step.
+    obs::Gauge& commit_index;       // highest index known committed
+    obs::Gauge& applied_index;      // highest index applied to the SM
+    obs::Gauge& is_leader;          // 1 while this replica leads
+    obs::Gauge& proposals_pending;  // accepted-not-yet-applied proposals
+    obs::Gauge& snapshots_inflight; // unacked snapshot transfers (leader)
+    // Rate windows feeding the obs timeline and load-adaptive policies.
+    obs::SlidingWindow& window_commits;       // entries committed
+    obs::SlidingWindow& window_commit_bytes;  // command bytes applied
+    obs::SlidingWindow& window_elections;     // elections started
   };
   const Stats& stats() const { return stats_; }
 
@@ -288,6 +299,10 @@ class Replica {
   void Send(NodeId to, std::shared_ptr<PaxosMessage> message);
   void ApplyCommitted();
   void ApplyConfig(const ConfigCommand& cmd, uint64_t index);
+  // Refreshes the health-detector gauges from current replica state. Called
+  // after every externally-driven step (message, proposal, election), so
+  // gauges are never staler than one protocol event when the monitor ticks.
+  void UpdateHealthGauges();
   // Updates the voting config when a config entry is appended/truncated.
   void RecomputeVotingConfig();
   void MaybeTruncateLog();

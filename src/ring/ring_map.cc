@@ -4,6 +4,13 @@
 
 namespace scatter::ring {
 
+void RingMap::BindMetrics(obs::MetricsRegistry* registry, NodeId node) {
+  lookups_ = &registry->GetCounter("ring.lookups", node);
+  lookup_misses_ = &registry->GetCounter("ring.lookup_misses", node);
+  upserts_ = &registry->GetCounter("ring.upserts", node);
+  evictions_ = &registry->GetCounter("ring.evictions", node);
+}
+
 bool RingMap::Upsert(const GroupInfo& info) {
   if (!info.valid()) {
     return false;
@@ -58,11 +65,21 @@ bool RingMap::Upsert(const GroupInfo& info) {
 
   by_start_[info.range.begin] = info.id;
   by_id_[info.id] = info;
+  if (upserts_ != nullptr) {
+    ++*upserts_;
+    *evictions_ += doomed.size();
+  }
   return true;
 }
 
 const GroupInfo* RingMap::Lookup(Key key) const {
+  if (lookups_ != nullptr) {
+    ++*lookups_;
+  }
   if (by_start_.empty()) {
+    if (lookup_misses_ != nullptr) {
+      ++*lookup_misses_;
+    }
     return nullptr;
   }
   // The covering arc is the one with the greatest start <= key, or — when
@@ -75,6 +92,9 @@ const GroupInfo* RingMap::Lookup(Key key) const {
   --it;
   auto info = by_id_.find(it->second);
   if (info == by_id_.end() || !info->second.range.Contains(key)) {
+    if (lookup_misses_ != nullptr) {
+      ++*lookup_misses_;
+    }
     return nullptr;  // Gap in the cache.
   }
   return &info->second;

@@ -14,12 +14,19 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/ring/group_info.h"
 
 namespace scatter::ring {
 
 class RingMap {
  public:
+  // Binds routing-cache counters to the owning node's registry cells
+  // ("ring.lookups", "ring.lookup_misses", "ring.upserts",
+  // "ring.evictions"). Optional: an unbound map (the default) counts into
+  // nothing. The registry must outlive this map.
+  void BindMetrics(obs::MetricsRegistry* registry, NodeId node);
+
   // Incorporates `info`. Returns true if anything changed. Stale updates
   // (epoch <= what we hold for the same group) only refresh the leader hint.
   bool Upsert(const GroupInfo& info);
@@ -52,6 +59,12 @@ class RingMap {
   std::unordered_map<GroupId, GroupInfo> by_id_;
   // Arc start -> group. Full-ring arcs are stored under begin key as well.
   std::map<Key, GroupId> by_start_;
+  // Registry-backed counters (raw pointers so const lookups can count;
+  // nullptr until BindMetrics).
+  Counter* lookups_ = nullptr;
+  Counter* lookup_misses_ = nullptr;
+  Counter* upserts_ = nullptr;
+  Counter* evictions_ = nullptr;
 };
 
 }  // namespace scatter::ring

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
 
 namespace scatter::sim {
@@ -21,6 +23,8 @@ Simulator::Simulator(uint64_t seed) : seed_(seed), rng_(seed) {
 }
 
 Simulator::~Simulator() {
+  DisableTimeline();
+  DisableHealthMonitor();
   DisableTracing();
   SetLogClock(nullptr, nullptr);
 }
@@ -45,6 +49,111 @@ void Simulator::DisableTracing() {
   if (tracer_ != nullptr) {
     SetLogSink(nullptr, nullptr);
     tracer_.reset();
+  }
+}
+
+uint64_t Simulator::AddPeriodicTask(TimeMicros period, PeriodicFn fn) {
+  SCATTER_CHECK(period > 0);
+  PeriodicTask task;
+  task.id = next_periodic_id_++;
+  task.period = period;
+  // First boundary strictly after now, on an absolute multiple of the
+  // period — every task of the same period ticks at the same instants no
+  // matter when it was registered.
+  task.next_due = (now_ / period + 1) * period;
+  task.fn = std::move(fn);
+  const uint64_t id = task.id;
+  periodic_.push_back(std::move(task));
+  RecomputeSoonestPeriodic();
+  return id;
+}
+
+void Simulator::RemovePeriodicTask(uint64_t id) {
+  for (auto it = periodic_.begin(); it != periodic_.end(); ++it) {
+    if (it->id == id) {
+      periodic_.erase(it);
+      break;
+    }
+  }
+  RecomputeSoonestPeriodic();
+}
+
+void Simulator::RecomputeSoonestPeriodic() {
+  periodic_soonest_ = kNoPeriodicDue;
+  for (const PeriodicTask& task : periodic_) {
+    periodic_soonest_ = std::min(periodic_soonest_, task.next_due);
+  }
+}
+
+void Simulator::RunPeriodicTasks() {
+  if (now_ < periodic_soonest_) {
+    return;
+  }
+  // Index loop: a task may add/remove tasks from its callback (vector may
+  // reallocate, iterators die; newly-added tasks start next boundary).
+  for (size_t i = 0; i < periodic_.size(); ++i) {
+    while (periodic_[i].next_due <= now_) {
+      const TimeMicros due = periodic_[i].next_due;
+      periodic_[i].next_due += periodic_[i].period;
+      periodic_[i].fn(due);
+    }
+  }
+  RecomputeSoonestPeriodic();
+}
+
+obs::HealthMonitor& Simulator::EnableHealthMonitor() {
+  return EnableHealthMonitor(obs::HealthConfig{});
+}
+
+obs::HealthMonitor& Simulator::EnableHealthMonitor(
+    const obs::HealthConfig& config) {
+  if (health_monitor_ == nullptr) {
+    health_monitor_ =
+        std::make_unique<obs::HealthMonitor>(config, &metrics());
+    health_task_id_ = AddPeriodicTask(
+        config.period_us, [this](TimeMicros due) {
+          health_monitor_->Tick(due, tracer_.get());
+        });
+    if (timeline_ != nullptr) {
+      timeline_->set_monitor(health_monitor_.get());
+    }
+  }
+  return *health_monitor_;
+}
+
+void Simulator::DisableHealthMonitor() {
+  if (health_monitor_ != nullptr) {
+    if (timeline_ != nullptr) {
+      timeline_->set_monitor(nullptr);
+    }
+    RemovePeriodicTask(health_task_id_);
+    health_task_id_ = 0;
+    health_monitor_.reset();
+  }
+}
+
+obs::TimelineRecorder& Simulator::EnableTimeline() {
+  return EnableTimeline(obs::TimelineConfig{});
+}
+
+obs::TimelineRecorder& Simulator::EnableTimeline(
+    const obs::TimelineConfig& config) {
+  if (timeline_ == nullptr) {
+    timeline_ = std::make_unique<obs::TimelineRecorder>(
+        config, &metrics(), health_monitor_.get());
+    timeline_task_id_ = AddPeriodicTask(
+        config.period_us, [this](TimeMicros due) {
+          timeline_->Capture(due, tracer_.get());
+        });
+  }
+  return *timeline_;
+}
+
+void Simulator::DisableTimeline() {
+  if (timeline_ != nullptr) {
+    RemovePeriodicTask(timeline_task_id_);
+    timeline_task_id_ = 0;
+    timeline_.reset();
   }
 }
 
@@ -118,6 +227,9 @@ bool Simulator::Step() {
     events_processed_++;
     fn();
     current_timer_ = kInvalidTimer;
+    // Periodic monitors run before the audit hook so an auditor that reads
+    // health state sees detections up to the current instant.
+    RunPeriodicTasks();
     if (audit_hook_ && events_processed_ % audit_every_ == 0) {
       audit_hook_();
     }
@@ -175,6 +287,7 @@ void Simulator::RunUntil(TimeMicros t) {
     Step();
   }
   now_ = t;
+  RunPeriodicTasks();  // boundaries crossed by the final clock advance
 }
 
 TimerId TimerOwner::Schedule(TimeMicros delay, EventFn fn) {

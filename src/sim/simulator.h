@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <string>
@@ -32,6 +33,10 @@
 namespace scatter::obs {
 class MetricsRegistry;
 class TraceRecorder;
+class HealthMonitor;
+class TimelineRecorder;
+struct HealthConfig;
+struct TimelineConfig;
 }  // namespace scatter::obs
 
 namespace scatter::sim {
@@ -135,6 +140,38 @@ class Simulator {
   // Destroys the recorder (and its spans) and uninstalls the log sink.
   void DisableTracing();
 
+  // --- Periodic tasks ------------------------------------------------------
+  // Fixed-period virtual-time hooks that fire BETWEEN event callbacks, not
+  // through the event queue: Run() still drains to quiescence, mc event
+  // fingerprints are untouched, and a task can never interleave inside a
+  // protocol callback. A task due at boundary B fires as soon as the clock
+  // reaches/passes B (after the event that advanced it, or at RunUntil's
+  // final advance) and receives B — the nominal boundary — so window epochs
+  // stay aligned no matter how lumpy the event schedule is. Boundaries are
+  // absolute multiples of `period`. Tasks fire in registration order; when
+  // the clock jumps several periods at once, each task catches up one
+  // boundary at a time. Returns an id for RemovePeriodicTask.
+  using PeriodicFn = std::function<void(TimeMicros)>;
+  uint64_t AddPeriodicTask(TimeMicros period, PeriodicFn fn);
+  void RemovePeriodicTask(uint64_t id);
+
+  // --- Health monitoring ---------------------------------------------------
+  // Creates the health monitor over this simulator's registry and registers
+  // its periodic tick. nullptr when disabled (the default). Idempotent.
+  obs::HealthMonitor* health_monitor() const { return health_monitor_.get(); }
+  obs::HealthMonitor& EnableHealthMonitor();
+  obs::HealthMonitor& EnableHealthMonitor(const obs::HealthConfig& config);
+  void DisableHealthMonitor();
+
+  // --- Obs timeline --------------------------------------------------------
+  // Creates the timeline recorder (snapshotting the registry, annotated with
+  // health states when the monitor is enabled) and registers its periodic
+  // capture. nullptr when disabled (the default). Idempotent.
+  obs::TimelineRecorder* timeline() const { return timeline_.get(); }
+  obs::TimelineRecorder& EnableTimeline();
+  obs::TimelineRecorder& EnableTimeline(const obs::TimelineConfig& config);
+  void DisableTimeline();
+
  private:
   static constexpr uint32_t kNoSlot = 0xffffffffu;
 
@@ -181,12 +218,33 @@ class Simulator {
   uint32_t free_head_ = kNoSlot;
   size_t stale_entries_ = 0;  // heap entries whose event was cancelled
 
+  struct PeriodicTask {
+    uint64_t id = 0;
+    TimeMicros period = 0;
+    TimeMicros next_due = 0;
+    PeriodicFn fn;
+  };
+  // Fires every task whose boundary has been reached; cheap no-op (one
+  // compare against the cached soonest deadline) otherwise.
+  void RunPeriodicTasks();
+  void RecomputeSoonestPeriodic();
+
   uint64_t audit_every_ = 0;
   AuditHook audit_hook_;
   size_t trace_capacity_ = 0;
   std::deque<TraceEntry> trace_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceRecorder> tracer_;
+  std::vector<PeriodicTask> periodic_;
+  uint64_t next_periodic_id_ = 1;
+  TimeMicros periodic_soonest_ = kNoPeriodicDue;
+  std::unique_ptr<obs::HealthMonitor> health_monitor_;
+  uint64_t health_task_id_ = 0;
+  std::unique_ptr<obs::TimelineRecorder> timeline_;
+  uint64_t timeline_task_id_ = 0;
+
+  static constexpr TimeMicros kNoPeriodicDue =
+      std::numeric_limits<TimeMicros>::max();
 };
 
 // RAII owner of timers: cancels everything it scheduled when destroyed.

@@ -68,16 +68,23 @@ bool WirePoolEnabledFromEnv() {
 BufferPool::BufferPool() : BufferPool(Config{}) {}
 
 BufferPool::BufferPool(Config config, obs::MetricsRegistry* metrics)
-    : config_(config), classes_(kNumClasses) {
-  if (metrics != nullptr) {
-    hits_ = &metrics->GetCounter("wire.pool.hit");
-    misses_ = &metrics->GetCounter("wire.pool.miss");
-    discards_ = &metrics->GetCounter("wire.pool.discard");
-  } else {
-    hits_ = &local_hits_;
-    misses_ = &local_misses_;
-    discards_ = &local_discards_;
+    : config_(config), classes_(kNumClasses), metrics_(metrics) {}
+
+BufferPool::Cells& BufferPool::CellsFor(NodeId node) {
+  auto [it, inserted] = cells_.try_emplace(node);
+  if (inserted) {
+    Cells& cells = it->second;
+    if (metrics_ != nullptr) {
+      cells.hit = &metrics_->GetCounter("wire.pool.hit", node);
+      cells.miss = &metrics_->GetCounter("wire.pool.miss", node);
+      cells.discard = &metrics_->GetCounter("wire.pool.discard", node);
+    } else {
+      cells.hit = &local_hits_;
+      cells.miss = &local_misses_;
+      cells.discard = &local_discards_;
+    }
   }
+  return it->second;
 }
 
 BufferPool::~BufferPool() = default;
@@ -87,7 +94,7 @@ size_t BufferPool::ClassCapacity(size_t size_hint) {
   return idx == kNoClass ? size_hint : kClassCapacities[idx];
 }
 
-BufferPool::Handle BufferPool::Acquire(size_t size_hint) {
+BufferPool::Handle BufferPool::Acquire(size_t size_hint, NodeId node) {
   const size_t idx = ClassIndexFor(size_hint);
   if (config_.enabled && idx != kNoClass) {
     // A larger class serves a smaller request fine, so scan upward from the
@@ -100,18 +107,20 @@ BufferPool::Handle BufferPool::Acquire(size_t size_hint) {
       if (!classes_[i].empty()) {
         Buffer* buffer = classes_[i].back().release();
         classes_[i].pop_back();
-        ++*hits_;
-        return Handle(this, buffer);
+        ++*CellsFor(node).hit;
+        total_hits_++;
+        return Handle(this, buffer, node);
       }
     }
   }
-  ++*misses_;
+  ++*CellsFor(node).miss;
+  total_misses_++;
   auto buffer = std::make_unique<Buffer>();
   buffer->Reserve(ClassCapacity(size_hint));
-  return Handle(this, buffer.release());
+  return Handle(this, buffer.release(), node);
 }
 
-void BufferPool::Release(Buffer* raw) {
+void BufferPool::Release(Buffer* raw, NodeId node) {
   std::unique_ptr<Buffer> buffer(raw);
   // Re-bin by what the buffer actually grew to, not what was hinted: a
   // buffer that expanded mid-encode must land in the class whose next
@@ -119,7 +128,8 @@ void BufferPool::Release(Buffer* raw) {
   const size_t idx = ClassIndexFor(buffer->capacity());
   if (!config_.enabled || idx == kNoClass ||
       classes_[idx].size() >= config_.max_buffers_per_class) {
-    ++*discards_;
+    ++*CellsFor(node).discard;
+    total_discards_++;
     return;
   }
 #ifdef SCATTER_WIRE_POOL_POISON

@@ -31,10 +31,12 @@
 #ifndef SCATTER_SRC_WIRE_BUFFER_POOL_H_
 #define SCATTER_SRC_WIRE_BUFFER_POOL_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/types.h"
 #include "src/wire/buffer.h"
 
 namespace scatter::obs {
@@ -62,7 +64,11 @@ class BufferPool {
   // When `metrics` is non-null the pool binds its counters to registry cells
   // ("wire.pool.hit" / "wire.pool.miss" / "wire.pool.discard"), so pool
   // efficiency shows up in the standard metrics export next to the protocol
-  // counters. With a null registry the counters live in the pool itself.
+  // counters. Cells are keyed by the NodeId the caller passes to Acquire
+  // (the frame's destination, when the transport knows it; 0 = unattributed)
+  // so per-node health detection and scatter-top aren't reading one
+  // cluster-wide aggregate. With a null registry the counters live in the
+  // pool itself.
   BufferPool();  // Config defaults (env-gated, standard class caps).
   explicit BufferPool(Config config, obs::MetricsRegistry* metrics = nullptr);
   ~BufferPool();
@@ -105,10 +111,11 @@ class BufferPool {
 
    private:
     friend class BufferPool;
-    Handle(BufferPool* pool, Buffer* buffer) : pool_(pool), buffer_(buffer) {}
+    Handle(BufferPool* pool, Buffer* buffer, NodeId node)
+        : pool_(pool), buffer_(buffer), node_(node) {}
     void Reset() {
       if (pool_ != nullptr) {
-        pool_->Release(buffer_);
+        pool_->Release(buffer_, node_);
         pool_ = nullptr;
         buffer_ = nullptr;
       }
@@ -116,17 +123,23 @@ class BufferPool {
 
     BufferPool* pool_ = nullptr;
     Buffer* buffer_ = nullptr;
+    // Attribution for the eventual release: a discard counts against the
+    // node whose frame grew the buffer.
+    NodeId node_ = 0;
   };
 
   // Hands out an empty buffer whose capacity class covers `size_hint` bytes
   // (a hint, not a bound — the buffer still grows past it if an encoder
-  // needs more).
-  Handle Acquire(size_t size_hint);
+  // needs more). `node` attributes the hit/miss (and the eventual release)
+  // to a per-node registry cell; 0 = unattributed.
+  Handle Acquire(size_t size_hint, NodeId node = 0);
 
   // --- Introspection (tests, benchmarks, metrics mirrors) ----------------
-  uint64_t hits() const { return *hits_; }
-  uint64_t misses() const { return *misses_; }
-  uint64_t discards() const { return *discards_; }
+  // Totals across all node attributions (maintained separately from the
+  // registry cells, which are sharded by node).
+  uint64_t hits() const { return total_hits_; }
+  uint64_t misses() const { return total_misses_; }
+  uint64_t discards() const { return total_discards_; }
   // Buffers currently parked on freelists.
   size_t pooled_buffers() const;
   bool enabled() const { return config_.enabled; }
@@ -136,19 +149,28 @@ class BufferPool {
 
  private:
   friend class Handle;
-  void Release(Buffer* buffer);
+  void Release(Buffer* buffer, NodeId node);
+
+  // Per-node counter cells, bound lazily on first use of that node.
+  struct Cells {
+    Counter* hit = nullptr;
+    Counter* miss = nullptr;
+    Counter* discard = nullptr;
+  };
+  Cells& CellsFor(NodeId node);
 
   Config config_;
   // One freelist per size class; see kClassCapacities in buffer_pool.cc.
   std::vector<std::vector<std::unique_ptr<Buffer>>> classes_;
-  // Counter cells: registry-backed when a MetricsRegistry was supplied,
-  // otherwise the local fallback cells below.
-  Counter* hits_ = nullptr;
-  Counter* misses_ = nullptr;
-  Counter* discards_ = nullptr;
+  // nullptr = registry-less pool; cells_ then all point at the locals.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::map<NodeId, Cells> cells_;
   Counter local_hits_;
   Counter local_misses_;
   Counter local_discards_;
+  uint64_t total_hits_ = 0;
+  uint64_t total_misses_ = 0;
+  uint64_t total_discards_ = 0;
 };
 
 }  // namespace scatter::wire

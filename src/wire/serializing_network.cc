@@ -44,20 +44,33 @@ SerializingNetwork::SerializingNetwork(sim::Simulator* sim,
     : sim::Network(sim, config),
       pool_(BufferPool::Config{.enabled = WirePoolEnabledFromEnv()},
             &sim->metrics()),
-      frames_(&sim->metrics().GetCounter("wire.frames_serialized")),
-      bytes_(&sim->metrics().GetCounter("wire.bytes_serialized")) {
+      metrics_(&sim->metrics()) {
   // Codecs are registered by the protocol modules that own the message
   // structs (core::RegisterScatterWireCodecs(), baseline's RegisterWireCodecs):
   // the wire layer sits below them in the include DAG and cannot name their
   // types. The first encode CHECK-fails loudly if a module forgot.
 }
 
+SerializingNetwork::TrafficCells& SerializingNetwork::CellsFor(NodeId node) {
+  auto [it, inserted] = traffic_cells_.try_emplace(node);
+  if (inserted) {
+    it->second.frames =
+        &metrics_->GetCounter("wire.frames_serialized", node);
+    it->second.bytes = &metrics_->GetCounter("wire.bytes_serialized", node);
+  }
+  return it->second;
+}
+
 void SerializingNetwork::DeliverToEndpoint(sim::Endpoint* endpoint,
                                            const sim::MessagePtr& message) {
-  BufferPool::Handle frame = pool_.Acquire(message->ByteSize() + kFrameOverhead);
+  BufferPool::Handle frame =
+      pool_.Acquire(message->ByteSize() + kFrameOverhead, message->to);
   EncodeFrame(*message, *frame);
-  ++*frames_;
-  *bytes_ += frame->size();
+  TrafficCells& cells = CellsFor(message->to);
+  ++*cells.frames;
+  *cells.bytes += frame->size();
+  total_frames_++;
+  total_bytes_ += frame->size();
 
   std::string error;
   FrameView view;

@@ -22,7 +22,9 @@
 #ifndef SCATTER_SRC_WIRE_SERIALIZING_NETWORK_H_
 #define SCATTER_SRC_WIRE_SERIALIZING_NETWORK_H_
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -37,8 +39,8 @@ class SerializingNetwork : public sim::Network {
 
   const char* transport_name() const override { return "serializing"; }
 
-  uint64_t frames_serialized() const { return *frames_; }
-  uint64_t bytes_serialized() const { return *bytes_; }
+  uint64_t frames_serialized() const { return total_frames_; }
+  uint64_t bytes_serialized() const { return total_bytes_; }
   const BufferPool& buffer_pool() const { return pool_; }
 
  protected:
@@ -46,11 +48,22 @@ class SerializingNetwork : public sim::Network {
                          const sim::MessagePtr& message) override;
 
  private:
-  BufferPool pool_;
   // Registry cells ("wire.frames_serialized" / "wire.bytes_serialized"),
-  // bound once at construction — same pattern as Replica::Stats.
-  Counter* frames_ = nullptr;
-  Counter* bytes_ = nullptr;
+  // keyed by the frame's destination node — the transport is the one place
+  // that reliably knows which node the traffic belongs to, so per-node
+  // health and scatter-top columns don't aggregate the whole cluster.
+  // Bound lazily per node; plain totals serve the accessors above.
+  struct TrafficCells {
+    Counter* frames = nullptr;
+    Counter* bytes = nullptr;
+  };
+  TrafficCells& CellsFor(NodeId node);
+
+  BufferPool pool_;
+  obs::MetricsRegistry* metrics_;
+  std::map<NodeId, TrafficCells> traffic_cells_;
+  uint64_t total_frames_ = 0;
+  uint64_t total_bytes_ = 0;
 };
 
 class AuditingNetwork : public sim::Network {

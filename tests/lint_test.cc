@@ -94,6 +94,26 @@ TEST(DeterminismAmbient, QuietInsideStringLiterals) {
   EXPECT_EQ(CountRule(report, "determinism-ambient"), 0);
 }
 
+TEST(DeterminismAmbient, FiresOnWallClockHealthProbe) {
+  // The tempting bug in a health monitor: stamping conditions or measuring
+  // detection windows with the host's wall clock instead of the simulated
+  // clock the Tick caller passes in. Every seeded run would then disagree
+  // about when (or whether) a condition raised. The obs layer lives under
+  // src/, so the rule must fire on both the clock read and gettimeofday.
+  const LintReport report =
+      Lint({{"src/obs/bad_probe.cc",
+             "#include <chrono>\n"
+             "#include <sys/time.h>\n"
+             "void ProbeHealth(Monitor* m) {\n"
+             "  auto now = std::chrono::system_clock::now();\n"
+             "  timeval tv;\n"
+             "  gettimeofday(&tv, nullptr);\n"
+             "  m->Tick(tv.tv_sec * 1000000 + tv.tv_usec);\n"
+             "  (void)now;\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "determinism-ambient"), 2);
+}
+
 // --- unordered-iteration -----------------------------------------------------
 
 TEST(UnorderedIteration, FiresOnRangeForOverUnorderedMember) {

@@ -14,7 +14,10 @@
 #include "src/common/logging.h"
 #include "src/core/cluster.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
 #include "src/obs/trace.h"
+#include "src/obs/window.h"
+#include "src/sim/simulator.h"
 
 namespace scatter {
 namespace {
@@ -442,6 +445,261 @@ TEST(TracePropagationTest, MultiGroupOpFormsSingleConnectedTree) {
   EXPECT_GE(participant_spans, 2u);  // at least prepare + decide
   EXPECT_GE(groups_in_tree.size(), 2u)
       << "transaction tree does not span two groups";
+}
+
+// ---------------------------------------------------------------------------
+// Sliding windows (the windowed load accounting primitive)
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindowTest, RecordAndWindowedTotals) {
+  obs::SlidingWindow w;  // defaults: 100ms buckets x 10 = 1s window
+  w.Record(50'000);
+  w.Record(150'000, 4);
+  EXPECT_EQ(w.TotalInWindow(150'000), 5u);
+  EXPECT_EQ(w.total(), 5u);
+  // Rate is normalized to the full window span (1s at the defaults).
+  EXPECT_DOUBLE_EQ(w.RatePerSec(150'000), 5.0);
+}
+
+TEST(SlidingWindowTest, EventsAgeOutOfTheWindow) {
+  obs::SlidingWindow w;
+  w.Record(0, 10);
+  EXPECT_EQ(w.TotalInWindow(0), 10u);
+  // One full window later the bucket has rotated out; the lifetime total
+  // survives.
+  EXPECT_EQ(w.TotalInWindow(2'000'000), 0u);
+  EXPECT_EQ(w.total(), 10u);
+}
+
+TEST(SlidingWindowTest, StaleTimestampsClampToCurrentBucket) {
+  obs::SlidingWindow w;
+  w.Record(500'000);
+  // A timestamp older than the newest bucket folds into it rather than
+  // resurrecting a closed epoch (monotonicity guard for merged sources).
+  w.Record(100'000, 3);
+  EXPECT_EQ(w.TotalInWindow(500'000), 4u);
+}
+
+TEST(SlidingWindowTest, MergeAlignsOnAbsoluteEpochs) {
+  // Two nodes record against their own windows at the same simulated
+  // times; the merge must line buckets up by absolute epoch, not by array
+  // position, so per-bucket sums land in the right interval.
+  obs::SlidingWindow a;
+  obs::SlidingWindow b;
+  a.Record(100'000, 2);
+  a.Record(300'000, 2);
+  b.Record(300'000, 5);
+  b.Record(400'000, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.TotalInWindow(400'000), 10u);
+  EXPECT_EQ(a.total(), 10u);
+
+  // Merge is insensitive to which side advanced further in time.
+  obs::SlidingWindow c;
+  obs::SlidingWindow d;
+  c.Record(400'000, 1);
+  d.Record(100'000, 7);
+  c.Merge(d);
+  EXPECT_EQ(c.TotalInWindow(400'000), 8u);
+}
+
+TEST(SlidingWindowTest, ToJsonShape) {
+  obs::SlidingWindow w;
+  w.Record(250'000, 3);
+  const std::string json = w.ToJson();
+  EXPECT_NE(json.find("\"bucket_width_us\":100000"), std::string::npos);
+  EXPECT_NE(json.find("\"num_buckets\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[{\"epoch\":2,\"sum\":3}]"),
+            std::string::npos);
+}
+
+TEST(HistogramTest, DeltaSinceSubtractsEarlierSnapshot) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  const Histogram earlier = h;  // snapshot
+  h.Record(5000);
+  h.Record(6000);
+  const Histogram delta = h.DeltaSince(earlier);
+  EXPECT_EQ(delta.count(), 2u);
+  // The interval saw only the two large samples; percentiles must reflect
+  // that, not the lifetime distribution.
+  EXPECT_GE(delta.Percentile(50), 5000);
+  EXPECT_GE(delta.min(), 201);
+  EXPECT_LE(delta.max(), 6000);
+  // No new samples => empty delta.
+  EXPECT_EQ(h.DeltaSince(h).count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry windows: creation, iteration, merge, export
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, WindowCellsAreKeyedAndExported) {
+  obs::MetricsRegistry reg;
+  reg.GetWindow("store.window.ops", 1, 7).Record(100'000, 3);
+  reg.GetWindow("store.window.ops", 2, 7).Record(100'000, 5);
+  EXPECT_EQ(reg.GetWindow("store.window.ops", 1, 7).total(), 3u);
+
+  size_t cells = 0;
+  uint64_t sum = 0;
+  reg.ForEachWindow("store.window.ops",
+                    [&](NodeId, GroupId, const obs::SlidingWindow& w) {
+                      cells++;
+                      sum += w.total();
+                    });
+  EXPECT_EQ(cells, 2u);
+  EXPECT_EQ(sum, 8u);
+
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"windows\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"store.window.ops\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MergeSumsWindowCellsAcrossNodes) {
+  // Per-node registries record into the same absolute timeline; the merged
+  // registry must see epoch-aligned sums regardless of merge order.
+  obs::MetricsRegistry node_a;
+  obs::MetricsRegistry node_b;
+  node_a.GetWindow("w", 1).Record(100'000, 2);
+  node_b.GetWindow("w", 2).Record(100'000, 3);
+  node_b.GetWindow("w", 1).Record(300'000, 4);
+
+  obs::MetricsRegistry ab;
+  ab.Merge(node_a);
+  ab.Merge(node_b);
+  obs::MetricsRegistry ba;
+  ba.Merge(node_b);
+  ba.Merge(node_a);
+
+  EXPECT_EQ(ab.GetWindow("w", 1).TotalInWindow(300'000), 6u);
+  EXPECT_EQ(ab.GetWindow("w", 2).TotalInWindow(300'000), 3u);
+  // Merge determinism: opposite order produces byte-identical export.
+  EXPECT_EQ(ab.ToJson(), ba.ToJson());
+}
+
+// ---------------------------------------------------------------------------
+// Simulator periodic tasks (the hook health/timeline ride on)
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorPeriodicTest, FiresOnAbsoluteBoundaries) {
+  sim::Simulator sim(1);
+  std::vector<TimeMicros> fired;
+  sim.AddPeriodicTask(1000, [&](TimeMicros due) { fired.push_back(due); });
+  sim.RunFor(3500);
+  EXPECT_EQ(fired, (std::vector<TimeMicros>{1000, 2000, 3000}));
+  // Tasks registered mid-run start at the next absolute boundary of their
+  // period, not at now + period.
+  std::vector<TimeMicros> late;
+  sim.AddPeriodicTask(1000, [&](TimeMicros due) { late.push_back(due); });
+  sim.RunFor(1000);  // now 4500
+  EXPECT_EQ(late, (std::vector<TimeMicros>{4000}));
+}
+
+TEST(SimulatorPeriodicTest, RemoveStopsFiring) {
+  sim::Simulator sim(1);
+  int count = 0;
+  const uint64_t id = sim.AddPeriodicTask(1000, [&](TimeMicros) { count++; });
+  sim.RunFor(2500);
+  EXPECT_EQ(count, 2);
+  sim.RemovePeriodicTask(id);
+  sim.RunFor(2000);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorPeriodicTest, PeriodicTasksDoNotChangeEventSchedule) {
+  // The hook runs between events rather than through the event queue, so
+  // enabling monitoring must not perturb a seeded run's event history.
+  auto run = [](bool monitored) {
+    sim::Simulator sim(99);
+    if (monitored) {
+      sim.EnableHealthMonitor();
+      sim.EnableTimeline();
+    }
+    std::vector<TimeMicros> event_times;
+    for (int i = 0; i < 20; ++i) {
+      sim.Schedule(sim.rng().Range(1, 1'000'000), [&, i]() {
+        event_times.push_back(sim.now());
+        if (i % 3 == 0) {
+          sim.Schedule(sim.rng().Range(1, 500'000),
+                       [&]() { event_times.push_back(sim.now()); });
+        }
+      });
+    }
+    sim.Run();
+    return event_times;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Timeline: capture, serialize, strict parse, byte-stable round-trip
+// ---------------------------------------------------------------------------
+
+TEST(TimelineTest, CaptureSamplesWindowsAndCountersPerInterval) {
+  obs::MetricsRegistry reg;
+  obs::TimelineRecorder rec(obs::TimelineConfig{}, &reg, nullptr);
+  reg.GetWindow("store.window.ops", 1, 7).Record(100'000, 50);
+  reg.GetWindow("store.window.bytes", 1, 7).Record(100'000, 5000);
+  reg.GetCounter("wire.frames_serialized", 1) += 100;
+  rec.Capture(250'000);
+  reg.GetWindow("store.window.ops", 1, 7).Record(300'000, 10);
+  reg.GetCounter("wire.frames_serialized", 1) += 60;
+  rec.Capture(500'000);
+
+  ASSERT_EQ(rec.snapshots().size(), 2u);
+  const auto& first = rec.snapshots()[0];
+  ASSERT_EQ(first.groups.size(), 1u);
+  EXPECT_EQ(first.groups[0].group, 7u);
+  EXPECT_EQ(first.groups[0].node, 1u);
+  EXPECT_GT(first.groups[0].ops_per_sec, 0.0);
+  ASSERT_EQ(first.nodes.size(), 1u);
+  // 100 frames over the first 250ms interval = 400/s.
+  EXPECT_DOUBLE_EQ(first.nodes[0].frames_per_sec, 400.0);
+  // Second interval rates reflect the delta, not the cumulative count.
+  EXPECT_DOUBLE_EQ(rec.snapshots()[1].nodes[0].frames_per_sec, 240.0);
+}
+
+TEST(TimelineTest, SerializeParseRoundTripsByteIdentically) {
+  obs::MetricsRegistry reg;
+  obs::TimelineRecorder rec(obs::TimelineConfig{}, &reg, nullptr);
+  reg.GetWindow("store.window.ops", 3, 11).Record(50'000, 7);
+  reg.GetHistogram("store.op.latency_us", 3, 11).Record(421);
+  reg.GetHistogram("store.op.latency_us", 3, 11).Record(999);
+  reg.GetCounter("wire.bytes_serialized", 3) += 12345;
+  rec.Capture(250'000);
+  rec.Capture(500'000);
+
+  const std::string json = rec.ToJson();
+  obs::TimelineRecorder::Parsed parsed;
+  ASSERT_TRUE(obs::TimelineRecorder::Parse(json, &parsed));
+  EXPECT_EQ(parsed.period_us, rec.config().period_us);
+  ASSERT_EQ(parsed.snapshots.size(), 2u);
+  EXPECT_EQ(parsed.snapshots[0].ts_us, 250'000);
+  ASSERT_EQ(parsed.snapshots[0].groups.size(), 1u);
+  EXPECT_EQ(parsed.snapshots[0].groups[0].p99_us, 999);
+
+  // Byte-stable: re-serializing the parsed form reproduces the document.
+  EXPECT_EQ(obs::TimelineRecorder::Serialize(parsed.period_us,
+                                             parsed.snapshots),
+            json);
+}
+
+TEST(TimelineTest, ParseRejectsMalformedDocuments) {
+  obs::TimelineRecorder::Parsed parsed;
+  EXPECT_FALSE(obs::TimelineRecorder::Parse("", &parsed));
+  EXPECT_FALSE(obs::TimelineRecorder::Parse("{}", &parsed));
+  EXPECT_FALSE(obs::TimelineRecorder::Parse(
+      "{\"schema\":\"scatter.timeline.v2\",\"period_us\":1,"
+      "\"snapshots\":[]}",
+      &parsed));
+  // Trailing garbage after a valid document is rejected.
+  obs::MetricsRegistry reg;
+  obs::TimelineRecorder rec(obs::TimelineConfig{}, &reg, nullptr);
+  rec.Capture(250'000);
+  EXPECT_TRUE(obs::TimelineRecorder::Parse(rec.ToJson(), &parsed));
+  EXPECT_FALSE(obs::TimelineRecorder::Parse(rec.ToJson() + "x", &parsed));
 }
 
 }  // namespace

@@ -8,7 +8,8 @@
 //   - Zipf sampling and histogram recording,
 //   - a full Paxos commit (propose -> quorum -> apply) on a simulated LAN,
 //   - lease reads vs barrier reads on the same group,
-//   - the linearizability checker on sequential histories.
+//   - the linearizability checker on sequential histories,
+//   - WAL framing + append throughput and crash-recovery replay.
 
 #include <benchmark/benchmark.h>
 
@@ -18,10 +19,15 @@
 #include "src/core/cluster.h"
 #include "src/core/wire_codecs.h"
 #include "src/membership/commands.h"
+#include "src/membership/group_state_machine.h"
+#include "src/obs/metrics.h"
+#include "src/paxos/journal.h"
 #include "src/paxos/messages.h"
 #include "src/paxos/payload_codec.h"
 #include "src/ring/ring_map.h"
 #include "src/sim/simulator.h"
+#include "src/storage/sim_disk.h"
+#include "src/storage/wal.h"
 #include "src/store/kv_store.h"
 #include "src/verify/linearizability.h"
 #include "src/wire/buffer.h"
@@ -395,6 +401,77 @@ void BM_LinearizabilityCheckSequential(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) * state.range(0) * 2);
 }
 BENCHMARK(BM_LinearizabilityCheckSequential)->Arg(64)->Arg(512);
+
+// One framed WAL append (length prefix + version/type + CRC32 over the
+// payload) onto the simulated disk, fsyncing every 8 records the way the
+// replica's group-commit scheduler batches barriers. Arg = payload bytes.
+// The file is rewritten empty every 4k records (the checkpoint-truncation
+// path) so the benchmark measures steady-state append cost, not the cost of
+// growing one unbounded file.
+void BM_WalAppend(benchmark::State& state) {
+  storage::SimDisk disk;
+  storage::Wal wal(&disk, "bench.wal");
+  std::vector<uint8_t> bytes(static_cast<size_t>(state.range(0)), 0xA5);
+  wire::Buffer payload;
+  payload.WriteBytes(bytes.data(), bytes.size());
+  const wire::Buffer empty;
+  uint64_t appended = 0;
+  for (auto _ : state) {
+    wal.Append(/*type=*/2, payload);
+    if (++appended % 8 == 0) {
+      wal.Sync();
+    }
+    if (appended % 4096 == 0) {
+      wal.Rewrite(empty);
+    }
+  }
+  wal.Sync();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WalAppend)->Arg(64)->Arg(1024);
+
+// Full crash-recovery replay: a group journal holding a checkpoint plus
+// Arg accepted-and-committed PutCommand entries is rebuilt from disk —
+// snapshot decode, WAL scan with per-record CRC verification, and command
+// decode for every entry. Items/sec is log entries replayed per second.
+void BM_RecoveryReplay(benchmark::State& state) {
+  core::RegisterScatterWireCodecs();
+  storage::SimDisk disk;
+  obs::MetricsRegistry metrics;
+  const GroupId group = 7;
+  paxos::GroupJournal journal(&disk, &metrics, /*node=*/1, group);
+  auto snap = std::make_shared<membership::GroupSnapshot>();
+  snap->state.id = group;
+  const std::vector<NodeId> config = {1, 2, 3};
+  const Ballot ballot{1, 1};
+  journal.WriteCheckpoint(/*last_included_index=*/0, Ballot{}, config,
+                          /*config_index=*/0, snap, ballot,
+                          /*commit_index=*/0, {});
+  const uint64_t entries = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 1; i <= entries; ++i) {
+    paxos::LogEntry e;
+    e.index = i;
+    e.ballot = ballot;
+    e.command = std::make_shared<membership::PutCommand>(i, "bench-value");
+    journal.LogAccept(e);
+    journal.LogCommit(i);
+    if (i % 8 == 0) {
+      journal.Sync();
+    }
+  }
+  journal.Sync();
+  for (auto _ : state) {
+    paxos::RecoveredState recovered;
+    const bool ok = paxos::GroupJournal::Recover(disk, group, &recovered);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(recovered.entries.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(256)->Arg(2048);
 
 }  // namespace
 }  // namespace scatter

@@ -1,10 +1,11 @@
 // Flight-recorder demo: runs a small two-group cluster with causal tracing,
-// the health monitor and the obs timeline enabled, issues a few client
-// operations, then drives a cross-group merge so the trace contains a
-// multi-group transaction tree. Exports the trace as Chrome trace-event
-// JSON (open in https://ui.perfetto.dev), the metrics registry as JSON, and
-// the periodic load/health snapshots as scatter.timeline.v1 JSON (render
-// with tools/scatter_top).
+// the health monitor, the obs timeline and durable storage enabled, issues
+// a few client operations, drives a cross-group merge so the trace contains
+// a multi-group transaction tree, then crashes and restarts one replica so
+// the metrics export carries the WAL and recovery cells. Exports the trace
+// as Chrome trace-event JSON (open in https://ui.perfetto.dev), the metrics
+// registry as JSON, and the periodic load/health snapshots as
+// scatter.timeline.v1 JSON (render with tools/scatter_top).
 //
 // Usage: trace_demo [trace.json] [metrics.json] [timeline.json]
 
@@ -37,6 +38,9 @@ int Run(const std::string& trace_path, const std::string& metrics_path,
   cfg.scatter.policy.max_group_size = 64;
   cfg.enable_health_monitor = true;
   cfg.enable_timeline = true;
+  // Persist so the exported metrics carry wal.* cells, and the crash +
+  // restart below populates the recovery.* cells the obs gate validates.
+  cfg.persistence = core::ClusterConfig::Persistence::kOn;
   core::Cluster cluster(cfg);
   cluster.sim().EnableTracing();
   cluster.RunFor(Seconds(2));
@@ -97,6 +101,29 @@ int Run(const std::string& trace_path, const std::string& metrics_path,
   }
   cluster.RunFor(Seconds(2));
 
+  // Crash one group-hosting replica and restart it from its own disk: the
+  // WAL-over-snapshot replay populates the recovery.* metric cells.
+  NodeId victim = kInvalidNode;
+  for (NodeId id : cluster.live_node_ids()) {
+    if (!cluster.node(id)->ServingGroups().empty()) {
+      victim = id;
+      break;
+    }
+  }
+  if (victim == kInvalidNode) {
+    std::fprintf(stderr, "trace_demo: no group-hosting node to restart\n");
+    return 1;
+  }
+  cluster.CrashNode(victim);
+  cluster.RunFor(Millis(500));
+  const size_t recovered = cluster.RestartNode(victim);
+  if (recovered == 0) {
+    std::fprintf(stderr, "trace_demo: node %llu recovered no groups\n",
+                 static_cast<unsigned long long>(victim));
+    return 1;
+  }
+  cluster.RunFor(Seconds(2));
+
   {
     std::ofstream out(trace_path);
     if (!out) {
@@ -131,11 +158,13 @@ int Run(const std::string& trace_path, const std::string& metrics_path,
   const obs::HealthMonitor* monitor = cluster.sim().health_monitor();
   std::printf(
       "trace_demo: wrote %s, %s and %s (%zu spans, %zu timeline snapshots, "
-      "%llu health raises)\n",
+      "%llu health raises, n%llu recovered %zu group%s from disk)\n",
       trace_path.c_str(), metrics_path.c_str(), timeline_path.c_str(),
       cluster.sim().tracer()->spans().size(),
       cluster.sim().timeline()->snapshots().size(),
-      static_cast<unsigned long long>(monitor->raises_total()));
+      static_cast<unsigned long long>(monitor->raises_total()),
+      static_cast<unsigned long long>(victim), recovered,
+      recovered == 1 ? "" : "s");
   std::printf("view the trace at https://ui.perfetto.dev\n");
   return 0;
 }

@@ -17,7 +17,12 @@ Checks (stdlib only, no third-party deps):
              quantile bucket means a broken merge), sliding windows carry
              positive bucket widths and non-negative sums, and the core
              paxos/txn counters are present and non-zero for a run that
-             committed operations.
+             committed operations. Durability cells: wal.appends/fsyncs/
+             bytes non-zero with fsyncs <= appends (group commit must
+             batch), the wal.group_commit_batch histogram populated, the
+             recovery.* cells populated by the demo's crash + restart, and
+             the recovery.active gauge back to zero (replay is synchronous;
+             a lingering nonzero gauge is a wedged recovery).
   timeline - (optional third argument) schema tag scatter.timeline.v1,
              snapshot timestamps strictly increasing, group/node rows with
              stable shape, all rates finite and non-negative, p50 <= p99.
@@ -209,6 +214,35 @@ def check_metrics(path):
         fail("metrics: paxos.entries_committed is zero")
     if total("txn.txns_committed") == 0:
         fail("metrics: txn.txns_committed is zero")
+
+    # Durability cells (the demo runs persisted and restarts one replica).
+    wal_appends = total("wal.appends")
+    wal_fsyncs = total("wal.fsyncs")
+    if wal_appends == 0:
+        fail("metrics: wal.appends is zero (persistence not exercised)")
+    if wal_fsyncs == 0:
+        fail("metrics: wal.fsyncs is zero")
+    if total("wal.bytes") == 0:
+        fail("metrics: wal.bytes is zero")
+    if wal_fsyncs > wal_appends:
+        fail(f"metrics: wal.fsyncs ({wal_fsyncs}) exceeds wal.appends "
+             f"({wal_appends}) — group commit must batch, not amplify")
+    batch_count = sum(c["hist"]["count"] for c in doc["histograms"]
+                      if c["name"] == "wal.group_commit_batch")
+    if batch_count == 0:
+        fail("metrics: wal.group_commit_batch histogram is empty")
+    if total("recovery.wal_records") == 0:
+        fail("metrics: recovery.wal_records is zero (restart not exercised)")
+    if not any(c["name"] == "recovery.replay_entries"
+               for c in doc["counters"]):
+        fail("metrics: recovery.replay_entries cell missing")
+    if sum(c["hist"]["count"] for c in doc["histograms"]
+           if c["name"] == "recovery.duration_us") == 0:
+        fail("metrics: recovery.duration_us histogram is empty")
+    for cell in doc["gauges"]:
+        if cell["name"] == "recovery.active" and cell["value"] != 0:
+            fail(f"metrics: recovery.active stuck nonzero: {cell}")
+
     print(f"check_obs_json: metrics ok ({len(doc['counters'])} counter cells, "
           f"{len(doc['gauges'])} gauge cells, "
           f"{len(doc['windows'])} window cells, "

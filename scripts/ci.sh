@@ -11,6 +11,7 @@
 #   scripts/ci.sh obs             # traced sim + trace/metrics JSON schema check
 #   scripts/ci.sh wire            # full suite over serializing + audit, pool on/off
 #   scripts/ci.sh mc              # model-checker smoke (delay-bounded split scenario)
+#   scripts/ci.sh durability      # full suite with persistence on (serializing) + mc crash-with-disk smoke
 #
 # Build trees go to build-asan/ and build-ubsan/ so they never disturb the
 # developer's plain build/.
@@ -109,6 +110,28 @@ run_mc() {
       --budget-seconds 25 --counterexample none
 }
 
+run_durability() {
+  # Durability gate, two legs. (1) The ENTIRE test suite must pass with
+  # every cluster journaling through the simulated disk (SCATTER_PERSIST=on)
+  # while each message round-trips through the wire (serializing transport):
+  # persistence must be behavior-neutral absent crashes, so the same suite
+  # that passes memory-only must pass journaled. (2) A random-walk smoke of
+  # the crash-with-disk mc scenario: crashed-and-restarted replicas must
+  # recover from their own WAL + snapshot (no state transfer) with the
+  # durability invariant audited after every decision.
+  local bdir="${BUILD_DIR:-build}"
+  if [[ ! -d "$bdir" ]]; then
+    cmake -B "$bdir" -S .
+  fi
+  cmake --build "$bdir" -j "$JOBS"
+  echo "=== durability: full ctest, SCATTER_PERSIST=on transport=serializing ($bdir) ==="
+  ( cd "$bdir" && SCATTER_PERSIST=on SCATTER_TRANSPORT=serializing \
+        ctest --output-on-failure -j "$JOBS" )
+  echo "=== durability: mc crash-with-disk smoke ==="
+  "$bdir/tools/mc_explore" --scenario crash_disk --strategy walk \
+      --budget-seconds 20 --counterexample none
+}
+
 run_lint() {
   # Stage 1: scatter-lint (tools/scatter_lint) — determinism, layering and
   # protocol-hygiene rules, zero findings allowed. It prints a per-rule
@@ -135,6 +158,7 @@ case "${1:-all}" in
   obs) run_obs_check ;;
   wire) run_wire ;;
   mc) run_mc ;;
+  durability) run_durability ;;
   all)
     run_sanitized address
     run_sanitized undefined
@@ -142,11 +166,12 @@ case "${1:-all}" in
     run_obs_check
     run_wire
     run_mc
+    run_durability
     run_lint
-    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, wire suites clean, mc smoke clean, scatter-lint + clang-tidy zero-warning ==="
+    echo "=== CI green: ASan + UBSan suites clean, bench smoke ok, obs export valid, wire suites clean, mc smoke clean, durability suite + smoke clean, scatter-lint + clang-tidy zero-warning ==="
     ;;
   *)
-    echo "usage: $0 [address|undefined|thread|lint|bench|obs|wire|mc|all]" >&2
+    echo "usage: $0 [address|undefined|thread|lint|bench|obs|wire|mc|durability|all]" >&2
     exit 2
     ;;
 esac

@@ -25,6 +25,10 @@
 //             inside txn::GroupOpDriver.
 //   store   — every key held by a replica's KvStore lies inside its group's
 //             claimed range.
+//   durability — a replica recovered from its own WAL + snapshot never
+//             regresses its promised ballot or commit index below the
+//             recovered floor, and committed entries restored from disk
+//             still match their recovery-time digests while in the log.
 //   health  — when the simulator runs an obs::HealthMonitor, no health
 //             detector has raised (clean audited runs must be quiet; chaos
 //             scenarios that inject faults and expect raises narrow the
@@ -60,7 +64,8 @@ struct AuditorOptions {
   // dumped here as Chrome trace-event JSON alongside the artifact.
   std::string trace_json_path = "scatter_audit_trace.json";
   // Which standard properties to register: any subset of
-  // {"paxos", "ring", "groupop", "store", "health"}. Empty = all of them.
+  // {"paxos", "ring", "groupop", "store", "durability", "health"}.
+  // Empty = all of them.
   // The model checker narrows this per scenario; RegisterChecker still adds
   // custom checkers on top.
   std::vector<std::string> properties;
@@ -89,11 +94,12 @@ std::unique_ptr<Checker> MakePaxosSafetyChecker();
 std::unique_ptr<Checker> MakeRingSafetyChecker();
 std::unique_ptr<Checker> MakeGroupOpChecker();
 std::unique_ptr<Checker> MakeStoreContainmentChecker();
+std::unique_ptr<Checker> MakeDurabilityChecker();
 std::unique_ptr<Checker> MakeHealthQuietChecker();
 
 // The standard property set by name ("paxos", "ring", "groupop", "store",
-// "health"). An empty selection returns all of them; unknown names
-// CHECK-fail. Fresh
+// "durability", "health"). An empty selection returns all of them; unknown
+// names CHECK-fail. Fresh
 // checker instances each call — checkers keep cross-call state (e.g.
 // ballot monotonicity watermarks), so they must never be shared between
 // runs.

@@ -4,13 +4,31 @@
 
 #include "src/common/logging.h"
 #include "src/core/wire_codecs.h"
+#include "src/storage/persist_env.h"
 #include "src/wire/buffer_pool.h"
 #include "src/wire/transport_factory.h"
 
 namespace scatter::core {
 
+namespace {
+
+bool ResolvePersistence(ClusterConfig::Persistence mode) {
+  switch (mode) {
+    case ClusterConfig::Persistence::kOn:
+      return true;
+    case ClusterConfig::Persistence::kOff:
+      return false;
+    case ClusterConfig::Persistence::kDefault:
+      return storage::PersistenceEnabledFromEnv();
+  }
+  return false;
+}
+
+}  // namespace
+
 Cluster::Cluster(const ClusterConfig& config)
     : cfg_(config),
+      persist_(ResolvePersistence(config.persistence)),
       sim_(config.seed),
       net_(wire::MakeNetwork(&sim_, config.network, config.transport)) {
   // The serializing/auditing transports need every Scatter codec; register
@@ -44,7 +62,8 @@ Cluster::Cluster(const ClusterConfig& config)
                             ids.begin() + std::min<size_t>(ids.size(), 5));
 
   for (NodeId id : ids) {
-    nodes_[id] = std::make_unique<ScatterNode>(id, net_.get(), cfg_.scatter, seeds);
+    nodes_[id] = std::make_unique<ScatterNode>(id, net_.get(), cfg_.scatter,
+                                               seeds, DiskFor(id));
   }
 
   // Tile the ring with initial_groups equal arcs; members round-robin.
@@ -77,13 +96,55 @@ Cluster::Cluster(const ClusterConfig& config)
 
 NodeId Cluster::SpawnNode() {
   const NodeId id = next_node_id_++;
-  nodes_[id] =
-      std::make_unique<ScatterNode>(id, net_.get(), cfg_.scatter, SampleSeeds(5));
+  nodes_[id] = std::make_unique<ScatterNode>(id, net_.get(), cfg_.scatter,
+                                             SampleSeeds(5), DiskFor(id));
   nodes_[id]->StartJoin();
   return id;
 }
 
-void Cluster::CrashNode(NodeId id) { nodes_.erase(id); }
+void Cluster::CrashNode(NodeId id) {
+  if (nodes_.erase(id) > 0) {
+    if (auto it = disks_.find(id); it != disks_.end()) {
+      // Fail-stop: whatever was appended since the last fsync barrier is
+      // gone; everything behind it survives for RestartNode.
+      it->second->Crash();
+    }
+  }
+}
+
+size_t Cluster::RestartNode(NodeId id) {
+  SCATTER_CHECK(persist_);
+  SCATTER_CHECK(nodes_.count(id) == 0);
+  SCATTER_CHECK(id < next_node_id_);
+  nodes_[id] = std::make_unique<ScatterNode>(id, net_.get(), cfg_.scatter,
+                                             SampleSeeds(5), DiskFor(id));
+  const size_t recovered = nodes_[id]->RecoverFromDisk();
+  if (recovered == 0) {
+    nodes_[id]->StartJoin();  // Nothing on disk: rejoin amnesiac.
+  }
+  return recovered;
+}
+
+void Cluster::WipeDisk(NodeId id) {
+  SCATTER_CHECK(nodes_.count(id) == 0);
+  disks_.erase(id);
+}
+
+storage::SimDisk* Cluster::disk(NodeId id) {
+  auto it = disks_.find(id);
+  return it == disks_.end() ? nullptr : it->second.get();
+}
+
+storage::Disk* Cluster::DiskFor(NodeId id) {
+  if (!persist_) {
+    return nullptr;
+  }
+  auto& slot = disks_[id];
+  if (slot == nullptr) {
+    slot = std::make_unique<storage::SimDisk>(cfg_.disk);
+  }
+  return slot.get();
+}
 
 ScatterNode* Cluster::node(NodeId id) {
   auto it = nodes_.find(id);

@@ -20,6 +20,7 @@
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/sim/transport.h"
+#include "src/storage/sim_disk.h"
 
 namespace scatter::core {
 
@@ -35,6 +36,13 @@ struct ClusterConfig {
   // Which Transport implementation carries the cluster's traffic. kDefault
   // honors the SCATTER_TRANSPORT environment variable.
   sim::TransportKind transport = sim::TransportKind::kDefault;
+  // Durable storage. With persistence on, every node gets a SimDisk that
+  // survives CrashNode, replicas journal through it, and RestartNode brings
+  // a crashed node back from its own WAL + snapshots. kDefault honors the
+  // SCATTER_PERSIST environment variable (unset = off).
+  enum class Persistence { kDefault, kOn, kOff };
+  Persistence persistence = Persistence::kDefault;
+  storage::SimDiskConfig disk;
   // Cluster health monitoring (obs::HealthMonitor on the simulator's
   // periodic hook). Off by default: monitoring reads registry cells only,
   // but tests opt in explicitly so clean-run quietness is an assertion,
@@ -62,8 +70,24 @@ class Cluster {
   // --- Node lifecycle ------------------------------------------------------
   // Starts a fresh node that joins through live seeds. Returns its id.
   NodeId SpawnNode();
-  // Fail-stop: the node vanishes (state lost, id never reused).
+  // Fail-stop: the node vanishes (volatile state lost, id never reused by
+  // SpawnNode). With persistence on its disk survives — minus any bytes
+  // appended since the last fsync barrier — and RestartNode can revive it.
   void CrashNode(NodeId id);
+  // Brings a crashed node back on its preserved disk. The node recovers
+  // every group it holds a checkpoint for (local WAL replay, no state
+  // transfer) and falls back to a fresh join when the disk yields nothing.
+  // Returns the number of groups recovered. The node must be dead and
+  // persistence on.
+  size_t RestartNode(NodeId id);
+  // Discards a crashed node's disk: a subsequent RestartNode rejoins
+  // amnesiac (the crash-amnesia leg of the durability tests).
+  void WipeDisk(NodeId id);
+
+  bool persistence_enabled() const { return persist_; }
+  // The node's durable storage (null when diskless or never spawned). Valid
+  // across crash/restart.
+  storage::SimDisk* disk(NodeId id);
 
   ScatterNode* node(NodeId id);
   std::vector<NodeId> live_node_ids() const;
@@ -96,11 +120,16 @@ class Cluster {
 
  private:
   std::vector<NodeId> SampleSeeds(size_t count) const;
+  // The node's disk, created on first use (null when persistence is off).
+  storage::Disk* DiskFor(NodeId id);
 
   ClusterConfig cfg_;
+  bool persist_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   std::map<NodeId, std::unique_ptr<ScatterNode>> nodes_;
+  // Survives CrashNode: crash-with-disk keeps the entry, WipeDisk drops it.
+  std::map<NodeId, std::unique_ptr<storage::SimDisk>> disks_;
   std::vector<std::unique_ptr<Client>> clients_;
   NodeId next_node_id_ = 1;
   NodeId next_client_id_ = 1000000000;  // clients live in their own id space

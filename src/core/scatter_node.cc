@@ -30,8 +30,11 @@ constexpr size_t kSeedRingLimit = 32;
 
 ScatterNode::ScatterNode(NodeId id, sim::Transport* network,
                          const ScatterConfig& config,
-                         std::vector<NodeId> seeds)
-    : RpcNode(id, network), cfg_(config), seeds_(std::move(seeds)) {
+                         std::vector<NodeId> seeds, storage::Disk* disk)
+    : RpcNode(id, network),
+      cfg_(config),
+      seeds_(std::move(seeds)),
+      disk_(disk) {
   last_hosted_at_ = now();
   ring_.BindMetrics(&simulator()->metrics(), id);
   // Stagger policy ticks across nodes.
@@ -54,6 +57,14 @@ uint64_t ScatterNode::NewUniqueId() {
 // Group hosting
 // ---------------------------------------------------------------------------
 
+std::unique_ptr<paxos::GroupJournal> ScatterNode::MakeJournal(GroupId group) {
+  if (disk_ == nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<paxos::GroupJournal>(disk_, &simulator()->metrics(),
+                                               id(), group);
+}
+
 ScatterNode::Hosted* ScatterNode::CreateHosted(
     GroupId group, GroupState initial, std::vector<NodeId> founding_members) {
   SCATTER_CHECK(hosted_.count(group) == 0);
@@ -61,7 +72,12 @@ ScatterNode::Hosted* ScatterNode::CreateHosted(
   h.sm = std::make_unique<GroupStateMachine>(this, std::move(initial));
   h.replica = std::make_unique<paxos::Replica>(
       simulator(), this, h.sm.get(), cfg_.paxos, group, id(),
-      std::move(founding_members));
+      std::move(founding_members), MakeJournal(group));
+  return WireHosted(group);
+}
+
+ScatterNode::Hosted* ScatterNode::WireHosted(GroupId group) {
+  Hosted& h = hosted_[group];
   h.sm->BindConfigProvider(
       [replica = h.replica.get()]() { return replica->AppliedConfig(); });
   h.driver = std::make_unique<txn::GroupOpDriver>(
@@ -72,6 +88,63 @@ ScatterNode::Hosted* ScatterNode::CreateHosted(
   last_hosted_at_ = now();
   simulator()->metrics().GetGauge("core.hosted_groups", id()).Add(1);
   return &h;
+}
+
+size_t ScatterNode::RecoverFromDisk() {
+  if (disk_ == nullptr) {
+    return 0;
+  }
+  // Recovery is visible to the health monitor: the gauge rises when groups
+  // are rebuilt and returns to zero once their committed entries are
+  // re-applied. A value stuck above zero means replay never finished.
+  auto& active = simulator()->metrics().GetGauge("recovery.active", id());
+  std::vector<GroupId> recovered_groups;
+  for (GroupId gid : paxos::GroupsOnDisk(*disk_)) {
+    if (hosted_.count(gid) > 0) {
+      continue;
+    }
+    paxos::RecoveredState recovered;
+    if (!paxos::GroupJournal::Recover(*disk_, gid, &recovered)) {
+      // No usable checkpoint (a joiner that crashed pre-install, or a
+      // corrupt snapshot): this group rejoins amnesiac. Drop the remnants
+      // so the next restart does not trip over them either.
+      paxos::GroupJournal::RemoveFiles(disk_, gid);
+      continue;
+    }
+    active.Add(1);
+    simulator()->metrics().GetCounter("recovery.wal_records", id()) +=
+        recovered.wal_records;
+    Hosted& h = hosted_[gid];
+    GroupState initial;
+    initial.id = gid;  // The replica restores the real state immediately.
+    h.sm = std::make_unique<GroupStateMachine>(this, std::move(initial));
+    h.replica = std::make_unique<paxos::Replica>(simulator(), this,
+                                                 h.sm.get(), cfg_.paxos, gid,
+                                                 id(), MakeJournal(gid),
+                                                 recovered);
+    WireHosted(gid);
+    recovered_groups.push_back(gid);
+  }
+
+  // Replay after every recovered replica exists: applying committed entries
+  // fires the usual host callbacks (OnGroupsFounded, OnSelfRemoved, ...)
+  // which may look up sibling groups.
+  auto& replay_entries =
+      simulator()->metrics().GetCounter("recovery.replay_entries", id());
+  auto& duration =
+      simulator()->metrics().GetHistogram("recovery.duration_us", id());
+  for (GroupId gid : recovered_groups) {
+    const TimeMicros started = now();
+    Hosted* h = FindHosted(gid);
+    SCATTER_CHECK(h != nullptr);
+    replay_entries += h->replica->ReplayRecovered();
+    if (h->load != nullptr) {
+      h->load->SetRange(h->sm->range());  // Replay may have moved the arc.
+    }
+    duration.Record(static_cast<int64_t>(now() - started));
+    active.Add(-1);
+  }
+  return recovered_groups.size();
 }
 
 void ScatterNode::HostFoundingGroup(const FoundingGroup& group) {
@@ -97,6 +170,10 @@ void ScatterNode::ScheduleTeardown(GroupId group, TimeMicros delay) {
   timers().Schedule(delay, [this, group]() {
     if (hosted_.erase(group) > 0) {
       simulator()->metrics().GetGauge("core.hosted_groups", id()).Add(-1);
+      if (disk_ != nullptr) {
+        // A torn-down group must not resurrect on restart.
+        paxos::GroupJournal::RemoveFiles(disk_, group);
+      }
     }
   });
 }
@@ -267,7 +344,13 @@ void ScatterNode::OnGroupsFounded(GroupId retired,
   for (const FoundingGroup& fg : groups) {
     const bool is_member =
         std::count(fg.info.members.begin(), fg.info.members.end(), id()) > 0;
-    if (is_member && hosted_.count(fg.info.id) == 0) {
+    // During post-crash replay this callback re-fires for splits that
+    // already happened: the child group then has its own journal on disk
+    // and is recovered (or already was) by RecoverFromDisk. Founding it
+    // afresh here would overwrite that durable state with an empty group.
+    const bool recoverable =
+        disk_ != nullptr && paxos::GroupJournal::HasState(*disk_, fg.info.id);
+    if (is_member && hosted_.count(fg.info.id) == 0 && !recoverable) {
       HostFoundingGroup(fg);
     } else {
       AbsorbRingInfo(fg.info);

@@ -28,6 +28,7 @@
 #include "src/paxos/replica.h"
 #include "src/ring/ring_map.h"
 #include "src/rpc/rpc_node.h"
+#include "src/storage/disk.h"
 #include "src/store/load_stats.h"
 #include "src/txn/group_op_driver.h"
 #include "src/txn/messages.h"
@@ -40,9 +41,12 @@ class ScatterNode : public rpc::RpcNode,
                     public txn::DriverHost {
  public:
   // The node attaches to the network immediately. It does nothing until
-  // either HostFoundingGroup (bootstrap) or StartJoin (churn arrival).
+  // either HostFoundingGroup (bootstrap), RecoverFromDisk (restart) or
+  // StartJoin (churn arrival). A non-null `disk` is the node's durable
+  // storage: every hosted replica journals through it, and it must outlive
+  // the node (the cluster keeps it across crash/restart cycles).
   ScatterNode(NodeId id, sim::Transport* network, const ScatterConfig& config,
-              std::vector<NodeId> seeds);
+              std::vector<NodeId> seeds, storage::Disk* disk = nullptr);
   ~ScatterNode() override;
 
   // Bootstrap path: become a founding member of `group` (all founding
@@ -51,6 +55,13 @@ class ScatterNode : public rpc::RpcNode,
 
   // Churn path: locate a group through the seeds and join it.
   void StartJoin();
+
+  // Restart path: rebuilds every group replica the disk holds a usable
+  // checkpoint for (WAL replay over snapshot) and re-applies their
+  // committed entries. Returns the number of groups recovered; when zero
+  // the caller falls back to StartJoin. Remnants of unrecoverable groups
+  // (a joiner that crashed before its first snapshot install) are deleted.
+  size_t RecoverFromDisk();
 
   // --- Explicit structural operations (benchmarks, examples) -------------
   // Each requires this node to lead `group` and the group to be idle;
@@ -155,6 +166,11 @@ class ScatterNode : public rpc::RpcNode,
   // --- Group hosting -------------------------------------------------------
   Hosted* CreateHosted(GroupId id, membership::GroupState initial,
                        std::vector<NodeId> founding_members);
+  // Driver/load wiring shared by the founding, joiner and recovery paths;
+  // the caller has placed sm + replica into hosted_[id] already.
+  Hosted* WireHosted(GroupId id);
+  // The replica's journal on this node's disk (null when diskless).
+  std::unique_ptr<paxos::GroupJournal> MakeJournal(GroupId id);
   void ScheduleTeardown(GroupId group, TimeMicros delay);
   // The serving (started, non-retired) hosted group covering `key`.
   Hosted* FindServingGroup(Key key);
@@ -189,6 +205,7 @@ class ScatterNode : public rpc::RpcNode,
 
   ScatterConfig cfg_;
   std::vector<NodeId> seeds_;
+  storage::Disk* disk_;  // null: memory-only node (pre-durability behavior)
   std::map<GroupId, Hosted> hosted_;
   ring::RingMap ring_;
   NodeStats stats_;

@@ -21,6 +21,8 @@ const char* ChoiceKindName(ChoiceKind kind) {
       return "partition";
     case ChoiceKind::kHeal:
       return "heal";
+    case ChoiceKind::kRestart:
+      return "restart";
   }
   return "?";
 }
@@ -30,7 +32,8 @@ namespace {
 bool ChoiceKindFromName(const std::string& name, ChoiceKind* out) {
   for (ChoiceKind k :
        {ChoiceKind::kDeliver, ChoiceKind::kAdvanceTime, ChoiceKind::kCrash,
-        ChoiceKind::kSpawn, ChoiceKind::kPartition, ChoiceKind::kHeal}) {
+        ChoiceKind::kSpawn, ChoiceKind::kPartition, ChoiceKind::kHeal,
+        ChoiceKind::kRestart}) {
     if (name == ChoiceKindName(k)) {
       *out = k;
       return true;
@@ -236,7 +239,7 @@ std::string Choice::ToString() const {
     if (dest != kInvalidNode) {
       s += "->" + std::to_string(dest);
     }
-  } else if (kind == ChoiceKind::kCrash) {
+  } else if (kind == ChoiceKind::kCrash || kind == ChoiceKind::kRestart) {
     s += "(" + std::to_string(arg) + ")";
   }
   return s;
@@ -370,6 +373,8 @@ bool Counterexample::FromJson(const std::string& text, Counterexample* out,
 
 bool Counterexample::WriteFile(const std::string& path,
                                std::string* error) const {
+  // LINT-ALLOW(durability-io): counterexample JSON is a developer artifact
+  // exchanged with mc_replay, not durable protocol state.
   std::ofstream f(path, std::ios::trunc);
   if (!f) {
     if (error != nullptr) {
@@ -383,6 +388,7 @@ bool Counterexample::WriteFile(const std::string& path,
 
 bool Counterexample::ReadFile(const std::string& path, Counterexample* out,
                               std::string* error) {
+  // LINT-ALLOW(durability-io): reads the developer-facing counterexample.
   std::ifstream f(path);
   if (!f) {
     if (error != nullptr) {

@@ -29,6 +29,7 @@ enum class ChoiceKind : uint8_t {
   kSpawn,        // start a fresh node that joins through live seeds
   kPartition,    // install the scenario's partition
   kHeal,         // heal the partition
+  kRestart,      // arg = node id (revive a crashed node from its disk)
 };
 
 const char* ChoiceKindName(ChoiceKind kind);

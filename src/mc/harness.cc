@@ -90,6 +90,8 @@ void McHarness::Start(bool controlled) {
   }
   crashes_left_ = scenario_.crash_budget;
   spawns_left_ = scenario_.spawn_budget;
+  restarts_left_ =
+      cluster_->persistence_enabled() ? scenario_.restart_budget : 0;
 
   if (controlled) {
     cluster_->net().SetScheduler(this);
@@ -142,6 +144,14 @@ std::vector<Choice> McHarness::EnabledChoices() {
   }
   if (spawns_left_ > 0) {
     out.push_back(Choice{ChoiceKind::kSpawn, 0, kInvalidNode});
+  }
+  if (restarts_left_ > 0) {
+    // Only nodes crashed during this schedule can be dead.
+    for (NodeId id : crash_list_) {
+      if (cluster_->node(id) == nullptr) {
+        out.push_back(Choice{ChoiceKind::kRestart, id, kInvalidNode});
+      }
+    }
   }
   if (!islands_.empty() && !partition_active_) {
     out.push_back(Choice{ChoiceKind::kPartition, 0, kInvalidNode});
@@ -224,6 +234,18 @@ bool McHarness::ExecuteChoice(const Choice& choice) {
       }
       cluster_->net().HealPartition();
       partition_active_ = false;
+      break;
+    case ChoiceKind::kRestart:
+      if (restarts_left_ == 0 || cluster_->node(choice.arg) != nullptr ||
+          !cluster_->persistence_enabled()) {
+        return false;
+      }
+      restarts_left_--;
+      if (scenario_.restart_amnesiac) {
+        cluster_->WipeDisk(choice.arg);
+      }
+      cluster_->RestartNode(choice.arg);
+      cluster_->RefreshSeeds();
       break;
   }
   return true;

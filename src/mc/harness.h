@@ -151,6 +151,7 @@ class McHarness : public sim::Scheduler {
   bool partition_active_ = false;
   size_t crashes_left_ = 0;
   size_t spawns_left_ = 0;
+  size_t restarts_left_ = 0;
 
   // Ring layout frozen after the setup run (KeyInGroup / GroupIdAt).
   std::vector<ring::GroupInfo> groups_;

@@ -45,6 +45,12 @@ struct McScenario {
   // How many crash / spawn decisions a schedule may take.
   size_t crash_budget = 0;
   size_t spawn_budget = 0;
+  // How many restart decisions a schedule may take (reviving a node crashed
+  // earlier in the same schedule). Requires cluster persistence on.
+  size_t restart_budget = 0;
+  // When true, a restart first wipes the node's disk: the crash-amnesia leg
+  // the durability scenarios contrast with crash-with-disk recovery.
+  bool restart_amnesiac = false;
   // Nodes the explorer may crash (evaluated once, at control start).
   std::function<std::vector<NodeId>(McHarness&)> crash_candidates;
   // When set, the explorer may install this partition once (and heal it).

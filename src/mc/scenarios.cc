@@ -20,6 +20,17 @@
 //                     config change commits exercises bare-quorum
 //                     bootstrap. Detects bug_skip_bootstrap_joiner (the
 //                     group wedges; the liveness probe write fails).
+//   crash_disk      — one 3-replica persistent group; the explorer may
+//                     crash any member at any captured point and later
+//                     restart it. The goal requires every restarted node to
+//                     recover its replica from its own WAL + snapshot with
+//                     zero full-state transfers, and the group to stay
+//                     writable.
+//   crash_amnesia   — same surface, but a restart wipes the disk first.
+//                     The contrast leg: the revived node cannot recover
+//                     locally and re-enters only through a join + bootstrap
+//                     state transfer (the goal asserts exactly that), which
+//                     is what durable WAL recovery saves.
 //
 // "<name>+mutation" variants enable the matching seeded bug flag
 // (src/paxos/config.h, src/txn/group_op_driver.h).
@@ -154,6 +165,83 @@ McScenario MakeBootstrapWedge() {
   return sc;
 }
 
+// Shared body of the two durability scenarios: a persistent 3-replica
+// group, one crash and one restart decision, writes in flight.
+McScenario MakeCrashRestartBase() {
+  McScenario sc;
+  sc.cluster = BaseConfig(/*nodes=*/3, /*groups=*/1);
+  sc.cluster.persistence = core::ClusterConfig::Persistence::kOn;
+  sc.crash_budget = 1;
+  sc.restart_budget = 1;
+  sc.crash_candidates = [](McHarness& h) {
+    return h.cluster().live_node_ids();
+  };
+  sc.setup = [](McHarness& h) {
+    // Durable state worth recovering: committed writes before control
+    // starts.
+    h.ClientPut(h.KeyInGroup(0), "pre1");
+    h.ClientPut(h.KeyInGroup(0) + 1, "pre2");
+    h.cluster().RunFor(Millis(300));
+  };
+  sc.on_start = [](McHarness& h) { h.ClientPut(h.KeyInGroup(0), "w"); };
+  // Same worst-case routing allowance as bootstrap_wedge.
+  sc.probe_run = Seconds(8);
+  return sc;
+}
+
+McScenario MakeCrashDisk() {
+  McScenario sc = MakeCrashRestartBase();
+  sc.name = "crash_disk";
+  sc.goal = [](McHarness& h) {
+    // Every node restarted during the schedule must have come back from its
+    // own disk: replica present, recovery floor set, and not one snapshot
+    // installed (counters are cumulative per (node, group), and a founding
+    // member installs none before the crash).
+    for (const Choice& c : h.executed()) {
+      if (c.kind != ChoiceKind::kRestart) {
+        continue;
+      }
+      const core::ScatterNode* node = h.cluster().node(c.arg);
+      if (node == nullptr) {
+        return false;
+      }
+      const paxos::Replica* r = node->GroupReplica(h.GroupIdAt(0));
+      if (r == nullptr || !r->recovery_floor().recovered ||
+          r->stats().snapshots_installed != 0) {
+        return false;
+      }
+    }
+    return h.ProbeWrite(h.KeyInGroup(0));
+  };
+  return sc;
+}
+
+McScenario MakeCrashAmnesia() {
+  McScenario sc = MakeCrashRestartBase();
+  sc.name = "crash_amnesia";
+  sc.restart_amnesiac = true;
+  sc.goal = [](McHarness& h) {
+    // An amnesiac revival must NOT claim recovery: with its disk wiped the
+    // node can only re-enter through the join protocol, receiving a full
+    // state transfer.
+    for (const Choice& c : h.executed()) {
+      if (c.kind != ChoiceKind::kRestart) {
+        continue;
+      }
+      const core::ScatterNode* node = h.cluster().node(c.arg);
+      if (node == nullptr) {
+        continue;  // Never made it back in; liveness probed below.
+      }
+      const paxos::Replica* r = node->GroupReplica(h.GroupIdAt(0));
+      if (r != nullptr && r->recovery_floor().recovered) {
+        return false;
+      }
+    }
+    return h.ProbeWrite(h.KeyInGroup(0));
+  };
+  return sc;
+}
+
 }  // namespace
 
 McScenario MakeScenario(const std::string& name) {
@@ -174,6 +262,10 @@ McScenario MakeScenario(const std::string& name) {
     sc = MakeLostMerge();
   } else if (base == "bootstrap_wedge") {
     sc = MakeBootstrapWedge();
+  } else if (base == "crash_disk") {
+    sc = MakeCrashDisk();
+  } else if (base == "crash_amnesia") {
+    sc = MakeCrashAmnesia();
   } else {
     SCATTER_CHECK(false && "unknown mc scenario");
   }
@@ -205,7 +297,9 @@ std::vector<std::string> ScenarioNames() {
           "lost_merge",
           "lost_merge+mutation",
           "bootstrap_wedge",
-          "bootstrap_wedge+mutation"};
+          "bootstrap_wedge+mutation",
+          "crash_disk",
+          "crash_amnesia"};
 }
 
 }  // namespace scatter::mc

@@ -11,6 +11,7 @@ const char kStalledProposer[] = "stalled_proposer";
 const char kElectionChurn[] = "election_churn";
 const char kSnapshotStuck[] = "snapshot_stuck";
 const char kPoolMissSpike[] = "pool_miss_spike";
+const char kRecoveryStuck[] = "recovery_stuck";
 
 }  // namespace
 
@@ -31,6 +32,7 @@ void HealthMonitor::Tick(int64_t now_us, TraceRecorder* tracer) {
   CheckElectionChurn(now_us, tracer);
   CheckSnapshotStuck(now_us, tracer);
   CheckPoolMissSpike(now_us, tracer);
+  CheckRecoveryStuck(now_us, tracer);
 }
 
 void HealthMonitor::Observe(const std::string& condition,
@@ -139,6 +141,17 @@ void HealthMonitor::CheckPoolMissSpike(int64_t now_us, TraceRecorder* tracer) {
             Delta("wire.pool.miss", node, group, counter.value);
         Observe(kPoolMissSpike, config_.pool_miss_spike, node, group,
                 delta >= config_.pool_miss_threshold, now_us, tracer);
+      });
+}
+
+void HealthMonitor::CheckRecoveryStuck(int64_t now_us, TraceRecorder* tracer) {
+  // WAL replay on restart completes synchronously inside the restart call;
+  // this gauge is only ever observed nonzero when a recovery path wedged
+  // mid-replay or leaked its decrement.
+  registry_->ForEachGauge(
+      "recovery.active", [&](NodeId node, GroupId group, const Gauge& gauge) {
+        Observe(kRecoveryStuck, config_.recovery_stuck, node, group,
+                gauge.value > 0, now_us, tracer);
       });
 }
 

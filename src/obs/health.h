@@ -26,6 +26,9 @@
 //   election_churn   elections_started delta >= churn_elections in a window
 //   snapshot_stuck   snapshots_inflight > 0 for raise_after windows
 //   pool_miss_spike  wire.pool.miss delta >= pool_miss_threshold in a window
+//   recovery_stuck   recovery.active > 0 for raise_after windows (WAL
+//                    replay on restart is synchronous, so a lingering
+//                    nonzero gauge means a recovery path wedged or leaked)
 
 #ifndef SCATTER_SRC_OBS_HEALTH_H_
 #define SCATTER_SRC_OBS_HEALTH_H_
@@ -73,6 +76,7 @@ struct HealthConfig {
   // windows is stuck.
   Hysteresis snapshot_stuck{4, 1};
   Hysteresis pool_miss_spike{1, 2};
+  Hysteresis recovery_stuck{4, 1};
 };
 
 class HealthMonitor {
@@ -134,6 +138,7 @@ class HealthMonitor {
   void CheckElectionChurn(int64_t now_us, TraceRecorder* tracer);
   void CheckSnapshotStuck(int64_t now_us, TraceRecorder* tracer);
   void CheckPoolMissSpike(int64_t now_us, TraceRecorder* tracer);
+  void CheckRecoveryStuck(int64_t now_us, TraceRecorder* tracer);
 
   HealthConfig config_;
   MetricsRegistry* registry_;

@@ -1,0 +1,142 @@
+// GroupJournal: the durable form of one replica's Paxos state, layered on
+// the storage WAL (src/storage/wal.h) with the existing payload codecs as
+// the on-disk format.
+//
+// Two files per group on the node's disk:
+//   g<id>.wal   — append-only journal of durable-state mutations
+//   g<id>.snap  — the latest checkpoint (one atomic CRC-framed record)
+//
+// The journal records exactly the state the Paxos safety argument needs to
+// survive a crash: the promise (a vote regression re-grants votes already
+// denied), accepted entries (an acceptance forgotten un-chooses a possibly
+// chosen value), and suffix truncations (so replay reconstructs the same
+// log the replica held). Commit indexes are journaled too — not for safety
+// (commitment is re-derivable from the leader) but so a restarted replica
+// re-applies its state machine without waiting to re-learn the commit
+// point.
+//
+// Group commit: Log* calls only append; nothing is durable until Sync(),
+// which the replica piggybacks on its existing flush scheduler — one fsync
+// covers every append since the previous barrier (the
+// wal.group_commit_batch histogram records how many). Sync() is a no-op
+// when nothing was appended, so piggyback points are free on idle paths.
+//
+// A checkpoint (WriteCheckpoint) atomically replaces the snapshot file with
+// the applied state and then rewrites the WAL down to the residual suffix —
+// recovery tolerates a crash between the two (stale WAL records below the
+// new snapshot base are skipped during replay).
+
+#ifndef SCATTER_SRC_PAXOS_JOURNAL_H_
+#define SCATTER_SRC_PAXOS_JOURNAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+#include "src/obs/metrics.h"
+#include "src/paxos/log.h"
+#include "src/paxos/state_machine.h"
+#include "src/storage/disk.h"
+#include "src/storage/wal.h"
+#include "src/wire/buffer.h"
+
+namespace scatter::paxos {
+
+// WAL record types (PROTOCOL.md §6.3). The snapshot file reuses the same
+// framing with its own type.
+enum class JournalRecordType : uint16_t {
+  kPromise = 1,         // ballot
+  kAccept = 2,          // index, ballot, command (payload codec)
+  kCommit = 3,          // index
+  kTruncateSuffix = 4,  // from
+  kCheckpoint = 16,     // snapshot-file record: base, config, state snapshot
+};
+
+std::string WalFileName(GroupId group);
+std::string SnapFileName(GroupId group);
+
+// Group ids with a snapshot file on `disk`, ascending (the set of groups a
+// restarting node can even attempt to recover).
+std::vector<GroupId> GroupsOnDisk(const storage::Disk& disk);
+
+// Everything a crashed replica gets back from its own disk.
+struct RecoveredState {
+  Ballot promised;
+  uint64_t commit_index = 0;
+  uint64_t snap_base_index = 0;
+  Ballot snap_base_ballot;
+  std::vector<NodeId> snap_config;
+  uint64_t snap_config_index = 0;
+  SnapshotPtr snapshot;           // state-machine state at snap_base_index
+  std::vector<LogEntry> entries;  // indexes > snap_base_index, ascending
+  uint64_t wal_records = 0;       // records replayed (observability)
+  uint64_t wal_clean_bytes = 0;   // prefix that framed complete records
+  bool wal_torn = false;          // a torn/corrupt tail was discarded
+};
+
+class GroupJournal {
+ public:
+  GroupJournal(storage::Disk* disk, obs::MetricsRegistry* metrics,
+               NodeId node, GroupId group);
+
+  GroupJournal(const GroupJournal&) = delete;
+  GroupJournal& operator=(const GroupJournal&) = delete;
+
+  void LogPromise(Ballot ballot);
+  void LogAccept(const LogEntry& entry);
+  void LogCommit(uint64_t index);
+  void LogTruncateSuffix(uint64_t from);
+
+  // Truncates the WAL to its clean prefix (RecoveredState::wal_clean_bytes).
+  // Must run before the first post-recovery append: bytes past a torn
+  // record are garbage, and appending after them would strand every later
+  // record behind an unreadable gap.
+  void DropTornTail(uint64_t clean_bytes);
+
+  // Fsync barrier; no-op when nothing was appended since the last barrier.
+  void Sync();
+  bool dirty() const { return unsynced_appends_ > 0; }
+
+  // Atomically persists `snapshot` (state at last_included_index) and
+  // rewrites the WAL to promise/commit plus the residual `suffix`.
+  // Durable on return.
+  void WriteCheckpoint(uint64_t last_included_index,
+                       Ballot last_included_ballot,
+                       const std::vector<NodeId>& config,
+                       uint64_t config_index, const SnapshotPtr& snapshot,
+                       Ballot promised, uint64_t commit_index,
+                       const std::vector<LogEntry>& suffix);
+
+  // True when the disk holds any state for `group`.
+  static bool HasState(const storage::Disk& disk, GroupId group);
+  // Rebuilds durable state from snapshot + WAL replay. False when no usable
+  // checkpoint exists (a group is recoverable only from its first
+  // checkpoint on; joiners that crashed before their snapshot install
+  // simply rejoin amnesiac).
+  static bool Recover(const storage::Disk& disk, GroupId group,
+                      RecoveredState* out);
+  // Deletes both files (group torn down or retired).
+  static void RemoveFiles(storage::Disk* disk, GroupId group);
+
+ private:
+  void Append(JournalRecordType type);
+
+  storage::Disk* disk_;
+  GroupId group_;
+  storage::Wal wal_;
+  wire::Buffer payload_;  // scratch reused across appends
+  uint64_t unsynced_appends_ = 0;
+
+  // wal.* observability cells (check_obs_json.py validates these).
+  Counter& appends_;
+  Counter& fsyncs_;
+  Counter& bytes_;
+  Counter& checkpoints_;
+  Histogram& group_commit_batch_;
+};
+
+}  // namespace scatter::paxos
+
+#endif  // SCATTER_SRC_PAXOS_JOURNAL_H_

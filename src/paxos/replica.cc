@@ -4,7 +4,9 @@
 #include <limits>
 #include <utility>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/paxos/payload_codec.h"
 
 namespace scatter::paxos {
 namespace {
@@ -13,6 +15,18 @@ namespace {
 constexpr TimeMicros kSnapshotResend = Seconds(2);
 
 }  // namespace
+
+// Hashes the canonical wire encoding so decoded copies and originals digest
+// alike (the durability checker recomputes this against the live log).
+uint64_t DigestLogEntry(const LogEntry& entry) {
+  wire::Buffer buf;
+  buf.WriteU64(entry.index);
+  buf.WriteU64(entry.ballot.round);
+  buf.WriteU64(entry.ballot.node);
+  EncodeCommand(entry.command, buf);
+  return HashBytes(std::string_view(reinterpret_cast<const char*>(buf.data()),
+                                    buf.size()));
+}
 
 Replica::Stats::Stats(obs::MetricsRegistry& registry, NodeId node,
                       GroupId group)
@@ -70,7 +84,8 @@ void Replica::UpdateHealthGauges() {
 Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
                  StateMachine* state_machine, const PaxosConfig& config,
                  GroupId group, NodeId self,
-                 std::vector<NodeId> initial_members)
+                 std::vector<NodeId> initial_members,
+                 std::unique_ptr<GroupJournal> journal)
     : sim_(sim),
       host_(host),
       sm_(state_machine),
@@ -78,6 +93,7 @@ Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
       group_(group),
       self_(self),
       rng_(sim->rng().Fork()),
+      journal_(std::move(journal)),
       stats_(sim->metrics(), self, group),
       timers_(sim) {
   SCATTER_CHECK(cfg_.lease_duration <= cfg_.election_timeout_min);
@@ -90,12 +106,87 @@ Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
     started_ = true;
     SCATTER_CHECK(std::count(config_.begin(), config_.end(), self_) == 1);
     ResetElectionTimer();
+    if (journal_ != nullptr) {
+      // First checkpoint: a founding group is recoverable from birth (the
+      // state machine is at its index-0 initial state right now).
+      journal_->WriteCheckpoint(0, Ballot{}, config_, 0, sm_->TakeSnapshot(),
+                                promised_, 0, {});
+    }
   }
   // Joiners stay passive (started_ == false) until a snapshot arrives.
   if (cfg_.peer_probe_interval > 0) {
     timers_.Schedule(cfg_.peer_probe_interval + rng_.Range(0, Millis(500)),
                      [this]() { ProbePeers(); });
   }
+}
+
+Replica::Replica(sim::Simulator* sim, ReplicaHost* host,
+                 StateMachine* state_machine, const PaxosConfig& config,
+                 GroupId group, NodeId self,
+                 std::unique_ptr<GroupJournal> journal,
+                 const RecoveredState& recovered)
+    : sim_(sim),
+      host_(host),
+      sm_(state_machine),
+      cfg_(config),
+      group_(group),
+      self_(self),
+      rng_(sim->rng().Fork()),
+      journal_(std::move(journal)),
+      stats_(sim->metrics(), self, group),
+      timers_(sim) {
+  SCATTER_CHECK(cfg_.lease_duration <= cfg_.election_timeout_min);
+  SCATTER_CHECK(journal_ != nullptr);
+  SCATTER_CHECK(recovered.snapshot != nullptr);
+  if (recovered.wal_torn) {
+    // New appends must not land behind unreadable garbage.
+    journal_->DropTornTail(recovered.wal_clean_bytes);
+  }
+  // Rebuild exactly what the pre-crash replica persisted: snapshot state,
+  // then the WAL-recovered log suffix on top of it.
+  sm_->Restore(*recovered.snapshot);
+  log_.ResetToSnapshot(recovered.snap_base_index);
+  snap_base_index_ = recovered.snap_base_index;
+  snap_base_ballot_ = recovered.snap_base_ballot;
+  snap_config_ = recovered.snap_config;
+  snap_config_index_ = recovered.snap_config_index;
+  for (const LogEntry& entry : recovered.entries) {
+    if (entry.index != log_.last_index() + 1) {
+      break;  // A hole above the contiguous prefix: drop the stranded tail.
+    }
+    log_.Set(entry.index, entry.ballot, entry.command);
+  }
+  RecomputeVotingConfig();
+  commit_index_ = std::min(recovered.commit_index, log_.LastContiguous());
+  applied_index_ = snap_base_index_;  // ReplayRecovered() catches up.
+  applied_config_index_ = snap_config_index_;
+  promised_ = recovered.promised;  // Already durable; no re-journal needed.
+  max_round_seen_ = std::max(max_round_seen_, promised_.round);
+  started_ = true;
+  ResetElectionTimer();
+  if (cfg_.peer_probe_interval > 0) {
+    timers_.Schedule(cfg_.peer_probe_interval + rng_.Range(0, Millis(500)),
+                     [this]() { ProbePeers(); });
+  }
+
+  recovery_floor_.recovered = true;
+  recovery_floor_.promised = promised_;
+  recovery_floor_.commit_index = commit_index_;
+  for (uint64_t i = snap_base_index_ + 1; i <= commit_index_; ++i) {
+    recovery_floor_.entry_digests[i] = DigestLogEntry(*log_.At(i));
+  }
+  SCATTER_DEBUG() << "g" << group_ << " n" << self_ << " recovered: base="
+                  << snap_base_index_ << " commit=" << commit_index_
+                  << " last=" << last_log_index()
+                  << " promised=" << promised_.ToString()
+                  << (recovered.wal_torn ? " (torn tail discarded)" : "");
+}
+
+uint64_t Replica::ReplayRecovered() {
+  const uint64_t before = applied_index_;
+  ApplyCommitted();
+  UpdateHealthGauges();
+  return applied_index_ - before;
 }
 
 Replica::~Replica() {
@@ -129,8 +220,46 @@ void Replica::ResetElectionTimer() {
   election_timer_ = timers_.Schedule(delay, [this]() { StartElection(); });
 }
 
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+void Replica::RaisePromise(Ballot b) {
+  if (b <= promised_) {
+    return;
+  }
+  promised_ = b;
+  if (journal_ != nullptr) {
+    journal_->LogPromise(b);
+  }
+}
+
+void Replica::JournalAccept(const LogEntry& entry) {
+  if (journal_ != nullptr) {
+    journal_->LogAccept(entry);
+  }
+}
+
+void Replica::JournalTruncateSuffix(uint64_t from) {
+  if (journal_ != nullptr) {
+    journal_->LogTruncateSuffix(from);
+  }
+}
+
+void Replica::JournalCommit(uint64_t index) {
+  if (journal_ != nullptr) {
+    journal_->LogCommit(index);
+  }
+}
+
+void Replica::SyncJournal() {
+  if (journal_ != nullptr) {
+    journal_->Sync();
+  }
+}
+
 void Replica::BecomeFollower(Ballot seen) {
-  promised_ = std::max(promised_, seen);
+  RaisePromise(seen);
   max_round_seen_ = std::max(max_round_seen_, seen.round);
   role_ = Role::kFollower;
   ResetElectionTimer();
@@ -139,7 +268,7 @@ void Replica::BecomeFollower(Ballot seen) {
 void Replica::StepDown(Ballot seen) {
   const bool was_leader = role_ == Role::kLeader;
   lease_surrendered_until_ = 0;
-  promised_ = std::max(promised_, seen);
+  RaisePromise(seen);
   max_round_seen_ = std::max(max_round_seen_, seen.round);
   role_ = Role::kFollower;
   timers_.Cancel(heartbeat_timer_);
@@ -175,7 +304,7 @@ void Replica::StartElection() {
   }
   role_ = Role::kCandidate;
   max_round_seen_++;
-  promised_ = Ballot{max_round_seen_, self_};
+  RaisePromise(Ballot{max_round_seen_, self_});
   votes_ = {self_};
   stats_.elections_started++;
   stats_.window_elections.Record(sim_->now());
@@ -309,7 +438,7 @@ void Replica::HandlePrepare(const PrepareMsg& m) {
   if (!LogUpToDate(m.last_log_index, m.last_log_ballot)) {
     // Candidate's log is stale; raise our promise so it stops retrying this
     // ballot, but do not vote.
-    promised_ = m.ballot;
+    RaisePromise(m.ballot);
     if (role_ != Role::kFollower) {
       StepDown(m.ballot);
     }
@@ -319,7 +448,7 @@ void Replica::HandlePrepare(const PrepareMsg& m) {
     return;
   }
 
-  promised_ = m.ballot;
+  RaisePromise(m.ballot);
   if (role_ != Role::kFollower) {
     StepDown(m.ballot);
   } else {
@@ -379,6 +508,7 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
       for (const LogEntry& e : m.entries) {
         SCATTER_CHECK(e.index == last_log_index() + 1);
         log_.Set(e.index, e.ballot, e.command);
+        JournalAccept(e);
       }
       RecomputeVotingConfig();
       QueueAck(m.from, m.ballot, m.prev_index + m.entries.size(), m.sent_at);
@@ -392,7 +522,7 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
   }
 
   // Valid leader traffic: adopt it, refresh timers and lease grant.
-  promised_ = m.ballot;
+  RaisePromise(m.ballot);
   if (role_ != Role::kFollower) {
     StepDown(m.ballot);
   }
@@ -442,6 +572,7 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
     // the leader's log by Leader Completeness), so drop it.
     SCATTER_CHECK(prev_index > commit_index_);
     log_.TruncateSuffix(prev_index);
+    JournalTruncateSuffix(prev_index);
     RecomputeVotingConfig();
     FlushAck();
     reply->ok = false;
@@ -463,10 +594,12 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
       }
       SCATTER_CHECK(e.index > commit_index_);
       log_.TruncateSuffix(e.index);
+      JournalTruncateSuffix(e.index);
       mutated = true;
     }
     SCATTER_CHECK(e.index == last_log_index() + 1);
     log_.Set(e.index, e.ballot, e.command);
+    JournalAccept(e);
     mutated = true;
   }
   if (mutated) {
@@ -477,6 +610,9 @@ void Replica::HandleAccept(const std::shared_ptr<PaxosMessage>& message) {
       std::min<uint64_t>(m.commit_index, last_log_index());
   if (new_commit > commit_index_) {
     stats_.window_commits.Record(sim_->now(), new_commit - commit_index_);
+    // The commit record rides the next barrier (commit points are
+    // re-derivable from the leader; journaling them only speeds recovery).
+    JournalCommit(new_commit);
     commit_index_ = new_commit;
     ApplyCommitted();
   }
@@ -546,7 +682,7 @@ void Replica::HandleAccepted(const AcceptedMsg& m) {
       // letting it fall behind promised_ would regress the promise to a
       // lower ballot (and with it, re-grant votes the replica already
       // denied at the higher one).
-      promised_ = std::max(promised_, m.promised);
+      RaisePromise(m.promised);
       max_round_seen_ = std::max(max_round_seen_, m.promised.round);
     }
     return;
@@ -610,7 +746,7 @@ void Replica::HandleSnapshot(const SnapshotMsg& m) {
   if (m.ballot < promised_) {
     return;  // Stale leader.
   }
-  promised_ = m.ballot;
+  RaisePromise(m.ballot);
   if (role_ != Role::kFollower) {
     StepDown(m.ballot);
   }
@@ -643,6 +779,14 @@ void Replica::HandleSnapshot(const SnapshotMsg& m) {
   started_ = true;
   stats_.snapshots_installed++;
   ResetElectionTimer();
+  if (journal_ != nullptr) {
+    // An installed snapshot replaces all prior durable state: checkpoint it
+    // (durable on return, so the ack below never outruns the disk). This is
+    // also the moment a joiner becomes crash-recoverable.
+    journal_->WriteCheckpoint(m.last_included_index, m.last_included_ballot,
+                              m.config, m.config_index, m.data, promised_,
+                              commit_index_, {});
+  }
   SCATTER_DEBUG() << "g" << group_ << " n" << self_
                   << " installed snapshot at " << m.last_included_index;
 
@@ -684,6 +828,7 @@ uint64_t Replica::AppendLocal(CommandPtr command) {
   const uint64_t index = last_log_index() + 1;
   const bool is_config = command->kind == Command::Kind::kConfig;
   log_.Set(index, promised_, std::move(command));
+  JournalAccept(*log_.At(index));
   if (is_config) {
     RecomputeVotingConfig();
   }
@@ -894,6 +1039,12 @@ void Replica::MaybeAdvanceCommit() {
   if (best <= commit_index_) {
     return;
   }
+  // Our own log counts toward this quorum: it must be durable before the
+  // commit point moves past it (followers synced before acking, so their
+  // contribution already is). Single-node groups hit this barrier as their
+  // only one — they never send.
+  SyncJournal();
+  JournalCommit(best);
   if (obs::TraceRecorder* tr = sim_->tracer()) {
     // Mark the quorum-commit moment on each proposal that just committed.
     for (auto it = proposal_ctx_.upper_bound(commit_index_);
@@ -1272,6 +1423,11 @@ void Replica::LinearizableRead(ReadCallback callback) {
 // ---------------------------------------------------------------------------
 
 void Replica::Send(NodeId to, std::shared_ptr<PaxosMessage> message) {
+  // Group-commit barrier: no outgoing message may reveal a promise, accept,
+  // or commit a crash could take back. A no-op when the journal is clean;
+  // when dirty, one fsync covers every record since the last barrier —
+  // coalesced acks and batched flushes are what make the batch > 1.
+  SyncJournal();
   stats_.messages_sent++;
   host_->SendPaxos(to, std::move(message));
 }
@@ -1435,6 +1591,16 @@ void Replica::MaybeTruncateLog() {
   snap_base_ballot_ = base_ballot;
   snap_config_ = std::move(base_config);
   snap_config_index_ = base_config_index;
+  if (journal_ != nullptr) {
+    // Periodic durable checkpoint, piggybacked on in-memory truncation. The
+    // on-disk base is the applied index (what TakeSnapshot captures) —
+    // tighter than the in-memory retention base — and the WAL shrinks to
+    // the unapplied tail plus whatever accumulates afterwards.
+    journal_->WriteCheckpoint(applied_index_, BallotAt(applied_index_),
+                              applied_config(), applied_config_index_,
+                              sm_->TakeSnapshot(), promised_, commit_index_,
+                              log_.Suffix(applied_index_ + 1));
+  }
 }
 
 bool Replica::LogUpToDate(uint64_t last_index, Ballot last_ballot) const {

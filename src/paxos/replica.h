@@ -41,6 +41,7 @@
 #include "src/obs/trace.h"
 #include "src/paxos/command.h"
 #include "src/paxos/config.h"
+#include "src/paxos/journal.h"
 #include "src/paxos/log.h"
 #include "src/paxos/messages.h"
 #include "src/paxos/state_machine.h"
@@ -81,10 +82,23 @@ class Replica {
  public:
   // Creates a founding replica (initial_members includes self; every member
   // starts with the same config and an empty log) or a joiner (passive until
-  // a snapshot arrives; initial_members empty).
+  // a snapshot arrives; initial_members empty). With a journal, promises,
+  // accepts and commits are persisted through it (founding replicas write
+  // their first checkpoint immediately; joiners become recoverable when the
+  // first snapshot installs).
   Replica(sim::Simulator* sim, ReplicaHost* host, StateMachine* state_machine,
           const PaxosConfig& config, GroupId group, NodeId self,
-          std::vector<NodeId> initial_members);
+          std::vector<NodeId> initial_members,
+          std::unique_ptr<GroupJournal> journal = nullptr);
+
+  // Creates a replica from crash-recovered durable state (the restart path):
+  // restores the state machine from the recovered snapshot and rebuilds the
+  // log, promise and commit point exactly as persisted. The caller must
+  // invoke ReplayRecovered() once host wiring is complete.
+  Replica(sim::Simulator* sim, ReplicaHost* host, StateMachine* state_machine,
+          const PaxosConfig& config, GroupId group, NodeId self,
+          std::unique_ptr<GroupJournal> journal,
+          const RecoveredState& recovered);
   ~Replica();
 
   Replica(const Replica&) = delete;
@@ -154,6 +168,26 @@ class Replica {
   // Leader only: each member's self-reported centrality (0 if unknown);
   // includes self. Input to the placement policy.
   std::vector<std::pair<NodeId, TimeMicros>> MemberCentralities() const;
+
+  // Re-applies recovered committed entries to the state machine, firing the
+  // usual host callbacks (config applied, etc.). Separate from the recovery
+  // constructor so the host finishes wiring first. Returns the number of
+  // entries applied.
+  uint64_t ReplayRecovered();
+
+  // What recovery restored from disk — the durability invariant's floor: a
+  // recovered replica may never regress its promise or commit point below
+  // these, and committed entries still in the log must match the recorded
+  // digests. Read by the analysis-layer durability checker.
+  struct RecoveryFloor {
+    bool recovered = false;
+    Ballot promised;
+    uint64_t commit_index = 0;
+    // FNV digest over (index, ballot, encoded command) for every committed
+    // entry restored from the WAL, keyed by index.
+    std::map<uint64_t, uint64_t> entry_digests;
+  };
+  const RecoveryFloor& recovery_floor() const { return recovery_floor_; }
 
   // Mutation-testing hook: overwrites the committed entry at `index` with a
   // fresh no-op, silently diverging this replica from its peers. Exists so
@@ -294,8 +328,22 @@ class Replica {
                 TimeMicros leader_sent_at);
   void FlushAck();
 
+  // --- Durability ------------------------------------------------------
+  // Raises the promise to max(promised_, b); journals only a strict
+  // increase. The single mutation point for promised_.
+  void RaisePromise(Ballot b);
+  void JournalAccept(const LogEntry& entry);
+  void JournalTruncateSuffix(uint64_t from);
+  void JournalCommit(uint64_t index);
+  // Fsync barrier (no-op without a journal or when it is clean). Called
+  // from Send() so no outgoing message can reveal state a crash would lose,
+  // and from MaybeAdvanceCommit so our own log is durable before it counts
+  // toward a quorum.
+  void SyncJournal();
+
   // --- Shared machinery ----------------------------------------------
-  // All outgoing protocol traffic funnels through here (message counting).
+  // All outgoing protocol traffic funnels through here (message counting
+  // and the journal's group-commit barrier).
   void Send(NodeId to, std::shared_ptr<PaxosMessage> message);
   void ApplyCommitted();
   void ApplyConfig(const ConfigCommand& cmd, uint64_t index);
@@ -322,6 +370,12 @@ class Replica {
   GroupId group_;
   NodeId self_;
   Rng rng_;
+
+  // Persistence seam: null runs the replica memory-only (exactly the
+  // pre-durability behavior); non-null journals durable state through the
+  // storage layer.
+  std::unique_ptr<GroupJournal> journal_;
+  RecoveryFloor recovery_floor_;
 
   // Durable-equivalent state.
   Ballot promised_;
@@ -400,6 +454,12 @@ class Replica {
   // Declared last: cancels all timers before other members are destroyed.
   sim::TimerOwner timers_;
 };
+
+// Content digest of a log entry — FNV over (index, ballot, canonical wire
+// encoding of the command). RecoveryFloor::entry_digests records these at
+// recovery; the analysis durability checker recomputes them against the
+// live log to prove recovery-committed entries are never rewritten.
+uint64_t DigestLogEntry(const LogEntry& entry);
 
 }  // namespace scatter::paxos
 

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for on-disk record guards.
+//
+// The repo's in-memory hashing (src/common/hash.h) is FNV-based and tuned
+// for hash maps / fingerprints; on-disk records want a checksum with
+// guaranteed burst-error detection and a stable, externally-recognizable
+// definition — a hex dump of a WAL record can be checked against any
+// standard crc32 implementation.
+
+#ifndef SCATTER_SRC_STORAGE_CRC32_H_
+#define SCATTER_SRC_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scatter::storage {
+
+// CRC of `size` bytes, continuing from `seed` (pass the previous return
+// value to checksum discontiguous spans as one stream). Seed 0 starts a
+// fresh CRC; the result already includes the standard final inversion.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+}  // namespace scatter::storage
+
+#endif  // SCATTER_SRC_STORAGE_CRC32_H_

@@ -1,0 +1,32 @@
+#include "src/storage/persist_env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace scatter::storage {
+
+bool PersistenceEnabledFromEnv() {
+  // Read once during single-threaded startup; nothing mutates the env.
+  static const bool enabled = [] {
+    // LINT-ALLOW(determinism-ambient): persistence journals what the
+    // protocol already decided, never feeds back into the event schedule —
+    // seeded no-crash runs are bit-identical with it on or off (asserted by
+    // recovery_test and the ci.sh durability stage), so this is test
+    // configuration, not simulation state.
+    const char* value = std::getenv("SCATTER_PERSIST");  // NOLINT(concurrency-mt-unsafe)
+    if (value == nullptr || value[0] == '\0' ||
+        std::strcmp(value, "off") == 0) {
+      return false;
+    }
+    if (std::strcmp(value, "on") == 0) {
+      return true;
+    }
+    SCATTER_CHECK(false && "SCATTER_PERSIST must be 'on' or 'off'");
+    return false;
+  }();
+  return enabled;
+}
+
+}  // namespace scatter::storage

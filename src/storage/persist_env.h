@@ -1,0 +1,16 @@
+// Process-wide persistence default, from SCATTER_PERSIST (on|off, unset =
+// off). The ci.sh durability stage runs the whole suite with
+// SCATTER_PERSIST=on: every cluster that does not pin a mode journals
+// through a SimDisk, and seeded runs must stay bit-identical with the
+// switch on or off when no crash occurs.
+
+#ifndef SCATTER_SRC_STORAGE_PERSIST_ENV_H_
+#define SCATTER_SRC_STORAGE_PERSIST_ENV_H_
+
+namespace scatter::storage {
+
+bool PersistenceEnabledFromEnv();
+
+}  // namespace scatter::storage
+
+#endif  // SCATTER_SRC_STORAGE_PERSIST_ENV_H_

@@ -1,0 +1,99 @@
+// Write-ahead log framing: CRC-guarded, length-prefixed records over a
+// storage::Disk file, plus the single-record snapshot-file helpers.
+//
+// Record layout (all integers little-endian, matching the wire codecs —
+// PROTOCOL.md §6.3):
+//
+//   [u32 payload_len][u16 version][u16 type][payload][u32 crc32]
+//
+// The CRC covers version + type + payload (everything between the length
+// prefix and the CRC itself), so a flipped length byte and a flipped
+// payload byte are both caught. Payloads are opaque here; the paxos journal
+// (src/paxos/journal.h) encodes them with the existing wire codecs — the
+// on-disk format IS the wire format.
+//
+// Reading is prefix-stable: ReadAll scans records from the front and stops
+// cleanly at the first incomplete or CRC-failing record, reporting how many
+// bytes formed valid records and whether a torn tail was discarded. That is
+// the whole crash-recovery contract — an fsync barrier guarantees a byte
+// prefix survived, and framing turns a byte prefix into a record prefix.
+//
+// A snapshot file is one framed record written with Disk::Replace (atomic),
+// so it is either entirely the old snapshot or entirely the new one.
+
+#ifndef SCATTER_SRC_STORAGE_WAL_H_
+#define SCATTER_SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/storage/disk.h"
+#include "src/wire/buffer.h"
+
+namespace scatter::storage {
+
+inline constexpr uint16_t kWalVersion = 1;
+
+struct WalRecord {
+  uint16_t version = 0;
+  uint16_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  // Offset one past the last complete, CRC-valid record.
+  size_t clean_bytes = 0;
+  // True when trailing bytes past clean_bytes were discarded (torn tail or
+  // corruption).
+  bool torn = false;
+};
+
+// Frames one record into `out` (append; `out` is not cleared).
+void EncodeWalRecord(uint16_t type, const uint8_t* payload, size_t size,
+                     wire::Buffer* out);
+
+// Scans every record of `file`. A missing file yields an empty, non-torn
+// result.
+WalReadResult ReadWal(const Disk& disk, const std::string& file);
+
+// Append-side handle for one WAL file.
+class Wal {
+ public:
+  Wal(Disk* disk, std::string file) : disk_(disk), file_(std::move(file)) {}
+
+  // Frames and appends one record. Volatile until Sync().
+  void Append(uint16_t type, const wire::Buffer& payload);
+
+  // Fsync barrier over everything appended so far.
+  void Sync() { disk_->Sync(); }
+
+  // Atomically replaces the file's content with `framed` (pre-framed
+  // records, e.g. a checkpoint's residual tail). Durable immediately.
+  void Rewrite(const wire::Buffer& framed) {
+    disk_->Replace(file_, framed.data(), framed.size());
+  }
+
+  const std::string& file() const { return file_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  Disk* disk_;
+  std::string file_;
+  wire::Buffer scratch_;
+  uint64_t appends_ = 0;
+  uint64_t appended_bytes_ = 0;
+};
+
+// Snapshot files: one framed record, atomically replaced.
+void WriteSnapshotFile(Disk* disk, const std::string& file, uint16_t type,
+                       const wire::Buffer& payload);
+// False when the file is missing or its CRC fails.
+bool ReadSnapshotFile(const Disk& disk, const std::string& file,
+                      WalRecord* out);
+
+}  // namespace scatter::storage
+
+#endif  // SCATTER_SRC_STORAGE_WAL_H_

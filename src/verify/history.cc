@@ -23,6 +23,14 @@ uint64_t HistoryRecorder::RecordInvoke(OpType type, Key key, Value value,
 
 void HistoryRecorder::RecordComplete(uint64_t op_id, Outcome outcome,
                                      Value read_value, TimeMicros now) {
+  if (closed_) {
+    // The history is sealed: every op still pending at Close was already
+    // marked indeterminate, which soundly covers any late outcome. A
+    // completion arriving after the checker has run (e.g. an in-flight
+    // client op finishing while a liveness goal steps the simulator)
+    // carries no information and must not disturb the record.
+    return;
+  }
   auto it = index_.find(op_id);
   SCATTER_CHECK(it != index_.end());
   Operation& op = ops_[it->second];
@@ -35,6 +43,7 @@ void HistoryRecorder::RecordComplete(uint64_t op_id, Outcome outcome,
 }
 
 void HistoryRecorder::Close(TimeMicros now) {
+  closed_ = true;
   for (Operation& op : ops_) {
     if (op.outcome == Outcome::kPending) {
       op.outcome = Outcome::kIndeterminate;

@@ -48,8 +48,10 @@ class HistoryRecorder {
   void RecordComplete(uint64_t op_id, Outcome outcome, Value read_value,
                       TimeMicros now);
 
-  // Marks still-pending operations indeterminate (call once at the end of a
-  // run before checking).
+  // Marks still-pending operations indeterminate and seals the history
+  // (call once at the end of a run before checking). Completions arriving
+  // after Close are ignored — the indeterminate mark already soundly
+  // covers them.
   void Close(TimeMicros now);
 
   // Operations grouped per key (reads with kIndeterminate are dropped:
@@ -63,6 +65,7 @@ class HistoryRecorder {
   std::vector<Operation> ops_;
   std::map<uint64_t, size_t> index_;  // op id -> position
   uint64_t next_id_ = 1;
+  bool closed_ = false;
 };
 
 }  // namespace scatter::verify

@@ -120,6 +120,29 @@ TEST(HealthMonitorTest, SnapshotStuckRequiresFourWindows) {
   EXPECT_TRUE(Raised(monitor, "snapshot_stuck", 5, 3));
 }
 
+TEST(HealthMonitorTest, RecoveryStuckRaisesOnLingeringGauge) {
+  MetricsRegistry reg;
+  HealthConfig cfg;  // recovery_stuck: raise_after=4, clear_after=1
+  HealthMonitor monitor(cfg, &reg);
+
+  // WAL replay completes synchronously inside the restart call, so any
+  // nonzero recovery.active observed across windows is a wedged or leaked
+  // recovery — but only after the hysteresis, not on a single glimpse.
+  reg.GetGauge("recovery.active", 7, 0).Set(1);
+  for (int i = 1; i <= 3; ++i) {
+    monitor.Tick(i * cfg.period_us);
+    EXPECT_TRUE(monitor.quiet()) << "window " << i;
+  }
+  monitor.Tick(4 * cfg.period_us);
+  EXPECT_TRUE(Raised(monitor, "recovery_stuck", 7, 0));
+  EXPECT_EQ(reg.GetGauge("health.recovery_stuck", 7, 0).value, 1);
+
+  // The gauge dropping back to zero clears it after one healthy window.
+  reg.GetGauge("recovery.active", 7, 0).Set(0);
+  monitor.Tick(5 * cfg.period_us);
+  EXPECT_EQ(reg.GetGauge("health.recovery_stuck", 7, 0).value, 0);
+}
+
 TEST(HealthMonitorTest, PoolMissSpikeIsPerNodeAndPerWindow) {
   MetricsRegistry reg;
   HealthConfig cfg;  // pool_miss_threshold = 256 per window

@@ -332,6 +332,60 @@ TEST(WireHotAlloc, AllowAbsorbsStartupAllocation) {
   EXPECT_EQ(report.suppressed.at("wire-hot-alloc"), 1);
 }
 
+// --- durability-io -----------------------------------------------------------
+
+TEST(DurabilityIo, FiresOnStreamTypesAndLibcCallsOutsideStorage) {
+  const LintReport report =
+      Lint({{"src/core/bad_persist.cc",
+            "#include <cstdio>\n"
+            "#include <fstream>\n"
+            "void Persist(const char* path) {\n"
+            "  std::ofstream out(path);\n"
+            "  FILE* f = fopen(path, \"wb\");\n"
+            "  fwrite(path, 1, 1, f);\n"
+            "  fclose(f);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "durability-io"), 4);
+}
+
+TEST(DurabilityIo, QuietInStorageToolsBenchAndTests) {
+  const std::string body =
+      "#include <fstream>\n"
+      "void W(const char* p) { std::ofstream out(p); }\n";
+  const LintReport report = Lint({{"src/storage/fs_disk.cc", body},
+                                 {"tools/walcat/main.cc", body},
+                                 {"bench/bench_io.cc", body},
+                                 {"tests/io_test.cc", body}});
+  EXPECT_EQ(CountRule(report, "durability-io"), 0);
+}
+
+TEST(DurabilityIo, QuietOnMethodsNamedLikeFileApi) {
+  // disk->Remove / journal.rename are seam methods, and Pool::unlink is a
+  // class-scoped call — none of them touch the filesystem directly.
+  const LintReport report =
+      Lint({{"src/paxos/ok.cc",
+            "void F(Disk* d, J j) {\n"
+            "  d->Remove(\"x\");\n"
+            "  j.rename(1);\n"
+            "  Pool::unlink(2);\n"
+            "}\n"}});
+  EXPECT_EQ(CountRule(report, "durability-io"), 0);
+}
+
+TEST(DurabilityIo, AllowAbsorbsDeveloperArtifactWrite) {
+  const std::string src =
+      std::string("#include <fstream>\n"
+                  "void Dump(const char* p) {\n"
+                  "  // ") +
+      kAllowMarker +
+      "(durability-io): debug artifact, not durable protocol state.\n"
+      "  std::ofstream out(p);\n"
+      "}\n";
+  const LintReport report = Lint({{"src/analysis/dump.cc", src}});
+  EXPECT_EQ(CountRule(report, "durability-io"), 0);
+  EXPECT_EQ(report.suppressed.at("durability-io"), 1);
+}
+
 // --- suppression semantics ---------------------------------------------------
 
 TEST(Suppression, AllowAbsorbsExactlyOneFinding) {

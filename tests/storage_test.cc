@@ -1,0 +1,263 @@
+// Storage-seam tests: WAL framing over the simulated disk, crash-truncation
+// semantics, and the FsDisk backend.
+//
+// The centerpiece is the torn-tail fuzz: a WAL truncated at EVERY byte
+// offset must replay to exactly the records whose final CRC byte survived —
+// never a partial record, never a crash. That is the whole crash-recovery
+// contract: fsync guarantees a byte prefix, framing turns a byte prefix
+// into a record prefix.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/storage/fs_disk.h"
+#include "src/storage/sim_disk.h"
+#include "src/storage/wal.h"
+#include "src/wire/buffer.h"
+
+namespace scatter::storage {
+namespace {
+
+// Payloads of deliberately varied sizes (empty, tiny, multi-byte) so record
+// boundaries land at irregular offsets.
+std::vector<std::vector<uint8_t>> TestPayloads() {
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.push_back({});
+  payloads.push_back({0xAA});
+  payloads.push_back({1, 2, 3, 4, 5, 6, 7});
+  payloads.push_back(std::vector<uint8_t>(33, 0x5C));
+  payloads.push_back({0xFF, 0x00, 0xFF});
+  payloads.push_back(std::vector<uint8_t>(60, 0x17));
+  return payloads;
+}
+
+// Appends every test payload as one record (type = index + 1) and returns
+// the byte offset of each record's END in the file.
+std::vector<size_t> AppendTestRecords(Wal* wal) {
+  std::vector<size_t> ends;
+  size_t offset = 0;
+  uint16_t type = 1;
+  for (const auto& payload : TestPayloads()) {
+    wire::Buffer buf;
+    buf.WriteBytes(payload.data(), payload.size());
+    wal->Append(type++, buf);
+    // Framing: u32 len + u16 version + u16 type + payload + u32 crc.
+    offset += 4 + 2 + 2 + payload.size() + 4;
+    ends.push_back(offset);
+  }
+  wal->Sync();
+  return ends;
+}
+
+TEST(WalFramingTest, RoundTrip) {
+  SimDisk disk;
+  Wal wal(&disk, "t.wal");
+  AppendTestRecords(&wal);
+
+  const WalReadResult result = ReadWal(disk, "t.wal");
+  const auto payloads = TestPayloads();
+  ASSERT_EQ(result.records.size(), payloads.size());
+  EXPECT_FALSE(result.torn);
+  EXPECT_EQ(result.clean_bytes, disk.FileSize("t.wal"));
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(result.records[i].version, kWalVersion);
+    EXPECT_EQ(result.records[i].type, static_cast<uint16_t>(i + 1));
+    EXPECT_EQ(result.records[i].payload, payloads[i]);
+  }
+}
+
+TEST(WalFramingTest, MissingFileIsEmptyAndClean) {
+  SimDisk disk;
+  const WalReadResult result = ReadWal(disk, "absent.wal");
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.clean_bytes, 0u);
+  EXPECT_FALSE(result.torn);
+}
+
+// The fuzz: truncate the WAL at every byte offset. The replay must return
+// exactly the records that fit entirely below the cut, flag a torn tail iff
+// the cut falls inside a record, and report clean_bytes as the last record
+// boundary at or below the cut.
+TEST(WalFramingTest, TornTailAtEveryByteOffset) {
+  SimDisk disk;
+  Wal wal(&disk, "t.wal");
+  const std::vector<size_t> ends = AppendTestRecords(&wal);
+  std::vector<uint8_t> raw;
+  ASSERT_TRUE(disk.Read("t.wal", &raw));
+  const auto payloads = TestPayloads();
+
+  for (size_t cut = 0; cut <= raw.size(); ++cut) {
+    SimDisk truncated;
+    truncated.Append("t.wal", raw.data(), cut);
+
+    size_t complete = 0;
+    size_t boundary = 0;
+    while (complete < ends.size() && ends[complete] <= cut) {
+      boundary = ends[complete];
+      ++complete;
+    }
+
+    const WalReadResult result = ReadWal(truncated, "t.wal");
+    ASSERT_EQ(result.records.size(), complete) << "cut at byte " << cut;
+    EXPECT_EQ(result.clean_bytes, boundary) << "cut at byte " << cut;
+    EXPECT_EQ(result.torn, cut != boundary) << "cut at byte " << cut;
+    for (size_t i = 0; i < complete; ++i) {
+      EXPECT_EQ(result.records[i].payload, payloads[i])
+          << "record " << i << " corrupted by cut at byte " << cut;
+    }
+  }
+}
+
+// Flipping any single byte must never produce a record that differs from
+// the original sequence: replay yields an intact prefix and stops at or
+// before the damaged record.
+TEST(WalFramingTest, FlippedByteAnywhereNeverYieldsACorruptRecord) {
+  SimDisk disk;
+  Wal wal(&disk, "t.wal");
+  AppendTestRecords(&wal);
+  std::vector<uint8_t> raw;
+  ASSERT_TRUE(disk.Read("t.wal", &raw));
+  const auto payloads = TestPayloads();
+
+  for (size_t pos = 0; pos < raw.size(); ++pos) {
+    std::vector<uint8_t> damaged = raw;
+    damaged[pos] ^= 0x40;
+    SimDisk flipped;
+    flipped.Append("t.wal", damaged.data(), damaged.size());
+
+    const WalReadResult result = ReadWal(flipped, "t.wal");
+    ASSERT_LT(result.records.size(), payloads.size() + 1);
+    for (size_t i = 0; i < result.records.size(); ++i) {
+      EXPECT_EQ(result.records[i].payload, payloads[i])
+          << "flip at byte " << pos << " leaked a corrupt record " << i;
+    }
+    EXPECT_TRUE(result.torn) << "flip at byte " << pos << " went unnoticed";
+  }
+}
+
+TEST(SimDiskCrashTest, CrashDropsUnsyncedTail) {
+  SimDisk disk;
+  Wal wal(&disk, "t.wal");
+  wire::Buffer buf;
+  const uint8_t synced_payload[] = {1, 2, 3};
+  buf.WriteBytes(synced_payload, sizeof(synced_payload));
+  wal.Append(1, buf);
+  wal.Sync();
+  const size_t durable = disk.FileSize("t.wal");
+
+  wal.Append(2, buf);
+  ASSERT_GT(disk.FileSize("t.wal"), durable);
+  disk.Crash();
+  EXPECT_EQ(disk.FileSize("t.wal"), durable);
+
+  const WalReadResult result = ReadWal(disk, "t.wal");
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, 1u);
+  EXPECT_FALSE(result.torn);
+}
+
+// A crash during the fsync of an unsynced tail keeps an arbitrary prefix of
+// it. For every possible kept length, replay returns the synced record plus
+// at most the completely-kept unsynced ones.
+TEST(SimDiskCrashTest, TornTailKeepsPrefixOfUnsyncedBytes) {
+  SimDisk reference;
+  Wal ref_wal(&reference, "t.wal");
+  wire::Buffer buf;
+  const uint8_t payload[] = {9, 9, 9, 9};
+  buf.WriteBytes(payload, sizeof(payload));
+  ref_wal.Append(1, buf);
+  ref_wal.Sync();
+  ref_wal.Append(2, buf);
+  ref_wal.Append(3, buf);
+  const size_t durable = reference.DurableSize("t.wal");
+  const size_t full = reference.FileSize("t.wal");
+  const size_t record_bytes = (full - durable) / 2;
+
+  for (size_t keep = 0; keep <= full - durable; ++keep) {
+    SimDisk disk;
+    Wal wal(&disk, "t.wal");
+    wal.Append(1, buf);
+    wal.Sync();
+    wal.Append(2, buf);
+    wal.Append(3, buf);
+    disk.CrashWithTornTail("t.wal", keep);
+    EXPECT_EQ(disk.FileSize("t.wal"), durable + keep);
+
+    const WalReadResult result = ReadWal(disk, "t.wal");
+    const size_t expected = 1 + keep / record_bytes;
+    EXPECT_EQ(result.records.size(), expected) << "keep=" << keep;
+    EXPECT_EQ(result.torn, keep % record_bytes != 0) << "keep=" << keep;
+  }
+}
+
+TEST(SnapshotFileTest, RoundTripAndCorruptionDetected) {
+  SimDisk disk;
+  wire::Buffer payload;
+  const uint8_t bytes[] = {4, 5, 6, 7, 8};
+  payload.WriteBytes(bytes, sizeof(bytes));
+  WriteSnapshotFile(&disk, "t.snap", /*type=*/16, payload);
+
+  WalRecord record;
+  ASSERT_TRUE(ReadSnapshotFile(disk, "t.snap", &record));
+  EXPECT_EQ(record.type, 16u);
+  EXPECT_EQ(record.payload, std::vector<uint8_t>(bytes, bytes + 5));
+
+  // Replace is atomic: a second write fully supersedes the first.
+  wire::Buffer payload2;
+  const uint8_t bytes2[] = {1};
+  payload2.WriteBytes(bytes2, sizeof(bytes2));
+  WriteSnapshotFile(&disk, "t.snap", /*type=*/16, payload2);
+  ASSERT_TRUE(ReadSnapshotFile(disk, "t.snap", &record));
+  EXPECT_EQ(record.payload, std::vector<uint8_t>(bytes2, bytes2 + 1));
+
+  // Any flipped byte fails the CRC.
+  std::vector<uint8_t> raw;
+  ASSERT_TRUE(disk.Read("t.snap", &raw));
+  for (size_t pos = 0; pos < raw.size(); ++pos) {
+    std::vector<uint8_t> damaged = raw;
+    damaged[pos] ^= 0x01;
+    SimDisk bad;
+    bad.Replace("t.snap", damaged.data(), damaged.size());
+    EXPECT_FALSE(ReadSnapshotFile(bad, "t.snap", &record))
+        << "flip at byte " << pos;
+  }
+  EXPECT_FALSE(ReadSnapshotFile(disk, "missing.snap", &record));
+}
+
+TEST(FsDiskTest, RoundTripThroughARealDirectory) {
+  const std::string root = ::testing::TempDir() + "/scatter_fsdisk_test";
+  FsDisk disk(root);
+  for (const std::string& file : disk.List()) {
+    disk.Remove(file);  // stale state from a previous run
+  }
+
+  const uint8_t a[] = {1, 2, 3};
+  const uint8_t b[] = {4, 5};
+  disk.Append("w.wal", a, sizeof(a));
+  disk.Append("w.wal", b, sizeof(b));
+  disk.Replace("s.snap", a, sizeof(a));
+  disk.Sync();
+
+  EXPECT_TRUE(disk.Exists("w.wal"));
+  EXPECT_FALSE(disk.Exists("nope"));
+  EXPECT_EQ(disk.List(), (std::vector<std::string>{"s.snap", "w.wal"}));
+
+  // A fresh handle over the same directory sees the persisted bytes.
+  FsDisk reopened(root);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(reopened.Read("w.wal", &out));
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  ASSERT_TRUE(reopened.Read("s.snap", &out));
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 2, 3}));
+
+  reopened.Remove("w.wal");
+  reopened.Remove("s.snap");
+  EXPECT_FALSE(disk.Exists("w.wal"));
+  EXPECT_TRUE(disk.List().empty());
+}
+
+}  // namespace
+}  // namespace scatter::storage

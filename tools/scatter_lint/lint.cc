@@ -40,6 +40,11 @@ const std::vector<RuleInfo> kRules = {
      "flags direct std::vector<uint8_t> construction or `new` in src/wire/ "
      "encode/decode paths outside the buffer pool — per-frame byte storage "
      "must come from wire::BufferPool so the hot path stays allocation-free"},
+    {"durability-io",
+     "bans direct file I/O (fstream family, fopen/fwrite/fsync, ...) in src/ "
+     "outside src/storage/ — durable state must flow through the "
+     "storage::Disk seam so crash semantics and determinism stay modeled; "
+     "tools/, bench/ and tests/ sit outside the rule"},
 };
 
 // --- Shared analysis state ---------------------------------------------------
@@ -697,6 +702,59 @@ void RunWireHotAlloc(Engine& eng, const FileState& fs) {
   }
 }
 
+// --- Rule: durability-io -----------------------------------------------------
+
+// File I/O belongs behind the storage::Disk seam: src/storage/ owns the
+// real-file backend (FsDisk), the simulated disk models crash semantics,
+// and everything above persists through them. A stray fstream elsewhere in
+// src/ is durable state the crash model cannot see. Developer-facing
+// artifacts (counterexample JSON, audit traces) carry a LINT-ALLOW with the
+// reason; tools/, bench/ and tests/ are out of scope entirely.
+void RunDurabilityIo(Engine& eng, const FileState& fs) {
+  const std::string& path = fs.source.path;
+  if (!HasPrefix(path, "src/") || HasPrefix(path, "src/storage/")) {
+    return;
+  }
+  static const std::set<std::string> kStreamTypes = {"ofstream", "ifstream",
+                                                     "fstream"};
+  static const std::set<std::string> kFileCalls = {
+      "fopen",  "freopen", "fwrite", "fread",   "fclose",
+      "fsync",  "fdatasync", "rename", "unlink", "mkstemp"};
+  const std::vector<Token>& toks = fs.tok.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const bool member_access =
+        i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+    if (member_access) {
+      continue;  // disk->Remove, journal.fsyncs: methods, not libc
+    }
+    const std::string& name = toks[i].text;
+    if (kStreamTypes.count(name) > 0) {
+      eng.Report("durability-io", path, toks[i].line,
+                 "direct file I/O: '" + name +
+                     "' outside src/storage/ — persist through the "
+                     "storage::Disk seam, or LINT-ALLOW for developer-facing "
+                     "artifacts");
+      continue;
+    }
+    if (kFileCalls.count(name) > 0 && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      // Only std:: / global-scope calls: `Foo::rename(...)` is not libc.
+      if (i >= 2 && toks[i - 1].text == "::" &&
+          toks[i - 2].kind == TokenKind::kIdentifier &&
+          toks[i - 2].text != "std") {
+        continue;
+      }
+      eng.Report("durability-io", path, toks[i].line,
+                 "direct file I/O: call to '" + name +
+                     "' outside src/storage/ — persist through the "
+                     "storage::Disk seam");
+    }
+  }
+}
+
 // --- Suppression + meta-rule -------------------------------------------------
 
 const std::set<std::string>& KnownRuleNames() {
@@ -743,6 +801,7 @@ LintReport RunLint(const std::vector<SourceFile>& files,
     RunCheckSideEffects(eng, fs);
     RunTransportSeam(eng, fs);
     RunWireHotAlloc(eng, fs);
+    RunDurabilityIo(eng, fs);
   }
   RunLayerDag(eng);
 

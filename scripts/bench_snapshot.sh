@@ -56,6 +56,39 @@ mv BENCH_micro.json.tmp BENCH_micro.json
 grep -E '"(name|items_per_second|avg_batch|msgs_per_op)"' BENCH_micro.json |
   grep -v "_mean\"\|_stddev\"\|_cv\"" | sed 's/^ *//' || true
 
+echo "=== scatter-lint wall-time -> BENCH_micro.json context ==="
+# Analyzer cost is tracked like any other hot path: time one full-tree
+# scatter-lint run (Release binary, same tree CI gates on) and stamp it into
+# the benchmark report's context block, so a rule that makes the lint pass
+# crawl shows up as a baseline diff next to the timing regressions.
+cmake --build "$BUILD_DIR" -j "$JOBS" --target scatter_lint
+lint_seconds="$(python3 - "$BUILD_DIR" <<'PYEOF'
+import subprocess
+import sys
+import time
+
+build = sys.argv[1]
+start = time.monotonic()
+subprocess.run(
+    [f"{build}/tools/scatter_lint/scatter_lint", "--root", ".",
+     "--compdb", f"{build}/compile_commands.json"],
+    check=True, stdout=subprocess.DEVNULL)
+print(f"{time.monotonic() - start:.3f}")
+PYEOF
+)"
+python3 - "$lint_seconds" <<'PYEOF'
+import json
+import sys
+
+with open("BENCH_micro.json") as f:
+    doc = json.load(f)
+doc["context"]["scatter_lint_wall_seconds"] = float(sys.argv[1])
+with open("BENCH_micro.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
+echo "scatter-lint full tree: ${lint_seconds}s"
+
 echo "=== obs A/B on BM_PaxosCommit -> BENCH_obs_ab.json ==="
 # Monitoring-overhead baseline: the same commit-path benchmark with the full
 # observability stack live (SCATTER_BENCH_OBS=on: tracing + health monitor +

@@ -1,0 +1,109 @@
+// Clang thread-safety annotations + the annotated mutex the rest of the
+// tree must use.
+//
+// The codebase is single-threaded today, but the TCP transport (ROADMAP:
+// epoll event loop, multi-process cluster) puts real threads under it. The
+// discipline lands first: every class that becomes cross-thread under TCP
+// declares its thread contract now — `// Thread-compat: single-threaded`
+// (one owning thread, the event loop) or `// Thread-compat: thread-safe`
+// (internally synchronized through scatter::Mutex) — and guarded state is
+// annotated so clang's `-Wthread-safety` analysis (enabled as an error
+// whenever the compiler is clang; a no-op on gcc) proves lock discipline at
+// compile time. scatter-lint's `raw-sync-primitive` rule keeps bare
+// std::mutex/std::thread out of everything except this header (and the
+// future src/net/), and its `guarded-field-hygiene` rule token-checks the
+// same discipline on compilers without the analysis.
+//
+// Naming convention: a field protected by a mutex is named `*_locked_` and
+// declared with SCATTER_GUARDED_BY(mu). The suffix makes the contract
+// visible at every use site, and lets guarded-field-hygiene catch a field
+// whose annotation was dropped (the mutation self-check in
+// tests/lint_test.cc relies on this).
+//
+// Macro set and spelling follow the clang documentation's canonical
+// mutex.h (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+
+#ifndef SCATTER_SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SCATTER_SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SCATTER_NO_THREAD_SAFETY_ANALYSIS)
+#define SCATTER_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SCATTER_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+// On the capability (mutex) type itself.
+#define SCATTER_CAPABILITY(x) SCATTER_THREAD_ANNOTATION__(capability(x))
+// On an RAII lock holder type.
+#define SCATTER_SCOPED_CAPABILITY SCATTER_THREAD_ANNOTATION__(scoped_lockable)
+
+// On a data member: writable only while holding `x`.
+#define SCATTER_GUARDED_BY(x) SCATTER_THREAD_ANNOTATION__(guarded_by(x))
+// On a pointer member: the pointee (not the pointer) is guarded by `x`.
+#define SCATTER_PT_GUARDED_BY(x) SCATTER_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// On a function: the caller must hold / must not hold the capabilities.
+#define SCATTER_REQUIRES(...) \
+  SCATTER_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SCATTER_EXCLUDES(...) \
+  SCATTER_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// On lock/unlock primitives.
+#define SCATTER_ACQUIRE(...) \
+  SCATTER_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SCATTER_RELEASE(...) \
+  SCATTER_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SCATTER_TRY_ACQUIRE(...) \
+  SCATTER_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// On a function returning a reference to a guarded capability.
+#define SCATTER_RETURN_CAPABILITY(x) \
+  SCATTER_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch for functions the analysis cannot see through.
+#define SCATTER_NO_THREAD_SAFETY_ANALYSIS \
+  SCATTER_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace scatter {
+
+// The tree's one blessed mutual-exclusion primitive: std::mutex wearing the
+// capability annotation. Deliberately minimal — no timed waits, no
+// condition variables yet; the TCP PR adds what the event loop needs, here,
+// where the analysis and the lint rule can see it.
+//
+// Thread-compat: thread-safe (it IS the synchronization).
+class SCATTER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SCATTER_ACQUIRE() { mu_.lock(); }
+  void Unlock() SCATTER_RELEASE() { mu_.unlock(); }
+  bool TryLock() SCATTER_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII holder, the only way lock acquisition should be spelled outside this
+// header: `MutexLock lock(&mu_);`. Scoped release keeps lock/unlock
+// balanced by construction, which both the clang analysis and the
+// guarded-field-hygiene token heuristic depend on.
+class SCATTER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SCATTER_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SCATTER_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+}  // namespace scatter
+
+#endif  // SCATTER_SRC_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,6 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <tuple>
+#include <type_traits>
+#include <vector>
 
 namespace scatter::obs {
 namespace {
@@ -48,46 +51,84 @@ std::string CellPrefix(const std::string& name, NodeId node, GroupId group) {
 
 }  // namespace
 
+Counter& MetricsRegistry::GetCounterLocked(const std::string& name,
+                                           NodeId node, GroupId group)
+    SCATTER_REQUIRES(mu_) {
+  auto [it, inserted] =
+      counters_locked_.try_emplace(Key(name, node, group), nullptr);
+  if (inserted) it->second = &counter_arena_locked_.emplace_back();
+  return *it->second;
+}
+
 Counter& MetricsRegistry::GetCounter(const std::string& name, NodeId node,
                                      GroupId group) {
-  auto [it, inserted] = counters_.try_emplace(Key(name, node, group), nullptr);
-  if (inserted) it->second = &counter_arena_.emplace_back();
+  MutexLock lock(&mu_);
+  return GetCounterLocked(name, node, group);
+}
+
+Gauge& MetricsRegistry::GetGaugeLocked(const std::string& name, NodeId node,
+                                       GroupId group) SCATTER_REQUIRES(mu_) {
+  auto [it, inserted] =
+      gauges_locked_.try_emplace(Key(name, node, group), nullptr);
+  if (inserted) it->second = &gauge_arena_locked_.emplace_back();
   return *it->second;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, NodeId node,
                                  GroupId group) {
-  auto [it, inserted] = gauges_.try_emplace(Key(name, node, group), nullptr);
-  if (inserted) it->second = &gauge_arena_.emplace_back();
-  return *it->second;
+  MutexLock lock(&mu_);
+  return GetGaugeLocked(name, node, group);
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name, NodeId node,
                                          GroupId group) {
-  return histograms_[Key(name, node, group)];
+  MutexLock lock(&mu_);
+  return histograms_locked_[Key(name, node, group)];
+}
+
+SlidingWindow& MetricsRegistry::GetWindowLocked(
+    const std::string& name, NodeId node, GroupId group,
+    const SlidingWindow::Params& params) SCATTER_REQUIRES(mu_) {
+  auto it = windows_locked_.find(Key(name, node, group));
+  if (it == windows_locked_.end()) {
+    it = windows_locked_.emplace(Key(name, node, group), SlidingWindow(params))
+             .first;
+  }
+  return it->second;
 }
 
 SlidingWindow& MetricsRegistry::GetWindow(const std::string& name, NodeId node,
                                           GroupId group,
                                           const SlidingWindow::Params& params) {
-  auto it = windows_.find(Key(name, node, group));
-  if (it == windows_.end()) {
-    it = windows_.emplace(Key(name, node, group), SlidingWindow(params)).first;
-  }
-  return it->second;
+  MutexLock lock(&mu_);
+  return GetWindowLocked(name, node, group, params);
 }
 
 namespace {
 
 // Range scan over one metric name: the index is ordered by
-// (name, node, group), so all cells of a name are contiguous.
-template <typename Map, typename Fn>
-void ForName(const Map& map, const std::string& name, const Fn& fn) {
+// (name, node, group), so all cells of a name are contiguous. Collects
+// stable cell addresses instead of invoking callbacks in place, so ForEach*
+// can drop the registry lock before user code runs — the health monitor and
+// timeline re-enter the registry (Find*/Get*) from inside their visitors.
+// Arena-backed maps store Cell*, histogram/window maps store the cell
+// inline; both cell kinds have stable addresses.
+template <typename Map, typename Cell>
+std::vector<std::tuple<NodeId, GroupId, const Cell*>> CollectName(
+    const Map& map, const std::string& name) {
   using K = typename Map::key_type;
+  std::vector<std::tuple<NodeId, GroupId, const Cell*>> out;
   for (auto it = map.lower_bound(K(name, 0, 0));
        it != map.end() && std::get<0>(it->first) == name; ++it) {
-    fn(std::get<1>(it->first), std::get<2>(it->first), it->second);
+    const Cell* cell;
+    if constexpr (std::is_pointer_v<typename Map::mapped_type>) {
+      cell = it->second;
+    } else {
+      cell = &it->second;
+    }
+    out.emplace_back(std::get<1>(it->first), std::get<2>(it->first), cell);
   }
+  return out;
 }
 
 }  // namespace
@@ -95,79 +136,120 @@ void ForName(const Map& map, const std::string& name, const Fn& fn) {
 void MetricsRegistry::ForEachCounter(
     const std::string& name,
     const std::function<void(NodeId, GroupId, const Counter&)>& fn) const {
-  ForName(counters_, name,
-          [&fn](NodeId n, GroupId g, const Counter* c) { fn(n, g, *c); });
+  std::vector<std::tuple<NodeId, GroupId, const Counter*>> cells;
+  {
+    MutexLock lock(&mu_);
+    cells = CollectName<decltype(counters_locked_), Counter>(counters_locked_,
+                                                             name);
+  }
+  for (const auto& [node, group, cell] : cells) {
+    fn(node, group, *cell);
+  }
 }
 
 void MetricsRegistry::ForEachGauge(
     const std::string& name,
     const std::function<void(NodeId, GroupId, const Gauge&)>& fn) const {
-  ForName(gauges_, name,
-          [&fn](NodeId n, GroupId g, const Gauge* c) { fn(n, g, *c); });
+  std::vector<std::tuple<NodeId, GroupId, const Gauge*>> cells;
+  {
+    MutexLock lock(&mu_);
+    cells = CollectName<decltype(gauges_locked_), Gauge>(gauges_locked_, name);
+  }
+  for (const auto& [node, group, cell] : cells) {
+    fn(node, group, *cell);
+  }
 }
 
 void MetricsRegistry::ForEachWindow(
     const std::string& name,
     const std::function<void(NodeId, GroupId, const SlidingWindow&)>& fn)
     const {
-  ForName(windows_, name, fn);
+  std::vector<std::tuple<NodeId, GroupId, const SlidingWindow*>> cells;
+  {
+    MutexLock lock(&mu_);
+    cells = CollectName<decltype(windows_locked_), SlidingWindow>(
+        windows_locked_, name);
+  }
+  for (const auto& [node, group, cell] : cells) {
+    fn(node, group, *cell);
+  }
 }
 
 void MetricsRegistry::ForEachHistogram(
     const std::string& name,
     const std::function<void(NodeId, GroupId, const Histogram&)>& fn) const {
-  ForName(histograms_, name, fn);
+  std::vector<std::tuple<NodeId, GroupId, const Histogram*>> cells;
+  {
+    MutexLock lock(&mu_);
+    cells = CollectName<decltype(histograms_locked_), Histogram>(
+        histograms_locked_, name);
+  }
+  for (const auto& [node, group, cell] : cells) {
+    fn(node, group, *cell);
+  }
 }
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name,
                                             NodeId node, GroupId group) const {
-  auto it = counters_.find(Key(name, node, group));
-  return it == counters_.end() ? nullptr : it->second;
+  MutexLock lock(&mu_);
+  auto it = counters_locked_.find(Key(name, node, group));
+  return it == counters_locked_.end() ? nullptr : it->second;
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name, NodeId node,
                                         GroupId group) const {
-  auto it = gauges_.find(Key(name, node, group));
-  return it == gauges_.end() ? nullptr : it->second;
+  MutexLock lock(&mu_);
+  auto it = gauges_locked_.find(Key(name, node, group));
+  return it == gauges_locked_.end() ? nullptr : it->second;
 }
 
 const SlidingWindow* MetricsRegistry::FindWindow(const std::string& name,
                                                  NodeId node,
                                                  GroupId group) const {
-  auto it = windows_.find(Key(name, node, group));
-  return it == windows_.end() ? nullptr : &it->second;
+  MutexLock lock(&mu_);
+  auto it = windows_locked_.find(Key(name, node, group));
+  return it == windows_locked_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
                                                 NodeId node,
                                                 GroupId group) const {
-  auto it = histograms_.find(Key(name, node, group));
-  return it == histograms_.end() ? nullptr : &it->second;
+  MutexLock lock(&mu_);
+  auto it = histograms_locked_.find(Key(name, node, group));
+  return it == histograms_locked_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
-  for (const auto& [key, counter] : other.counters_) {
-    GetCounter(std::get<0>(key), std::get<1>(key), std::get<2>(key)).value +=
-        counter->value;
+  // Lock order: destination, then source. The source is const and the
+  // contract requires it quiescent, but its maps still need the lock for
+  // the analysis (and for concurrent merges OUT of a registry being merged
+  // INTO elsewhere). Cross-merging two registries into each other
+  // concurrently is outside the contract.
+  MutexLock lock(&mu_);
+  MutexLock source_lock(&other.mu_);
+  for (const auto& [key, counter] : other.counters_locked_) {
+    GetCounterLocked(std::get<0>(key), std::get<1>(key), std::get<2>(key))
+        .value += counter->value;
   }
-  for (const auto& [key, gauge] : other.gauges_) {
-    GetGauge(std::get<0>(key), std::get<1>(key), std::get<2>(key)).value +=
-        gauge->value;
+  for (const auto& [key, gauge] : other.gauges_locked_) {
+    GetGaugeLocked(std::get<0>(key), std::get<1>(key), std::get<2>(key))
+        .value += gauge->value;
   }
-  for (const auto& [key, hist] : other.histograms_) {
-    histograms_[key].Merge(hist);
+  for (const auto& [key, hist] : other.histograms_locked_) {
+    histograms_locked_[key].Merge(hist);
   }
-  for (const auto& [key, window] : other.windows_) {
-    GetWindow(std::get<0>(key), std::get<1>(key), std::get<2>(key),
-              window.params())
+  for (const auto& [key, window] : other.windows_locked_) {
+    GetWindowLocked(std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                    window.params())
         .Merge(window);
   }
 }
 
 std::string MetricsRegistry::ToJson() const {
+  MutexLock lock(&mu_);
   std::string out = "{\"schema\":\"scatter.metrics.v1\",\"counters\":[";
   bool first = true;
-  for (const auto& [key, counter] : counters_) {
+  for (const auto& [key, counter] : counters_locked_) {
     if (!first) out += ",";
     first = false;
     char buf[48];
@@ -177,7 +259,7 @@ std::string MetricsRegistry::ToJson() const {
   }
   out += "],\"gauges\":[";
   first = true;
-  for (const auto& [key, gauge] : gauges_) {
+  for (const auto& [key, gauge] : gauges_locked_) {
     if (!first) out += ",";
     first = false;
     char buf[48];
@@ -187,7 +269,7 @@ std::string MetricsRegistry::ToJson() const {
   }
   out += "],\"windows\":[";
   first = true;
-  for (const auto& [key, window] : windows_) {
+  for (const auto& [key, window] : windows_locked_) {
     if (!first) out += ",";
     first = false;
     out += CellPrefix(std::get<0>(key), std::get<1>(key), std::get<2>(key));
@@ -195,7 +277,7 @@ std::string MetricsRegistry::ToJson() const {
   }
   out += "],\"histograms\":[";
   first = true;
-  for (const auto& [key, hist] : histograms_) {
+  for (const auto& [key, hist] : histograms_locked_) {
     if (!first) out += ",";
     first = false;
     out += CellPrefix(std::get<0>(key), std::get<1>(key), std::get<2>(key));

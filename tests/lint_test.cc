@@ -478,5 +478,273 @@ TEST(MutationSelfCheck, LintCatchesUnorderedIterationInFingerprint) {
       << "scatter-lint failed to catch a hash-order-dependent fingerprint";
 }
 
+
+// --- blocking-in-handler -----------------------------------------------------
+
+TEST(BlockingInHandler, FiresOnSleepFsyncFsDiskAndUnboundedLoop) {
+  const LintReport report =
+      Lint({{"src/core/bad.cc",
+             "void Node::HandlePing(const PingMsg& m) {\n"
+             "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+             "  fsync(fd_);\n"
+             "  storage::FsDisk disk(\"/tmp/x\");\n"
+             "  while (true) {\n"
+             "    Poll();\n"
+             "  }\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "blocking-in-handler"), 4);
+}
+
+TEST(BlockingInHandler, QuietOnBoundedLoopsAndNonHandlers) {
+  const LintReport report =
+      Lint({{"src/core/ok.cc",
+             // Bounded loops and early exits are fine inside a handler.
+             "void Node::HandlePing(const PingMsg& m) {\n"
+             "  for (int i = 0; i < 3; ++i) Poll();\n"
+             "  while (true) {\n"
+             "    if (Done()) break;\n"
+             "  }\n"
+             "}\n"
+             // Blocking work outside a Handle* body is another rule's
+             // business (durability-io), not this one's.
+             "void Node::FlushLoop() {\n"
+             "  fsync(fd_);\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "blocking-in-handler"), 0);
+}
+
+TEST(BlockingInHandler, QuietInStorageAndOutsideSrc) {
+  const std::string body =
+      "void Journal::HandleFlush() {\n"
+      "  fsync(fd_);\n"
+      "}\n";
+  const LintReport report = Lint(
+      {{"src/storage/journal.cc", body}, {"tests/fake_test.cc", body}});
+  EXPECT_EQ(CountRule(report, "blocking-in-handler"), 0);
+}
+
+TEST(BlockingInHandler, AllowAbsorbsJustifiedBlockingCall) {
+  const std::string src =
+      std::string("void Node::HandleSync(const M& m) {\n  // ") +
+      kAllowMarker +
+      "(blocking-in-handler): bootstrap path, loop not running yet.\n"
+      "  fsync(fd_);\n"
+      "}\n";
+  const LintReport report = Lint({{"src/core/boot.cc", src}});
+  EXPECT_EQ(CountRule(report, "blocking-in-handler"), 0);
+  EXPECT_EQ(CountRule(report, "unused-suppression"), 0);
+}
+
+// --- raw-sync-primitive ------------------------------------------------------
+
+TEST(RawSyncPrimitive, FiresOnStdPrimitivesOutsideCommon) {
+  const LintReport report =
+      Lint({{"src/paxos/bad.cc",
+             "std::mutex mu;\n"
+             "std::thread worker;\n"
+             "std::condition_variable cv;\n"
+             "void F() { std::lock_guard<std::mutex> l(mu); }\n"}});
+  // mutex, thread, condition_variable, lock_guard, and the nested
+  // std::mutex template argument.
+  EXPECT_EQ(CountRule(report, "raw-sync-primitive"), 5);
+}
+
+TEST(RawSyncPrimitive, QuietInCommonNetAndTests) {
+  const std::string body = "std::mutex mu;\nstd::thread t;\n";
+  const LintReport report = Lint({{"src/common/thread_annotations.h", body},
+                                  {"src/net/event_loop.cc", body},
+                                  {"tests/concurrency_test.cc", body}});
+  EXPECT_EQ(CountRule(report, "raw-sync-primitive"), 0);
+}
+
+TEST(RawSyncPrimitive, QuietOnWrappersAndLookalikeNames) {
+  const LintReport report =
+      Lint({{"src/paxos/ok.cc",
+             "scatter::Mutex mu_;\n"
+             "void F() { MutexLock lock(&mu_); }\n"
+             "int thread = 0;  // a field named thread is not std::thread\n"
+             "void G(P* p) { p->mutex(); }\n"}});
+  EXPECT_EQ(CountRule(report, "raw-sync-primitive"), 0);
+}
+
+// --- guarded-field-hygiene ---------------------------------------------------
+
+TEST(GuardedFieldHygiene, FiresOnLockedFieldWithoutAnnotation) {
+  const LintReport report =
+      Lint({{"src/obs/bad.h",
+             "class R {\n"
+             "  Mutex mu_;\n"
+             "  int count_locked_ = 0;\n"
+             "};\n"}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 1);
+}
+
+TEST(GuardedFieldHygiene, FiresOnAnnotatedFieldWithoutLockedName) {
+  const LintReport report =
+      Lint({{"src/obs/bad.h",
+             "class R {\n"
+             "  Mutex mu_;\n"
+             "  int count SCATTER_GUARDED_BY(mu_) = 0;\n"
+             "};\n"}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 1);
+}
+
+TEST(GuardedFieldHygiene, FiresOnAccessWithoutLockOrRequires) {
+  const LintReport report =
+      Lint({{"src/obs/bad.cc",
+             "void R::Bump() {\n"
+             "  count_locked_++;\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 1);
+}
+
+TEST(GuardedFieldHygiene, QuietWithMutexLockInScope) {
+  const LintReport report =
+      Lint({{"src/obs/ok.cc",
+             "void R::Bump() {\n"
+             "  MutexLock lock(&mu_);\n"
+             "  count_locked_++;\n"
+             "}\n"
+             "int R::Get() const {\n"
+             "  MutexLock lock(&mu_);\n"
+             "  return count_locked_;\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 0);
+}
+
+TEST(GuardedFieldHygiene, QuietWithRepeatedRequiresOnDefinition) {
+  const LintReport report =
+      Lint({{"src/obs/ok.cc",
+             "int R::GetLocked() SCATTER_REQUIRES(mu_) {\n"
+             "  return count_locked_;\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 0);
+}
+
+TEST(GuardedFieldHygiene, RequiresOnDeclarationDoesNotLeakToNextBody) {
+  const LintReport report =
+      Lint({{"src/obs/bad.h",
+             "class R {\n"
+             "  int GetLocked() SCATTER_REQUIRES(mu_);\n"
+             "  int Get() { return count_locked_; }\n"
+             "};\n"}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 1);
+}
+
+TEST(GuardedFieldHygiene, QuietOnAnnotatedDeclAndInitList) {
+  const LintReport report =
+      Lint({{"src/obs/ok.h",
+             "class R {\n"
+             "  R() : classes_locked_(4) {}\n"
+             "  Mutex mu_;\n"
+             "  std::vector<int> classes_locked_ SCATTER_GUARDED_BY(mu_);\n"
+             "};\n"}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 0);
+}
+
+TEST(GuardedFieldHygiene, OutOfScopeInTestsAndTools) {
+  const std::string body = "void F() { count_locked_++; }\n";
+  const LintReport report =
+      Lint({{"tests/x_test.cc", body}, {"tools/y/z.cc", body}});
+  EXPECT_EQ(CountRule(report, "guarded-field-hygiene"), 0);
+}
+
+// --- callback-capture-lifetime -----------------------------------------------
+
+TEST(CallbackCaptureLifetime, FiresOnRawScheduleCapturingThis) {
+  const LintReport report =
+      Lint({{"src/core/bad.cc",
+             "void C::Arm() {\n"
+             "  sim_->Schedule(delay_, [this]() { Tick(); });\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "callback-capture-lifetime"), 1);
+}
+
+TEST(CallbackCaptureLifetime, FiresOnDefaultCapture) {
+  const LintReport report =
+      Lint({{"src/core/bad.cc",
+             "void C::Arm() {\n"
+             "  sim().Schedule(delay_, [&]() { Tick(); });\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "callback-capture-lifetime"), 1);
+}
+
+TEST(CallbackCaptureLifetime, QuietThroughTimerOwner) {
+  const LintReport report =
+      Lint({{"src/core/ok.cc",
+             "void C::Arm() {\n"
+             "  timers_.Schedule(delay_, [this]() { Tick(); });\n"
+             "  timers().Schedule(delay_, [this]() { Tock(); });\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "callback-capture-lifetime"), 0);
+}
+
+TEST(CallbackCaptureLifetime, QuietInPinnedDirsAndWithoutThis) {
+  const LintReport report =
+      Lint({{"src/sim/network.cc",
+             "void N::Send() {\n"
+             "  sim_->Schedule(latency, [this, m]() { Deliver(m); });\n"
+             "}\n"},
+            {"src/core/ok.cc",
+             "void C::Arm() {\n"
+             "  sim_->Schedule(delay_, [id]() { Log(id); });\n"
+             "}\n"}});
+  EXPECT_EQ(CountRule(report, "callback-capture-lifetime"), 0);
+}
+
+// --- summary ordering --------------------------------------------------------
+
+// The per-rule summary must come out sorted by rule name — not in catalogue
+// or file-visit order — so CI diffs of lint output are stable.
+TEST(SummaryRowsOrder, SortedByRuleNameAndCoversCatalogue) {
+  const LintReport report =
+      Lint({{"src/wire/zz_bad.cc", "void F() { auto* p = new int; }\n"},
+            {"src/core/aa_bad.cc", "int F() { return rand(); }\n"}});
+  const std::vector<SummaryRow> rows = SummaryRows(report);
+  ASSERT_GE(rows.size(), Rules().size());
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].rule, rows[i].rule) << "summary not sorted";
+  }
+  int wire_hot = 0;
+  int ambient = 0;
+  for (const SummaryRow& row : rows) {
+    if (row.rule == "wire-hot-alloc") wire_hot = row.fired;
+    if (row.rule == "determinism-ambient") ambient = row.fired;
+  }
+  EXPECT_EQ(wire_hot, 1);
+  EXPECT_EQ(ambient, 1);
+}
+
+// --- mutation self-check: guarded-field-hygiene ------------------------------
+
+// De-annotate one real guarded field in the metrics registry and assert the
+// hygiene rule catches it: the *_locked_ naming convention and the
+// SCATTER_GUARDED_BY annotation must never drift apart silently.
+TEST(MutationSelfCheck, LintCatchesDeAnnotatedGuardedField) {
+  const std::string path =
+      std::string(SCATTER_SOURCE_DIR) + "/src/obs/metrics.h";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+
+  // The real header is clean.
+  const LintReport before = Lint({{"src/obs/metrics.h", content}});
+  EXPECT_EQ(CountRule(before, "guarded-field-hygiene"), 0);
+
+  // Mutation: strip the annotation from one *_locked_ field declaration.
+  const std::string annotated = "counters_locked_ SCATTER_GUARDED_BY(mu_);";
+  const size_t at = content.find(annotated);
+  ASSERT_NE(at, std::string::npos)
+      << "metrics.h no longer declares counters_locked_ as guarded — "
+         "update this mutation test";
+  content.replace(at, annotated.size(), "counters_locked_;");
+
+  const LintReport after = Lint({{"src/obs/metrics.h", content}});
+  EXPECT_EQ(CountRule(after, "guarded-field-hygiene"), 1)
+      << "scatter-lint failed to catch a de-annotated guarded field";
+}
+
 }  // namespace
 }  // namespace scatter::lint

@@ -45,6 +45,26 @@ const std::vector<RuleInfo> kRules = {
      "outside src/storage/ — durable state must flow through the "
      "storage::Disk seam so crash semantics and determinism stay modeled; "
      "tools/, bench/ and tests/ sit outside the rule"},
+    {"blocking-in-handler",
+     "bans blocking operations (sleep_for/sleep_until/usleep/nanosleep, "
+     "fsync/fdatasync, FsDisk, unbounded while(true)/for(;;) loops) inside "
+     "Handle* message-handler bodies outside src/storage/ — handlers run on "
+     "the event-loop thread under the TCP transport and must never stall it"},
+    {"raw-sync-primitive",
+     "bans bare std:: threading primitives (mutex, thread, "
+     "condition_variable, lock_guard, ...) in src/ outside src/common/ and "
+     "src/net/ — go through the annotated scatter::Mutex/MutexLock wrappers "
+     "so the clang thread-safety analysis sees every capability"},
+    {"guarded-field-hygiene",
+     "token-level lock discipline: a SCATTER_GUARDED_BY field must be named "
+     "*_locked_, and a *_locked_ field may only be touched inside a function "
+     "that carries SCATTER_REQUIRES or after a MutexLock in an enclosing "
+     "scope — the gcc-compatible shadow of clang's -Wthread-safety"},
+    {"callback-capture-lifetime",
+     "a lambda posted via a raw simulator Schedule must not capture `this` "
+     "outside the pinned-object dirs (src/sim/, src/workload/) — post "
+     "through sim::TimerOwner (timers_.Schedule) so pending callbacks are "
+     "cancelled when their owner dies"},
 };
 
 // --- Shared analysis state ---------------------------------------------------
@@ -755,6 +775,349 @@ void RunDurabilityIo(Engine& eng, const FileState& fs) {
   }
 }
 
+// --- Rule: blocking-in-handler -----------------------------------------------
+
+// Calls that stall the calling thread. Handlers run on the transport
+// delivery thread — the epoll event loop under TCP — where a stall freezes
+// every connection the loop owns.
+const std::set<std::string>& BlockingCallNames() {
+  static const std::set<std::string> kNames = {
+      "sleep_for", "sleep_until", "usleep", "nanosleep",
+      "fsync",     "fdatasync",
+  };
+  return kNames;
+}
+
+// True when the loop headed at `kw` (index of `while`/`for`) is unbounded:
+// while(true), while(1) or for(;;) whose body contains no break/return/
+// goto/throw. `*past_loop` receives the index one past the loop body.
+bool IsUnboundedLoop(const std::vector<Token>& toks, size_t kw,
+                     size_t* past_loop) {
+  if (kw + 1 >= toks.size() || toks[kw + 1].text != "(") {
+    return false;
+  }
+  const size_t close = SkipBalanced(toks, kw + 1, "(", ")");
+  if (close == kw + 1) {
+    return false;
+  }
+  bool infinite_head = false;
+  if (toks[kw].text == "while") {
+    infinite_head = close == kw + 4 &&
+                    (toks[kw + 2].text == "true" || toks[kw + 2].text == "1");
+  } else if (toks[kw].text == "for") {
+    infinite_head =
+        close == kw + 5 && toks[kw + 2].text == ";" && toks[kw + 3].text == ";";
+  }
+  size_t body_end = close;
+  if (close < toks.size() && toks[close].text == "{") {
+    body_end = SkipBalanced(toks, close, "{", "}");
+  } else {
+    while (body_end < toks.size() && toks[body_end].text != ";") {
+      ++body_end;
+    }
+  }
+  *past_loop = body_end;
+  if (!infinite_head) {
+    return false;
+  }
+  for (size_t j = close; j < body_end; ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "break" || t == "return" || t == "co_return" || t == "goto" ||
+        t == "throw") {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RunBlockingInHandler(Engine& eng, const FileState& fs) {
+  const std::string& path = fs.source.path;
+  // src/storage/ owns the flush scheduler and the real-disk backend; its
+  // fsyncs are the modeled blocking work, not a handler stall.
+  if (!HasPrefix(path, "src/") || HasPrefix(path, "src/storage/")) {
+    return;
+  }
+  const std::vector<Token>& toks = fs.tok.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    // A handler definition: identifier starting with "Handle", a parameter
+    // list, optional const/override/final/noexcept, then the body. Call
+    // sites have no body and fall through.
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        toks[i].text.compare(0, 6, "Handle") != 0 ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    const size_t close = SkipBalanced(toks, i + 1, "(", ")");
+    if (close == i + 1) {
+      continue;
+    }
+    size_t j = close;
+    while (j < toks.size() &&
+           (toks[j].text == "const" || toks[j].text == "override" ||
+            toks[j].text == "final" || toks[j].text == "noexcept")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].text != "{") {
+      continue;
+    }
+    const size_t body_end = SkipBalanced(toks, j, "{", "}");
+    const std::string& handler = toks[i].text;
+    for (size_t k = j + 1; k + 1 < body_end; ++k) {
+      if (toks[k].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const std::string& t = toks[k].text;
+      if (BlockingCallNames().count(t) > 0 && toks[k + 1].text == "(") {
+        eng.Report("blocking-in-handler", path, toks[k].line,
+                   "blocking call '" + t + "' inside handler " + handler +
+                       "() — handlers run on the event-loop thread; hand "
+                       "the work to the flush scheduler or a timer");
+        continue;
+      }
+      if (t == "FsDisk") {
+        eng.Report("blocking-in-handler", path, toks[k].line,
+                   "FsDisk use inside handler " + handler +
+                       "() — real-disk I/O blocks the event loop; handlers "
+                       "must write through the Disk seam's scheduled paths");
+        continue;
+      }
+      if (t == "while" || t == "for") {
+        size_t past_loop = k;
+        if (IsUnboundedLoop(toks, k, &past_loop)) {
+          eng.Report("blocking-in-handler", path, toks[k].line,
+                     "unbounded loop inside handler " + handler +
+                         "() — an event-loop handler must terminate; bound "
+                         "the loop or break on a condition");
+          k = past_loop;
+        }
+      }
+    }
+  }
+}
+
+// --- Rule: raw-sync-primitive ------------------------------------------------
+
+const std::set<std::string>& RawSyncNames() {
+  static const std::set<std::string> kNames = {
+      "mutex",       "timed_mutex",        "recursive_mutex",
+      "shared_mutex", "recursive_timed_mutex", "shared_timed_mutex",
+      "thread",      "jthread",            "condition_variable",
+      "condition_variable_any",            "lock_guard",
+      "unique_lock", "scoped_lock",        "shared_lock",
+      "once_flag",   "call_once",
+  };
+  return kNames;
+}
+
+void RunRawSyncPrimitive(Engine& eng, const FileState& fs) {
+  const std::string& path = fs.source.path;
+  // src/common/ hosts the annotated wrappers themselves; src/net/ (the
+  // reserved TCP layer) will own the event-loop plumbing that genuinely
+  // needs the raw primitives. tests/bench/tools sit outside the rule —
+  // a stress test may spawn std::thread freely.
+  if (!HasPrefix(path, "src/") || HasPrefix(path, "src/common/") ||
+      HasPrefix(path, "src/net/")) {
+    return;
+  }
+  const std::vector<Token>& toks = fs.tok.tokens;
+  for (size_t i = 2; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        RawSyncNames().count(toks[i].text) == 0) {
+      continue;
+    }
+    // Only std:: spellings: `scatter::Mutex`, a member named `thread`, a
+    // local `mutex` identifier are all out of scope.
+    if (toks[i - 1].text != "::" || toks[i - 2].text != "std") {
+      continue;
+    }
+    eng.Report("raw-sync-primitive", path, toks[i].line,
+               "bare std::" + toks[i].text +
+                   " — use scatter::Mutex/MutexLock from "
+                   "src/common/thread_annotations.h so the thread-safety "
+                   "analysis sees the capability (raw primitives belong in "
+                   "src/common/ or src/net/)");
+  }
+}
+
+// --- Rule: guarded-field-hygiene ---------------------------------------------
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Keywords that may directly precede an identifier in an expression; any
+// other identifier/'>'/'*'/'&' before a *_locked_ name marks a declaration
+// (its type), not an access.
+const std::set<std::string>& ExpressionKeywords() {
+  static const std::set<std::string> kNames = {
+      "return", "co_return", "co_yield", "co_await", "case",  "delete",
+      "throw",  "sizeof",    "new",      "else",     "do",    "goto",
+      "typedef",
+  };
+  return kNames;
+}
+
+// Token-level shadow of clang's -Wthread-safety for the naming convention
+// in src/common/thread_annotations.h: guarded state is named *_locked_ AND
+// annotated, and only touched with the mutex demonstrably held — either
+// the enclosing function repeats SCATTER_REQUIRES (the discipline for
+// out-of-line definitions) or a MutexLock was taken in an enclosing scope.
+// Heuristic by design: it runs on gcc-only machines where the clang
+// analysis cannot.
+void RunGuardedFieldHygiene(Engine& eng, const FileState& fs) {
+  const std::string& path = fs.source.path;
+  if (!HasPrefix(path, "src/") ||
+      path == "src/common/thread_annotations.h") {
+    return;
+  }
+  const std::vector<Token>& toks = fs.tok.tokens;
+  int depth = 0;
+  bool pending_requires = false;   // saw SCATTER_REQUIRES, body not yet open
+  std::vector<int> requires_depths;  // body depths of REQUIRES functions
+  std::vector<int> lock_depths;      // depths holding a live MutexLock
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      ++depth;
+      if (pending_requires) {
+        requires_depths.push_back(depth);
+        pending_requires = false;
+      }
+      continue;
+    }
+    if (t == "}") {
+      --depth;
+      while (!requires_depths.empty() && requires_depths.back() > depth) {
+        requires_depths.pop_back();
+      }
+      while (!lock_depths.empty() && lock_depths.back() > depth) {
+        lock_depths.pop_back();
+      }
+      continue;
+    }
+    if (t == ";") {
+      // A pure declaration (`... SCATTER_REQUIRES(mu_);`) has no body; the
+      // pending flag must not leak onto the next unrelated block.
+      pending_requires = false;
+      continue;
+    }
+    if (toks[i].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    if (t == "SCATTER_REQUIRES") {
+      pending_requires = true;
+      continue;
+    }
+    if (t == "MutexLock" && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokenKind::kIdentifier &&
+        toks[i + 2].text == "(") {
+      lock_depths.push_back(depth);
+      continue;
+    }
+    if (t == "SCATTER_GUARDED_BY" && i > 0 && toks[i + 1].text == "(" &&
+        toks[i - 1].kind == TokenKind::kIdentifier &&
+        !EndsWith(toks[i - 1].text, "_locked_")) {
+      eng.Report("guarded-field-hygiene", path, toks[i].line,
+                 "field '" + toks[i - 1].text +
+                     "' is SCATTER_GUARDED_BY but not named *_locked_ — the "
+                     "suffix is the contract's visible half (see "
+                     "src/common/thread_annotations.h)");
+      continue;
+    }
+    if (!EndsWith(t, "_locked_")) {
+      continue;
+    }
+    const std::string prev = i > 0 ? toks[i - 1].text : "";
+    const std::string next = i + 1 < toks.size() ? toks[i + 1].text : "";
+    if (next == "SCATTER_GUARDED_BY") {
+      continue;  // annotated declaration: both halves present
+    }
+    // Constructor init list: `classes_locked_(args)` after ',' or ':'.
+    if (next == "(" && (prev == "," || prev == ":")) {
+      continue;
+    }
+    const bool type_before =
+        i > 0 && ((toks[i - 1].kind == TokenKind::kIdentifier &&
+                   ExpressionKeywords().count(prev) == 0) ||
+                  prev == ">" || prev == "*" || prev == "&");
+    const bool decl_after = next == ";" || next == "=" || next == "{";
+    if (type_before && decl_after) {
+      eng.Report("guarded-field-hygiene", path, toks[i].line,
+                 "field '" + t +
+                     "' is named *_locked_ but its declaration carries no "
+                     "SCATTER_GUARDED_BY — annotate it with the mutex that "
+                     "guards it");
+      continue;
+    }
+    if (requires_depths.empty() && lock_depths.empty()) {
+      eng.Report("guarded-field-hygiene", path, toks[i].line,
+                 "access to guarded field '" + t +
+                     "' outside a SCATTER_REQUIRES function and with no "
+                     "MutexLock in scope — take the mutex (or repeat "
+                     "SCATTER_REQUIRES on this out-of-line definition)");
+    }
+  }
+}
+
+// --- Rule: callback-capture-lifetime -----------------------------------------
+
+void RunCallbackCaptureLifetime(Engine& eng, const FileState& fs) {
+  const std::string& path = fs.source.path;
+  if (!HasPrefix(path, "src/")) {
+    return;
+  }
+  for (const std::string& dir : eng.options.pinned_this_dirs) {
+    if (HasPrefix(path, dir)) {
+      return;  // pinned objects outlive every pending timer by construction
+    }
+  }
+  const std::vector<Token>& toks = fs.tok.tokens;
+  for (size_t i = 2; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier || toks[i].text != "Schedule" ||
+        toks[i + 1].text != "(" ||
+        (toks[i - 1].text != "." && toks[i - 1].text != "->")) {
+      continue;
+    }
+    // Receiver: `timers_.Schedule`, `timers().Schedule`, `sim_->Schedule`.
+    std::string receiver;
+    if (toks[i - 2].kind == TokenKind::kIdentifier) {
+      receiver = toks[i - 2].text;
+    } else if (i >= 4 && toks[i - 2].text == ")" && toks[i - 3].text == "(" &&
+               toks[i - 4].kind == TokenKind::kIdentifier) {
+      receiver = toks[i - 4].text;
+    }
+    if (receiver == "timers_" || receiver == "timers") {
+      continue;  // sim::TimerOwner: cancelled with the owner — the idiom
+    }
+    const size_t close = SkipBalanced(toks, i + 1, "(", ")");
+    bool captures_this = false;
+    for (size_t j = i + 2; j + 1 < close && !captures_this; ++j) {
+      if (toks[j].text != "[") {
+        continue;
+      }
+      // Walk the capture list: explicit `this`, or a default capture
+      // ([&]/[=]) which captures the enclosing `this` implicitly.
+      for (size_t k = j + 1; k < close && toks[k].text != "]"; ++k) {
+        if (toks[k].text == "this" ||
+            ((toks[k].text == "&" || toks[k].text == "=") &&
+             toks[k + 1].text == "]")) {
+          captures_this = true;
+          break;
+        }
+      }
+    }
+    if (captures_this) {
+      eng.Report(
+          "callback-capture-lifetime", path, toks[i].line,
+          "lambda posted via raw " + (receiver.empty() ? "" : receiver + ".") +
+              "Schedule captures `this` from a non-pinned class — post "
+              "through sim::TimerOwner (timers_.Schedule) so the callback is "
+              "cancelled when its owner dies");
+    }
+  }
+}
+
 // --- Suppression + meta-rule -------------------------------------------------
 
 const std::set<std::string>& KnownRuleNames() {
@@ -771,6 +1134,27 @@ const std::set<std::string>& KnownRuleNames() {
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() { return kRules; }
+
+std::vector<SummaryRow> SummaryRows(const LintReport& report) {
+  // Every catalogue rule gets a row (zero counts included) plus any extra
+  // rule name present in the report, sorted by rule name — deterministic
+  // regardless of catalogue or file-visit order.
+  std::set<std::string> names;
+  for (const RuleInfo& rule : kRules) {
+    names.insert(rule.name);
+  }
+  for (const auto& [rule, fired] : report.fired) {
+    names.insert(rule);
+  }
+  std::vector<SummaryRow> rows;
+  for (const std::string& name : names) {
+    const auto fired = report.fired.find(name);
+    const auto supp = report.suppressed.find(name);
+    rows.push_back({name, fired == report.fired.end() ? 0 : fired->second,
+                    supp == report.suppressed.end() ? 0 : supp->second});
+  }
+  return rows;
+}
 
 LintReport RunLint(const std::vector<SourceFile>& files,
                    const LintOptions& options) {
@@ -802,6 +1186,10 @@ LintReport RunLint(const std::vector<SourceFile>& files,
     RunTransportSeam(eng, fs);
     RunWireHotAlloc(eng, fs);
     RunDurabilityIo(eng, fs);
+    RunBlockingInHandler(eng, fs);
+    RunRawSyncPrimitive(eng, fs);
+    RunGuardedFieldHygiene(eng, fs);
+    RunCallbackCaptureLifetime(eng, fs);
   }
   RunLayerDag(eng);
 

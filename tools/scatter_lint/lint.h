@@ -43,6 +43,12 @@ struct LintOptions {
                                                  "examples/"};
   // Content of scripts/layers.json. Empty disables the layer-dag rule.
   std::string layers_json;
+  // Directory prefixes whose objects are pinned for the process lifetime
+  // (never destroyed while timers are pending), so their lambdas may
+  // capture `this` into a raw Schedule without an owner token. Everything
+  // else must post through a sim::TimerOwner (rule
+  // callback-capture-lifetime).
+  std::vector<std::string> pinned_this_dirs = {"src/sim/", "src/workload/"};
 };
 
 struct LintReport {
@@ -54,6 +60,17 @@ struct LintReport {
   std::map<std::string, int> suppressed;
   int files_scanned = 0;
 };
+
+// One line of the per-rule summary (rules that fired at least once).
+struct SummaryRow {
+  std::string rule;
+  int fired = 0;
+  int suppressed = 0;
+};
+
+// Summary rows sorted by rule name — the deterministic order the CLI
+// prints, independent of catalogue or file-visit order.
+std::vector<SummaryRow> SummaryRows(const LintReport& report);
 
 // The rule catalogue, for --list-rules and documentation.
 const std::vector<RuleInfo>& Rules();

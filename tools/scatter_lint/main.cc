@@ -2,7 +2,7 @@
 //
 // Usage:
 //   scatter_lint --root <repo-root> [--compdb <compile_commands.json>]
-//                [--layers <layers.json>]
+//                [--layers <layers.json>] [--format=human|json]
 //   scatter_lint --list-rules
 //
 // Loads every translation unit named in the compilation database plus all
@@ -76,10 +76,61 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Machine-readable findings for CI and tooling: one record per surviving
+// finding plus the per-rule summary, stable schema. The exit code is the
+// same as the human format's.
+void PrintJson(const scatter::lint::LintReport& report) {
+  std::cout << "{\"schema\":\"scatter.lint.v1\",\"files_scanned\":"
+            << report.files_scanned << ",\"findings\":[";
+  bool first = true;
+  for (const scatter::lint::Finding& f : report.findings) {
+    if (!first) std::cout << ",";
+    first = false;
+    std::cout << "{\"file\":\"" << JsonEscape(f.file) << "\",\"line\":"
+              << f.line << ",\"rule\":\"" << JsonEscape(f.rule)
+              << "\",\"message\":\"" << JsonEscape(f.message) << "\"}";
+  }
+  std::cout << "],\"summary\":[";
+  first = true;
+  for (const scatter::lint::SummaryRow& row :
+       scatter::lint::SummaryRows(report)) {
+    if (!first) std::cout << ",";
+    first = false;
+    std::cout << "{\"rule\":\"" << JsonEscape(row.rule)
+              << "\",\"fired\":" << row.fired
+              << ",\"suppressed\":" << row.suppressed << "}";
+  }
+  std::cout << "]}\n";
+}
+
 int Usage() {
   std::cerr
       << "usage: scatter_lint --root <repo-root> [--compdb <path>]\n"
-         "                    [--layers <path>]\n"
+         "                    [--layers <path>] [--format=human|json]\n"
          "       scatter_lint --list-rules\n\n"
          "Without --compdb, scans all *.cc/*.h under src/ tests/ bench/\n"
          "tools/ examples/ relative to --root. --layers defaults to\n"
@@ -93,6 +144,7 @@ int main(int argc, char** argv) {
   std::string root_arg;
   std::string compdb_arg;
   std::string layers_arg;
+  std::string format = "human";
   bool list_rules = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +166,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage();
       layers_arg = v;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "human" && format != "json") {
+        std::cerr << "scatter_lint: unknown format '" << format << "'\n";
+        return Usage();
+      }
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      format = v;
+      if (format != "human" && format != "json") {
+        std::cerr << "scatter_lint: unknown format '" << format << "'\n";
+        return Usage();
+      }
     } else {
       std::cerr << "scatter_lint: unknown argument '" << arg << "'\n";
       return Usage();
@@ -191,6 +257,11 @@ int main(int argc, char** argv) {
   const scatter::lint::LintReport report =
       scatter::lint::RunLint(sources, options);
 
+  if (format == "json") {
+    PrintJson(report);
+    return report.findings.empty() ? 0 : 1;
+  }
+
   for (const scatter::lint::Finding& f : report.findings) {
     std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
@@ -198,13 +269,12 @@ int main(int argc, char** argv) {
 
   std::cout << "\nscatter-lint: scanned " << report.files_scanned
             << " files\n";
-  for (const scatter::lint::RuleInfo& rule : scatter::lint::Rules()) {
-    const auto fired = report.fired.find(rule.name);
-    const auto supp = report.suppressed.find(rule.name);
-    const int nf = fired == report.fired.end() ? 0 : fired->second;
-    const int ns = supp == report.suppressed.end() ? 0 : supp->second;
-    std::cout << "  " << rule.name << ": " << (nf - ns) << " finding"
-              << ((nf - ns) == 1 ? "" : "s") << ", " << ns << " suppressed\n";
+  for (const scatter::lint::SummaryRow& row :
+       scatter::lint::SummaryRows(report)) {
+    const int nf = row.fired - row.suppressed;
+    std::cout << "  " << row.rule << ": " << nf << " finding"
+              << (nf == 1 ? "" : "s") << ", " << row.suppressed
+              << " suppressed\n";
   }
 
   if (!report.findings.empty()) {
